@@ -1,0 +1,137 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation switches off one mechanism of the SPE model and shows the
+paper-shape it is responsible for:
+
+* **service loss window** -> the Fig. 9 accuracy-vs-buffer curve,
+* **loaded DRAM latency** -> the Fig. 8c collision curves,
+* **interval-counter carry** -> sample conservation across phases,
+* **jitter window** -> sampling-bias protection on periodic code.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.analysis.plotting import table
+from repro.machine.spec import ampere_altra_max
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.spe.driver import SpeCostModel
+from repro.workloads.stream import StreamWorkload
+
+MACHINE = ampere_altra_max()
+
+
+def profile(period=2048, cost=None, scale=1 / 32, threads=32):
+    w = StreamWorkload(MACHINE, n_threads=threads, scale=scale)
+    s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=period)
+    return NmoProfiler(w, s, cost=cost, seed=0).run()
+
+
+def test_ablation_service_loss(benchmark, report_dir):
+    """Without the per-service torn window, buffer size stops mattering."""
+
+    def run():
+        lossless = SpeCostModel(service_loss_records=0)
+        # period/scale chosen so per-thread volume crosses several
+        # watermarks (the loss only applies at buffer services)
+        return (
+            profile(cost=lossless, period=512, scale=1 / 4),
+            profile(period=512, scale=1 / 4),
+        )
+
+    without, with_loss = benchmark.pedantic(run, rounds=1, iterations=1)
+    txt = table(
+        ["variant", "accuracy", "samples"],
+        [
+            ["service loss OFF", f"{without.accuracy:.3f}", without.samples_processed],
+            ["service loss ON", f"{with_loss.accuracy:.3f}", with_loss.samples_processed],
+        ],
+        title="Ablation: per-service record loss (drives Fig. 9)",
+    )
+    save_report(report_dir, "ablation_service_loss", txt)
+    assert without.accuracy > with_loss.accuracy
+
+
+def test_ablation_loaded_latency(benchmark, report_dir):
+    """Without loaded DRAM latency, STREAM stops colliding at p=1000."""
+
+    def run():
+        w = StreamWorkload(MACHINE, n_threads=32, scale=1 / 32)
+        for p in w.phases:
+            p.dram_latency_scale = 1.0  # unloaded latency everywhere
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=1000)
+        unloaded = NmoProfiler(w, s, seed=0).run()
+        loaded = profile(period=1000)
+        return unloaded, loaded
+
+    unloaded, loaded = benchmark.pedantic(run, rounds=1, iterations=1)
+    txt = table(
+        ["variant", "collisions", "accuracy"],
+        [
+            ["unloaded DRAM", unloaded.collisions, f"{unloaded.accuracy:.3f}"],
+            ["loaded DRAM", loaded.collisions, f"{loaded.accuracy:.3f}"],
+        ],
+        title="Ablation: loaded DRAM latency (drives Fig. 8c collisions)",
+    )
+    save_report(report_dir, "ablation_loaded_latency", txt)
+    assert unloaded.collisions == 0
+    assert loaded.collisions > 1000
+
+
+def test_ablation_carry(benchmark, report_dir):
+    """Resetting the interval counter per phase loses ~period/2 ops per
+    phase; the carry keeps multi-phase sample counts unbiased."""
+
+    def run():
+        from repro.spe.sampler import sample_positions
+
+        rng = np.random.default_rng(0)
+        n_phases, ops, period = 60, 40_000, 16_000
+        no_carry = sum(
+            sample_positions(ops, period, False, np.random.default_rng(i))[0].size
+            for i in range(n_phases)
+        )
+        carry = None
+        with_carry = 0
+        for i in range(n_phases):
+            pos, carry = sample_positions(ops, period, False, rng, carry)
+            with_carry += pos.size
+        ideal = n_phases * ops / period
+        return no_carry, with_carry, ideal
+
+    no_carry, with_carry, ideal = benchmark.pedantic(run, rounds=1, iterations=1)
+    txt = table(
+        ["variant", "samples", "ideal"],
+        [
+            ["counter reset per phase", no_carry, f"{ideal:.0f}"],
+            ["counter carried", with_carry, f"{ideal:.0f}"],
+        ],
+        title="Ablation: interval-counter carry across phases",
+    )
+    save_report(report_dir, "ablation_carry", txt)
+    assert abs(with_carry - ideal) < abs(no_carry - ideal)
+    # resetting per phase throws away the partial interval at each phase
+    # end: short phases are systematically under-sampled
+    assert no_carry < ideal * 0.9
+
+
+def test_ablation_jitter_window(benchmark, report_dir):
+    """The jitter config bit widens interval spread (bias protection)."""
+
+    def run():
+        from repro.spe.sampler import sample_positions
+
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        quiet, _ = sample_positions(4_000_000, 4096, False, rng1)
+        noisy, _ = sample_positions(4_000_000, 4096, True, rng2)
+        return float(np.diff(quiet).std()), float(np.diff(noisy).std())
+
+    q, n = benchmark.pedantic(run, rounds=1, iterations=1)
+    txt = table(
+        ["variant", "interval stddev"],
+        [["inherent perturbation", f"{q:.1f}"], ["jitter bit set", f"{n:.1f}"]],
+        title="Ablation: sampling-interval randomisation window",
+    )
+    save_report(report_dir, "ablation_jitter", txt)
+    assert n > 3 * q

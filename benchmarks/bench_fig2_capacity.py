@@ -1,0 +1,32 @@
+"""Fig. 2: temporal memory capacity of the CloudSuite pair.
+
+Paper: In-memory Analytics saturates at 52.3 GiB (20.4 % of the 256 GiB
+container) over ~121 s; PageRank reaches 123.8 GiB (48.4 %) over ~25 s.
+Run at ``SCALE`` x the paper's wall-clock (shapes are identical; only
+the time axis shrinks).
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.evalharness.experiments import fig2_capacity
+from repro.evalharness.report import render_capacity
+
+SCALE = 0.1
+
+
+def test_fig2(benchmark, report_dir):
+    out = benchmark.pedantic(
+        fig2_capacity, kwargs={"scale": SCALE}, rounds=1, iterations=1
+    )
+    save_report(report_dir, "fig2_capacity", render_capacity(out))
+
+    ima, pr = out["inmem_analytics"], out["pagerank"]
+    # paper numbers: 52.3 GiB / 20.4 % and 123.8 GiB / 48.4 %
+    assert ima["peak_gib"] == pytest.approx(52.3, rel=0.03)
+    assert ima["peak_utilisation"] == pytest.approx(0.204, abs=0.01)
+    assert pr["peak_gib"] == pytest.approx(123.8, rel=0.03)
+    assert pr["peak_utilisation"] == pytest.approx(0.484, abs=0.01)
+    # gradual increase, then saturation before the run ends
+    assert ima["saturation_time_s"] < ima["duration_s"]
+    assert pr["duration_s"] < ima["duration_s"]  # 25 s vs 121 s

@@ -1,0 +1,32 @@
+"""Fig. 3: temporal memory bandwidth of the CloudSuite pair.
+
+Paper: In-memory Analytics shows ~15 s periodic peaks near 100 GiB/s;
+PageRank spikes to ~120 GiB/s near 5 s (dataset load) then fluctuates
+downwards through the rank iterations.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.evalharness.experiments import fig3_bandwidth
+from repro.evalharness.report import render_bandwidth
+
+SCALE = 0.1
+
+
+def test_fig3(benchmark, report_dir):
+    out = benchmark.pedantic(
+        fig3_bandwidth, kwargs={"scale": SCALE}, rounds=1, iterations=1
+    )
+    save_report(report_dir, "fig3_bandwidth", render_bandwidth(out))
+
+    ima, pr = out["inmem_analytics"], out["pagerank"]
+    assert ima["peak_gibs"] == pytest.approx(97.0, rel=0.05)
+    assert ima["period_s"] == pytest.approx(15.0 * SCALE, rel=0.25)
+    assert pr["peak_gibs"] == pytest.approx(118.0, rel=0.05)
+    # the PageRank spike sits in the load phase, early in the run
+    assert pr["time_of_peak_s"] < 0.3 * pr["duration_s"]
+    # rank iterations decline after the spike
+    t, v = pr["series"]
+    post_peak = v[t > 0.5 * pr["duration_s"]]
+    assert post_peak.max() < 0.8 * v.max()

@@ -1,0 +1,37 @@
+"""Fig. 5: CFD address scatter at one OpenMP thread.
+
+Paper: "The memory access at a single thread shows a continuous
+traverse" through the arrays within the tagged computation loop.
+"""
+
+import numpy as np
+from conftest import save_report
+
+from repro.analysis.plotting import scatter_plot
+from repro.evalharness.experiments import fig5_cfd_single_thread
+
+
+def test_fig5(benchmark, report_dir):
+    out = benchmark.pedantic(
+        fig5_cfd_single_thread,
+        kwargs={"period": 2048, "n_elems": 1 << 16},
+        rounds=1, iterations=1,
+    )
+    txt = scatter_plot(
+        out["times"], out["addrs"], bands=out["bands"],
+        title="Fig.5: CFD sampled accesses (1 thread, 'computation loop')",
+    )
+    save_report(report_dir, "fig5_cfd_1thread", txt)
+
+    assert out["result"].n_threads == 1
+    assert len(out["loop_spans"]) >= 1
+    # continuous traverse: the sweep covers the variables array broadly
+    stats = out["stats"]
+    assert stats["variables"].n_samples > 0
+    assert stats["normals"].n_samples > 0
+    # the sequential sweep revisits low and high addresses each iteration:
+    # sample addresses within 'normals' span most of the object
+    s = stats["normals"]
+    span = (s.end - s.start)
+    t, a = out["profile"].scatter(tag="normals")
+    assert (a.max() - a.min()) > 0.8 * span

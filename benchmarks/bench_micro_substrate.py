@@ -1,0 +1,78 @@
+"""Micro-benchmarks of the substrate hot paths (proper pytest-benchmark
+timing: these run multiple rounds)."""
+
+import numpy as np
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.spec import CacheSpec, ampere_altra_max
+from repro.spe.packets import decode_buffer, encode_batch
+from repro.spe.records import SampleBatch
+from repro.spe.sampler import collision_scan, sample_positions
+
+
+def _batch(n):
+    rng = np.random.default_rng(0)
+    return SampleBatch(
+        pc=rng.integers(1, 1 << 48, n, dtype=np.uint64),
+        addr=rng.integers(1, 1 << 48, n, dtype=np.uint64),
+        ts=np.arange(1, n + 1, dtype=np.uint64),
+        level=rng.integers(1, 5, n, dtype=np.uint8),
+        kind=rng.integers(1, 3, n, dtype=np.uint8),
+        total_lat=rng.integers(1, 500, n, dtype=np.uint16),
+        issue_lat=rng.integers(1, 100, n, dtype=np.uint16),
+    )
+
+
+def test_packet_encode_100k(benchmark):
+    b = _batch(100_000)
+    out = benchmark(encode_batch, b)
+    assert len(out) == 100_000 * 64
+
+
+def test_packet_decode_100k(benchmark):
+    raw = encode_batch(_batch(100_000))
+    got, stats = benchmark(decode_buffer, raw)
+    assert stats.n_valid == 100_000
+
+
+def test_sample_positions_10m_ops(benchmark):
+    rng = np.random.default_rng(0)
+    pos, _ = benchmark(sample_positions, 10_000_000, 4096, True, rng)
+    assert pos.size > 2000
+
+
+def test_collision_scan_no_overlap_fast_path(benchmark):
+    t = np.arange(200_000, dtype=np.float64) * 1000.0
+    lat = np.full(200_000, 10.0)
+    keep, n = benchmark(collision_scan, t, lat)
+    assert n == 0
+
+
+def test_collision_scan_dense(benchmark):
+    rng = np.random.default_rng(0)
+    t = np.sort(rng.uniform(0, 1e7, 100_000))
+    lat = rng.uniform(1, 500, 100_000)
+    keep, n = benchmark(collision_scan, t, lat)
+    assert keep[0]
+
+
+def test_cache_sim_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    addrs = rng.integers(0, 1 << 22, 20_000, dtype=np.uint64)
+
+    def run():
+        c = SetAssociativeCache(CacheSpec(64 * 1024, 4), "L1")
+        return c.access_many(addrs)
+
+    hits = benchmark(run)
+    assert hits.shape[0] == 20_000
+
+
+def test_statcache_draw_levels(benchmark):
+    from repro.machine.statcache import AccessClass, StatCacheModel
+
+    model = StatCacheModel(ampere_altra_max())
+    classes = [AccessClass(footprint=1 << 30, stride=8)]
+    rng = np.random.default_rng(0)
+    levels = benchmark(model.draw_levels, classes, 100_000, rng)
+    assert levels.shape[0] == 100_000

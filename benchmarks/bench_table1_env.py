@@ -1,0 +1,26 @@
+"""Table I: NMO environment variables and defaults."""
+
+from conftest import save_report
+
+from repro.analysis.plotting import table
+from repro.evalharness.experiments import table1_env_defaults
+
+DESCRIPTIONS = {
+    "NMO_ENABLE": "Enable profile collection",
+    "NMO_NAME": "Base name of output files",
+    "NMO_MODE": "Profile collection mode",
+    "NMO_PERIOD": "Sampling period",
+    "NMO_TRACK_RSS": "Capture working set size",
+    "NMO_BUFSIZE": "Ring buffer size [MiB]",
+    "NMO_AUXBUFSIZE": "Aux buffer size [MiB]",
+}
+
+
+def test_table1(benchmark, report_dir):
+    defaults = benchmark.pedantic(table1_env_defaults, rounds=1, iterations=1)
+    rows = [[k, DESCRIPTIONS[k], v] for k, v in defaults.items()]
+    txt = table(["Option", "Description", "Default"], rows,
+                title="Table I: NMO environment variables")
+    save_report(report_dir, "table1_env", txt)
+    assert set(defaults) == set(DESCRIPTIONS)
+    assert defaults["NMO_BUFSIZE"] == "1"

@@ -1,0 +1,17 @@
+"""Table II: hardware specification of the simulated testbed."""
+
+from conftest import save_report
+
+from repro.analysis.plotting import table
+from repro.evalharness.experiments import table2_machine_spec
+
+
+def test_table2(benchmark, report_dir):
+    spec = benchmark.pedantic(table2_machine_spec, rounds=1, iterations=1)
+    rows = [[k, v] for k, v in spec.items()]
+    txt = table(["Component", "Specification"], rows,
+                title="Table II: ARM platform (simulated Ampere Altra Max)")
+    save_report(report_dir, "table2_machine", txt)
+    assert spec["Frequency"] == "3.0 GHz"
+    assert spec["Peak bandwidth"] == "200 GB/s"
+    assert spec["System Level Cache"] == "16 MB"

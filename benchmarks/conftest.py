@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Every ``bench_fig*.py`` regenerates one paper exhibit: it runs the
+experiment once (``benchmark.pedantic`` with a single round — these are
+end-to-end reproductions, not micro-benchmarks), prints the same
+rows/series the paper reports, writes the rendered report under
+``benchmarks/out/``, and asserts the *shape* claims hold.
+"""
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def save_report(report_dir: Path, name: str, text: str) -> None:
+    (report_dir / f"{name}.txt").write_text(text)
+    print(f"\n{text}\n[saved to benchmarks/out/{name}.txt]")

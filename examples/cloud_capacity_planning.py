@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Cloud capacity planning with NMO's temporal views (paper Figs. 2-3).
+
+Profiles the two CloudSuite workloads inside a 256 GiB container, then
+answers the questions the paper's §VI poses:
+
+* how much memory does each job actually need (vs the reservation)?
+* when does usage saturate (can we shrink the job after init)?
+* is the job bandwidth-hungry enough to deserve HBM placement?
+
+Run:  python examples/cloud_capacity_planning.py
+"""
+
+from repro.analysis.plotting import line_plot, table
+from repro.machine import GiB, ampere_altra_max
+from repro.nmo import (
+    NmoMode,
+    NmoProfiler,
+    NmoSettings,
+    dominant_period_s,
+    overprovisioned_bytes,
+    summarise_bandwidth,
+    summarise_capacity,
+)
+from repro.workloads import InMemoryAnalyticsWorkload, PageRankWorkload
+
+SCALE = 0.1  # tenth of the paper's wall-clock; shapes identical
+
+
+def main() -> None:
+    machine = ampere_altra_max()
+    rows = []
+    for cls in (InMemoryAnalyticsWorkload, PageRankWorkload):
+        w = cls(machine, n_threads=32, scale=SCALE)
+        settings = NmoSettings(
+            enable=True, mode=NmoMode.BANDWIDTH, track_rss=True
+        )
+        r = NmoProfiler(w, settings).run()
+        assert r.rss_series is not None and r.bw_series is not None
+
+        cap = summarise_capacity(r.rss_series, limit_bytes=256 * GiB)
+        bw = summarise_bandwidth(r.bw_series, machine)
+        waste = overprovisioned_bytes(r.rss_series, 256 * GiB)
+        rows.append(
+            [
+                w.name,
+                f"{cap.peak_gib:.1f}",
+                f"{cap.peak_utilisation:.1%}",
+                f"{waste / GiB:.0f}",
+                f"{cap.saturation_time_s:.1f}s",
+                f"{bw.peak_gibs:.0f}",
+                f"{bw.peak_utilisation:.0%}",
+            ]
+        )
+
+        t, v = r.bw_series
+        print(
+            line_plot(
+                {w.name: (t, v / GiB)},
+                title=f"bandwidth GiB/s over time — {w.name}",
+            )
+        )
+        if w.name == "inmem_analytics":
+            print(
+                f"  periodicity: {dominant_period_s(r.bw_series):.2f}s "
+                f"(ALS iteration cadence; paper: ~15s at full scale)\n"
+            )
+
+    print(
+        table(
+            [
+                "workload", "peak RSS GiB", "of 256 GiB", "wasted GiB",
+                "saturates at", "peak BW GiB/s", "of peak BW",
+            ],
+            rows,
+            title="Capacity / bandwidth planning summary (cf. Figs. 2-3)",
+        )
+    )
+    print(
+        "\nReading: both jobs reserve 256 GiB but peak far below it — the "
+        "In-memory Analytics reservation could shrink ~5x; PageRank ~2x. "
+        "Both saturate bandwidth in bursts, so they are HBM candidates "
+        "only during load/sweep phases."
+    )
+
+
+if __name__ == "__main__":
+    main()

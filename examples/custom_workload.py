@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Bring your own workload: NMO's extensibility in one file.
+
+The paper positions NMO as a framework ("researchers and developers ...
+advanced memory-centric analysis ... using a simple interface").  This
+example defines a *new* workload — a two-phase key-value store with a
+hot/cold skew — registers it, profiles it with SPE sampling, and uses
+the region view to find the hot structure, exactly the workflow §III
+describes.
+
+Run:  python examples/custom_workload.py
+"""
+
+import numpy as np
+
+from repro.analysis.plotting import table
+from repro.machine import AccessClass, MiB, ampere_altra_max
+from repro.nmo import NmoMode, NmoProfiler, NmoSettings, RegionProfile
+from repro.workloads import (
+    Phase,
+    Workload,
+    random_in,
+    register_workload,
+    sequential,
+    weighted_mix,
+)
+
+
+class KvStoreWorkload(Workload):
+    """A lookup-heavy KV store: hot index + cold value log."""
+
+    name = "kvstore"
+
+    def _build(self) -> None:
+        index_bytes = 8 * MiB        # hash index: hot, cache-friendly
+        log_bytes = 512 * MiB        # value log: cold, random reads
+        index = self.alloc_object("index", index_bytes)
+        log = self.alloc_object("value_log", log_bytes)
+        t = self.n_threads
+
+        # phase 1: bulk load (sequential writes to the log)
+        self.add_phase(
+            Phase(
+                name="bulk_load",
+                n_mem_ops=2_000_000 // t,
+                cpi=0.6,
+                addr_fn=sequential(log, log_bytes // 8, 8, n_threads=t),
+                store_fraction=1.0,
+                classes=[AccessClass(footprint=log_bytes // t, stride=8)],
+                touch={"index": index_bytes, "value_log": log_bytes},
+                tag="load",
+            )
+        )
+        # phase 2: query mix (hot index lookups + cold log reads)
+        self.add_phase(
+            Phase(
+                name="queries",
+                n_mem_ops=6_000_000 // t,
+                cpi=0.8,
+                addr_fn=weighted_mix(
+                    [
+                        (random_in(index, index_bytes // 8, 8, salt=1), 0.8),
+                        (random_in(log, log_bytes // 8, 8, salt=2), 0.2),
+                    ],
+                    salt=3,
+                ),
+                store_fraction=0.05,
+                classes=[
+                    AccessClass(footprint=index_bytes, stride=0, weight=0.8),
+                    AccessClass(footprint=log_bytes, stride=0, weight=0.2),
+                ],
+                # the index/log are shared read-mostly structures: the
+                # SLC holds one copy regardless of thread count
+                slc_sharers=1,
+                tag="serve",
+            )
+        )
+        self.finalise_dram_pressure()
+
+
+def main() -> None:
+    register_workload(KvStoreWorkload)
+
+    machine = ampere_altra_max()
+    w = KvStoreWorkload(machine, n_threads=16)
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+    result = NmoProfiler(w, settings).run()
+
+    prof = RegionProfile.build(result)
+    rows = [
+        [
+            s.name,
+            s.n_samples,
+            f"{s.n_loads / max(s.n_samples, 1):.0%}",
+            f"{s.line_coverage:.1%}",
+        ]
+        for s in prof.hottest(5)
+    ]
+    print(
+        table(
+            ["object", "samples", "load share", "line coverage"],
+            rows,
+            title="KV store region profile",
+        )
+    )
+
+    from repro.machine.hierarchy import MemLevel
+
+    dram_share = (result.batch.level == int(MemLevel.DRAM)).mean()
+    print(f"\noverall DRAM share of sampled accesses: {dram_share:.1%}")
+    idx = prof.stats["index"]
+    log = prof.stats["value_log"]
+    print(
+        f"access split: index {idx.n_samples} samples vs value_log "
+        f"{log.n_samples} — the 8 MiB index absorbs most traffic while "
+        f"the 512 MiB log sees sparse coverage "
+        f"({log.line_coverage:.2%} of its lines)."
+    )
+    print(
+        "\nOptimisation lead: the index is the hot object (pin it, "
+        "keep it SLC-resident); the log's sparse random reads are the "
+        "DRAM-latency exposure — candidates for compression or tiering "
+        "(the paper's memory-region workflow, Section III-A)."
+    )
+
+
+if __name__ == "__main__":
+    main()

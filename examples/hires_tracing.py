@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""High-resolution memory tracing of CFD (paper Figs. 5-6).
+
+Profiles the Rodinia CFD solver at 1 and at 32 threads, renders both
+address-over-time scatters, zooms into a high-resolution window, and
+quantifies the paper's observation that only ``normals`` is split
+cleanly between threads while the indirect neighbour gathers are not.
+
+Run:  python examples/hires_tracing.py
+"""
+
+from repro.analysis.plotting import scatter_plot, table
+from repro.evalharness import fig5_cfd_single_thread, fig6_cfd_32_threads
+
+
+def main() -> None:
+    print("profiling CFD at 1 thread ...")
+    single = fig5_cfd_single_thread(n_elems=1 << 15, period=1024)
+    print(
+        scatter_plot(
+            single["times"],
+            single["addrs"],
+            bands=single["bands"],
+            title="CFD, 1 thread: continuous traverse (cf. Fig. 5)",
+            height=18,
+        )
+    )
+
+    print("\nprofiling CFD at 32 threads ...")
+    multi = fig6_cfd_32_threads(n_elems=1 << 15, period=512)
+    print(
+        scatter_plot(
+            multi["times"],
+            multi["addrs"],
+            bands=multi["bands"],
+            title="CFD, 32 threads (cf. Fig. 6 left)",
+            height=18,
+        )
+    )
+    hr = multi["hires"]
+    print(
+        scatter_plot(
+            hr["times"],
+            hr["addrs"],
+            bands=multi["bands"],
+            title=(
+                f"high-resolution window [{hr['t0']:.4f}s, {hr['t1']:.4f}s] "
+                "(cf. Fig. 6 right)"
+            ),
+            height=18,
+        )
+    )
+
+    rows = sorted(
+        ((k, f"{v:.2f}") for k, v in multi["split_scores"].items()),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )
+    print()
+    print(
+        table(
+            ["object", "thread-split score"],
+            [list(r) for r in rows],
+            title="Which objects split cleanly across threads?",
+        )
+    )
+    print(
+        "\nReading: normals scores high (clean OpenMP chunking); the "
+        "variables array scores low — its indirect neighbour gathers "
+        "cross chunk boundaries, the irregularity the paper ties to "
+        "unexpected multi-thread speedups (Section VI-C)."
+    )
+
+
+if __name__ == "__main__":
+    main()

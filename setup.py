@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+the package can be installed in environments without the ``wheel``
+package (offline editable installs fall back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,121 @@
+"""Command-line experiment runner: ``python -m repro <experiment>``.
+
+Regenerates any paper exhibit from the shell, mirroring how NMO's
+post-processing scripts are driven:
+
+    python -m repro table2
+    python -m repro fig8 --trials 2 --scale 0.1
+    python -m repro fig9
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.evalharness import (
+    fig2_capacity,
+    fig3_bandwidth,
+    fig7_samples_vs_period,
+    fig8_accuracy_overhead_collisions,
+    fig9_aux_buffer,
+    fig10_fig11_threads,
+    render_bandwidth,
+    render_capacity,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10_fig11,
+    table1_env_defaults,
+    table2_machine_spec,
+)
+from repro.analysis.plotting import table
+
+
+def _table1(_args) -> str:
+    return table(
+        ["Option", "Default"],
+        [[k, v] for k, v in table1_env_defaults().items()],
+        title="Table I",
+    )
+
+
+def _table2(_args) -> str:
+    return table(
+        ["Component", "Spec"],
+        [[k, v] for k, v in table2_machine_spec().items()],
+        title="Table II",
+    )
+
+
+def _fig2(args) -> str:
+    return render_capacity(fig2_capacity(scale=args.scale))
+
+
+def _fig3(args) -> str:
+    return render_bandwidth(fig3_bandwidth(scale=args.scale))
+
+
+def _fig7(args) -> str:
+    return render_fig7(
+        fig7_samples_vs_period(trials=args.trials, scale=args.workload_scale)
+    )
+
+
+def _fig8(args) -> str:
+    return render_fig8(
+        fig8_accuracy_overhead_collisions(
+            trials=args.trials, scale=args.workload_scale
+        )
+    )
+
+
+def _fig9(_args) -> str:
+    return render_fig9(fig9_aux_buffer())
+
+
+def _fig10(args) -> str:
+    return render_fig10_fig11(fig10_fig11_threads(scale=args.workload_scale or 2.0))
+
+
+EXPERIMENTS = {
+    "table1": _table1,
+    "table2": _table2,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "fig9": _fig9,
+    "fig10": _fig10,
+    "fig11": _fig10,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate a paper table/figure on the simulated testbed.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["list"],
+        help="which exhibit to regenerate",
+    )
+    parser.add_argument("--trials", type=int, default=3,
+                        help="trials per sweep point (fig7/fig8)")
+    parser.add_argument("--scale", type=float, default=0.1,
+                        help="wall-clock scale for fig2/fig3")
+    parser.add_argument("--workload-scale", type=float, default=None,
+                        help="op-count scale override for sweeps")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("\n".join(sorted(EXPERIMENTS)))
+        return 0
+    print(EXPERIMENTS[args.experiment](args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""NMO's extensible post-processing / scripting layer (paper §III)."""
+
+from repro.analysis.bias import (
+    BiasReport,
+    analyse_bias,
+    bias_index,
+    coverage,
+    pc_histogram,
+)
+from repro.analysis.accuracy import (
+    TrialStats,
+    aggregate_trials,
+    estimated_total_accesses,
+    linearity_check,
+    sampling_accuracy,
+    time_overhead,
+)
+from repro.analysis.plotting import line_plot, scatter_plot, table
+from repro.analysis.temporal import (
+    bin_samples,
+    phase_segments,
+    rate_of,
+    resample,
+    saturation_point,
+)
+
+__all__ = [
+    "BiasReport",
+    "TrialStats",
+    "aggregate_trials",
+    "analyse_bias",
+    "bias_index",
+    "coverage",
+    "pc_histogram",
+    "bin_samples",
+    "estimated_total_accesses",
+    "line_plot",
+    "linearity_check",
+    "phase_segments",
+    "rate_of",
+    "resample",
+    "sampling_accuracy",
+    "saturation_point",
+    "scatter_plot",
+    "table",
+    "time_overhead",
+]

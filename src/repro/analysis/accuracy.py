@@ -1,0 +1,96 @@
+"""Accuracy and overhead metrics (paper §VII, Eq. 1).
+
+The paper quantifies SPE sampling accuracy as the coverage of samples
+relative to a ``perf stat`` baseline count of the ``mem_access`` event::
+
+    accuracy = 1 - | mem_counted - samples * period | / mem_counted
+
+and time overhead as the fraction of execution time added by profiling.
+This module provides those metrics plus multi-trial aggregation (the
+paper repeats every test at least five times and reports mean and
+standard deviation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def sampling_accuracy(mem_counted: int, samples: int, period: int) -> float:
+    """Paper Eq. 1 (clamped to [0, 1])."""
+    if mem_counted <= 0:
+        raise ReproError("mem_counted must be positive")
+    if samples < 0:
+        raise ReproError("samples must be >= 0")
+    if period <= 0:
+        raise ReproError("period must be positive")
+    return max(0.0, 1.0 - abs(mem_counted - samples * period) / mem_counted)
+
+
+def time_overhead(baseline_s: float, profiled_s: float) -> float:
+    """Added execution time as a fraction of the baseline."""
+    if baseline_s <= 0:
+        raise ReproError("baseline duration must be positive")
+    if profiled_s < 0:
+        raise ReproError("profiled duration must be >= 0")
+    return (profiled_s - baseline_s) / baseline_s
+
+
+def estimated_total_accesses(samples: int, period: int) -> int:
+    """The paper's estimator: total accesses ~= samples x period."""
+    if samples < 0 or period <= 0:
+        raise ReproError("need samples >= 0 and period > 0")
+    return samples * period
+
+
+@dataclass(frozen=True)
+class TrialStats:
+    """Mean / standard deviation over repeated trials."""
+
+    mean: float
+    std: float
+    n_trials: int
+    minimum: float
+    maximum: float
+
+
+def aggregate_trials(values: list[float] | np.ndarray) -> TrialStats:
+    """Summarise repeated measurements (>= 1 trial required)."""
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise ReproError("need a non-empty 1-D list of trial values")
+    return TrialStats(
+        mean=float(v.mean()),
+        std=float(v.std(ddof=1)) if v.size > 1 else 0.0,
+        n_trials=int(v.size),
+        minimum=float(v.min()),
+        maximum=float(v.max()),
+    )
+
+
+def linearity_check(
+    periods: np.ndarray, sample_counts: np.ndarray
+) -> tuple[float, float]:
+    """How well counts follow ``samples ~ N / period`` (paper Fig. 7).
+
+    Fits ``log(samples) = a - b*log(period)`` and returns ``(b, r2)``;
+    ideal scaling gives b = 1.  Deviations at small periods reveal
+    collision/drop losses, which is exactly what Fig. 7 shows.
+    """
+    p = np.asarray(periods, dtype=np.float64)
+    s = np.asarray(sample_counts, dtype=np.float64)
+    if p.shape != s.shape or p.size < 3:
+        raise ReproError("need >= 3 matched (period, count) points")
+    if (p <= 0).any() or (s <= 0).any():
+        raise ReproError("periods and counts must be positive")
+    x, y = np.log(p), np.log(s)
+    b, a = np.polyfit(x, y, 1)
+    yhat = a + b * x
+    ss_res = float(((y - yhat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return -float(b), r2

@@ -1,0 +1,93 @@
+"""Sampling-bias analysis — the paper's §IX future work.
+
+"For future works, we plan to continue the evaluation of the bias when
+sampling the same event in different positions of code."
+
+Given SPE samples carrying program counters, this module quantifies how
+evenly the sampler covers the instruction positions that execute equally
+often.  For a loop body where every PC executes once per iteration, an
+unbiased sampler yields a near-uniform PC histogram; periodic aliasing
+(the effect SPE's interval perturbation exists to prevent) concentrates
+samples on a subset of PCs.
+
+Metrics:
+
+* :func:`pc_histogram` — samples per program counter,
+* :func:`bias_index` — normalised chi-square distance from uniform
+  (0 = perfectly even, 1 = everything on one PC),
+* :func:`coverage` — fraction of expected PCs observed at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def pc_histogram(pcs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique program counters and their sample counts, sorted by PC."""
+    pcs = np.asarray(pcs, dtype=np.uint64)
+    if pcs.size == 0:
+        raise ReproError("no samples")
+    uniq, counts = np.unique(pcs, return_counts=True)
+    return uniq, counts
+
+
+def bias_index(pcs: np.ndarray, n_positions: int | None = None) -> float:
+    """Chi-square-based unevenness in [0, 1] against a uniform target.
+
+    ``n_positions`` is the number of equally-hot code positions; when
+    omitted, the distinct PCs observed are used (which *understates*
+    bias if aliasing hides positions entirely — pass the true count when
+    known).
+    """
+    _uniq, counts = pc_histogram(pcs)
+    n = int(counts.sum())
+    k = n_positions if n_positions is not None else counts.size
+    if k <= 0:
+        raise ReproError("n_positions must be positive")
+    if k < counts.size:
+        raise ReproError(
+            f"observed {counts.size} distinct PCs > n_positions {k}"
+        )
+    full = np.zeros(k, dtype=np.float64)
+    full[: counts.size] = counts
+    expected = n / k
+    chi2 = float(((full - expected) ** 2 / expected).sum())
+    # normalise: max chi-square is when all n land on one of k cells
+    chi2_max = (n - expected) ** 2 / expected + (k - 1) * expected
+    return float(chi2 / chi2_max) if chi2_max > 0 else 0.0
+
+
+def coverage(pcs: np.ndarray, n_positions: int) -> float:
+    """Share of the expected code positions observed at least once."""
+    if n_positions <= 0:
+        raise ReproError("n_positions must be positive")
+    uniq, _ = pc_histogram(pcs)
+    return min(1.0, uniq.size / n_positions)
+
+
+@dataclass(frozen=True)
+class BiasReport:
+    """Bias metrics for one profiled run."""
+
+    n_samples: int
+    n_distinct_pcs: int
+    bias: float
+    coverage: float
+    top_pc_share: float
+
+
+def analyse_bias(pcs: np.ndarray, n_positions: int) -> BiasReport:
+    """Full bias report against a known position count."""
+    uniq, counts = pc_histogram(pcs)
+    return BiasReport(
+        n_samples=int(counts.sum()),
+        n_distinct_pcs=int(uniq.size),
+        bias=bias_index(pcs, n_positions=n_positions),
+        coverage=coverage(pcs, n_positions),
+        top_pc_share=float(counts.max() / counts.sum()),
+    )

@@ -1,0 +1,150 @@
+"""Terminal plotting for the reproduction figures.
+
+The paper's figures are regenerated as data series plus ASCII renderings
+(matplotlib is not available offline).  Three renderers cover every
+figure type in the evaluation:
+
+* :func:`line_plot` — Figs. 2, 3, 8, 9, 10 (series over x),
+* :func:`scatter_plot` — Figs. 4, 5, 6 (address-over-time scatter),
+* :func:`table` — numeric series as aligned rows (all figures' data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e5 or abs(v) < 1e-3:
+        return f"{v:.2e}"
+    if abs(v) >= 100:
+        return f"{v:.0f}"
+    return f"{v:.3g}"
+
+
+def line_plot(
+    series: dict[str, tuple[np.ndarray, np.ndarray]],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    logx: bool = False,
+) -> str:
+    """Render one or more (x, y) series as an ASCII chart."""
+    if not series:
+        raise ReproError("no series to plot")
+    marks = "*+o#@%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ReproError("empty series")
+    if logx:
+        if (xs_all <= 0).any():
+            raise ReproError("logx requires positive x values")
+        xs_all = np.log10(xs_all)
+    x0, x1 = float(xs_all.min()), float(xs_all.max())
+    y0, y1 = float(ys_all.min()), float(ys_all.max())
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, (x, y)) in enumerate(series.items()):
+        x = np.asarray(x, dtype=float)
+        if logx:
+            x = np.log10(x)
+        y = np.asarray(y, dtype=float)
+        cols = np.clip(((x - x0) / (x1 - x0) * (width - 1)).astype(int), 0, width - 1)
+        rows = np.clip(
+            ((y - y0) / (y1 - y0) * (height - 1)).astype(int), 0, height - 1
+        )
+        for c, r in zip(cols, rows):
+            grid[height - 1 - r][c] = marks[si % len(marks)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{_fmt(y0)}, {_fmt(y1)}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    xlabel = f"x: [{_fmt(10**x0 if logx else x0)}, {_fmt(10**x1 if logx else x1)}]"
+    if logx:
+        xlabel += " (log)"
+    lines.append(xlabel)
+    legend = "  ".join(
+        f"{marks[i % len(marks)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    times: np.ndarray,
+    addrs: np.ndarray,
+    bands: list[tuple[str, int, int]] | None = None,
+    width: int = 72,
+    height: int = 24,
+    title: str = "",
+) -> str:
+    """Address-over-time scatter with named address bands (Figs. 4-6)."""
+    t = np.asarray(times, dtype=float)
+    a = np.asarray(addrs, dtype=np.float64)
+    if t.shape != a.shape:
+        raise ReproError("times and addrs must match")
+    if t.size == 0:
+        raise ReproError("no samples to plot")
+    t0, t1 = float(t.min()), float(t.max())
+    a0, a1 = float(a.min()), float(a.max())
+    if bands:
+        a0 = min(a0, float(min(b[1] for b in bands)))
+        a1 = max(a1, float(max(b[2] for b in bands)))
+    if t1 == t0:
+        t1 = t0 + 1e-9
+    if a1 == a0:
+        a1 = a0 + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    cols = np.clip(((t - t0) / (t1 - t0) * (width - 1)).astype(int), 0, width - 1)
+    rows = np.clip(((a - a0) / (a1 - a0) * (height - 1)).astype(int), 0, height - 1)
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = "."
+    labels = [""] * height
+    for name, lo, hi in bands or []:
+        r = int((((lo + hi) / 2 - a0) / (a1 - a0)) * (height - 1))
+        r = min(max(r, 0), height - 1)
+        labels[height - 1 - r] = f" <- {name}"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"addr: [0x{int(a0):x}, 0x{int(a1):x}]")
+    lines.extend("|" + "".join(row) + lbl for row, lbl in zip(grid, labels))
+    lines.append("+" + "-" * width)
+    lines.append(f"t: [{_fmt(t0)}s, {_fmt(t1)}s]  ({t.size} samples)")
+    return "\n".join(lines)
+
+
+def table(
+    headers: list[str], rows: list[list], title: str = ""
+) -> str:
+    """Aligned text table (the numeric payload behind every figure)."""
+    if not headers:
+        raise ReproError("table needs headers")
+    str_rows = [[_fmt(c) if isinstance(c, float) else str(c) for c in r] for r in rows]
+    for r in str_rows:
+        if len(r) != len(headers):
+            raise ReproError(
+                f"row width {len(r)} != header width {len(headers)}"
+            )
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in str_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

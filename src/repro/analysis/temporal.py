@@ -1,0 +1,108 @@
+"""Temporal post-processing of NMO series (the scripting component).
+
+NMO's Python post-processing layer (paper §III) turns raw series and
+sample streams into the temporal views: resampling onto uniform grids,
+phase segmentation, and rate computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+Series = tuple[np.ndarray, np.ndarray]
+
+
+def _validate(series: Series) -> tuple[np.ndarray, np.ndarray]:
+    t = np.asarray(series[0], dtype=np.float64)
+    v = np.asarray(series[1], dtype=np.float64)
+    if t.shape != v.shape or t.ndim != 1:
+        raise ReproError("series must be two equal-length 1-D arrays")
+    if t.size and (np.diff(t) < 0).any():
+        raise ReproError("series timestamps must be non-decreasing")
+    return t, v
+
+
+def resample(series: Series, dt: float, t_end: float | None = None) -> Series:
+    """Step-interpolate a series onto a uniform grid of spacing ``dt``."""
+    if dt <= 0:
+        raise ReproError("dt must be positive")
+    t, v = _validate(series)
+    if t.size == 0:
+        return np.zeros(0), np.zeros(0)
+    end = t_end if t_end is not None else float(t[-1])
+    grid = np.arange(0.0, end + dt / 2, dt)
+    idx = np.clip(np.searchsorted(t, grid, side="right") - 1, 0, t.size - 1)
+    return grid, v[idx]
+
+
+def bin_samples(
+    times: np.ndarray, dt: float, t_end: float | None = None,
+    weights: np.ndarray | None = None,
+) -> Series:
+    """Histogram sample timestamps into ``dt`` bins (counts or weights)."""
+    if dt <= 0:
+        raise ReproError("dt must be positive")
+    t = np.asarray(times, dtype=np.float64)
+    if t.size == 0:
+        return np.zeros(0), np.zeros(0)
+    end = t_end if t_end is not None else float(t.max())
+    n_bins = max(1, int(np.ceil(end / dt)))
+    edges = np.arange(0, n_bins + 1) * dt
+    counts, _ = np.histogram(t, bins=edges, weights=weights)
+    return edges[:-1], counts.astype(np.float64)
+
+
+def rate_of(series: Series) -> Series:
+    """Discrete derivative: value change per second between points."""
+    t, v = _validate(series)
+    if t.size < 2:
+        return np.zeros(0), np.zeros(0)
+    dts = np.diff(t)
+    if (dts <= 0).any():
+        raise ReproError("rate_of needs strictly increasing timestamps")
+    return t[1:], np.diff(v) / dts
+
+
+def phase_segments(
+    series: Series, threshold: float, min_duration: float = 0.0
+) -> list[tuple[float, float, bool]]:
+    """Segment a series into above/below-threshold intervals.
+
+    Returns ``(start, end, above)`` tuples — e.g. to find the
+    high-bandwidth phases of the In-memory Analytics run or the
+    initialisation-vs-steady-state split the paper discusses for
+    capacity planning.
+    """
+    t, v = _validate(series)
+    if t.size == 0:
+        return []
+    above = v >= threshold
+    segments: list[tuple[float, float, bool]] = []
+    start = float(t[0])
+    state = bool(above[0])
+    for i in range(1, t.size):
+        if bool(above[i]) != state:
+            end = float(t[i])
+            if end - start >= min_duration:
+                segments.append((start, end, state))
+            start = end
+            state = bool(above[i])
+    end = float(t[-1])
+    if end - start >= min_duration or not segments:
+        segments.append((start, end, state))
+    return segments
+
+
+def saturation_point(series: Series, fraction: float = 0.99) -> float:
+    """First time the series reaches ``fraction`` of its maximum."""
+    if not 0 < fraction <= 1:
+        raise ReproError("fraction must be in (0, 1]")
+    t, v = _validate(series)
+    if t.size == 0:
+        raise ReproError("empty series")
+    peak = v.max()
+    if peak <= 0:
+        return float(t[0])
+    return float(t[np.argmax(v >= fraction * peak)])

@@ -1,0 +1,28 @@
+"""Simulated CPU: op streams, clocks, pipeline timing, trace-driven cores."""
+
+from repro.cpu.clock import (
+    DEFAULT_CNTFRQ_HZ,
+    GenericTimer,
+    VirtualClock,
+    calc_mult_shift,
+    ticks_to_ns,
+)
+from repro.cpu.core import Core, ExecutionResult
+from repro.cpu.ops import MEM_KINDS, OpChunk, OpKind, interleave
+from repro.cpu.pipeline import PipelineModel, loaded_dram_scale
+
+__all__ = [
+    "DEFAULT_CNTFRQ_HZ",
+    "Core",
+    "ExecutionResult",
+    "GenericTimer",
+    "MEM_KINDS",
+    "OpChunk",
+    "OpKind",
+    "PipelineModel",
+    "VirtualClock",
+    "calc_mult_shift",
+    "interleave",
+    "loaded_dram_scale",
+    "ticks_to_ns",
+]

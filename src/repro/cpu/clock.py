@@ -1,0 +1,140 @@
+"""Clocks and timestamp conversion.
+
+Two time bases coexist on the paper's platform, and their mismatch is an
+explicit implementation detail of NMO (§IV-A):
+
+* the **core clock** (3.0 GHz on the Altra Max), in which all execution
+  and overhead costs are accounted, and
+* the **ARM generic timer** (``CNTVCT_EL0``-style counter, tens of MHz),
+  which stamps SPE sample records.
+
+perf exposes ``time_zero`` / ``time_shift`` / ``time_mult`` in the ring
+buffer metadata page so user space can convert raw counter values to perf
+nanoseconds:
+
+    ns = time_zero + (counter * time_mult) >> time_shift
+
+:func:`calc_mult_shift` derives mult/shift exactly as the kernel's
+``clocks_calc_mult_shift`` does; :class:`GenericTimer` implements the
+counter; NMO's ``timescale`` module applies the conversion on decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+
+#: Frequency of the ARM generic timer on the simulated platform.  Ampere
+#: parts run the system counter at 25 MHz.
+DEFAULT_CNTFRQ_HZ = 25_000_000
+
+NSEC_PER_SEC = 1_000_000_000
+
+
+def calc_mult_shift(from_hz: float, maxsec: int = 600) -> tuple[int, int]:
+    """Compute (mult, shift) such that ``ns ~= (ticks * mult) >> shift``.
+
+    Mirrors the kernel's ``clocks_calc_mult_shift``: choose the largest
+    shift for which ``maxsec`` seconds of ticks cannot overflow 64 bits,
+    then round the multiplier to nearest.
+    """
+    if from_hz <= 0:
+        raise MachineError("timer frequency must be positive")
+    # largest shift where (maxsec * from_hz * mult) fits in 64 bits
+    sftacc = 32
+    tmp = (int(maxsec * from_hz)) >> 32
+    while tmp:
+        tmp >>= 1
+        sftacc -= 1
+    hz = int(from_hz)
+    for sft in range(32, 0, -1):
+        # rounded division, as the kernel does, halves the conversion bias
+        mult = ((NSEC_PER_SEC << sft) + hz // 2) // hz
+        if (mult >> sftacc) == 0:
+            return mult, sft
+    raise MachineError("could not derive mult/shift")  # pragma: no cover
+
+
+def ticks_to_ns(ticks: np.ndarray | int, mult: int, shift: int,
+                zero: int = 0) -> np.ndarray | int:
+    """Apply the perf conversion ``zero + (ticks * mult) >> shift``.
+
+    Uses Python big-int arithmetic elementwise to match the kernel's
+    128-bit behaviour (NumPy uint64 would overflow for large counters).
+    """
+    if np.isscalar(ticks):
+        return zero + ((int(ticks) * mult) >> shift)
+    arr = np.asarray(ticks)
+    out = np.empty(arr.shape, dtype=np.uint64)
+    flat_in = arr.reshape(-1)
+    flat_out = out.reshape(-1)
+    for i in range(flat_in.shape[0]):
+        flat_out[i] = zero + ((int(flat_in[i]) * mult) >> shift)
+    return out
+
+
+@dataclass
+class GenericTimer:
+    """The ARM generic timer: converts core cycles to counter ticks."""
+
+    core_hz: float
+    cnt_hz: float = DEFAULT_CNTFRQ_HZ
+
+    def __post_init__(self) -> None:
+        if self.core_hz <= 0 or self.cnt_hz <= 0:
+            raise MachineError("frequencies must be positive")
+
+    def cycles_to_ticks(self, cycles: np.ndarray | float) -> np.ndarray:
+        """Counter value at a given core-cycle time (vectorised, floor)."""
+        c = np.asarray(cycles, dtype=np.float64)
+        return np.floor(c * (self.cnt_hz / self.core_hz)).astype(np.uint64)
+
+    def ticks_to_cycles(self, ticks: np.ndarray | float) -> np.ndarray:
+        t = np.asarray(ticks, dtype=np.float64)
+        return t * (self.core_hz / self.cnt_hz)
+
+    def ticks_to_seconds(self, ticks: np.ndarray | float) -> np.ndarray:
+        return np.asarray(ticks, dtype=np.float64) / self.cnt_hz
+
+    def seconds_to_ticks(self, seconds: np.ndarray | float) -> np.ndarray:
+        s = np.asarray(seconds, dtype=np.float64)
+        return np.floor(s * self.cnt_hz).astype(np.uint64)
+
+
+class VirtualClock:
+    """Monotonic per-run clock in core cycles with ns readout.
+
+    The simulated kernel and NMO read this clock instead of wall time;
+    "time overhead" experiments compare two VirtualClock totals.
+    """
+
+    def __init__(self, core_hz: float) -> None:
+        if core_hz <= 0:
+            raise MachineError("core frequency must be positive")
+        self.core_hz = core_hz
+        self._cycles = 0.0
+
+    @property
+    def cycles(self) -> float:
+        return self._cycles
+
+    @property
+    def seconds(self) -> float:
+        return self._cycles / self.core_hz
+
+    @property
+    def nanoseconds(self) -> float:
+        return self.seconds * NSEC_PER_SEC
+
+    def advance_cycles(self, cycles: float) -> None:
+        if cycles < 0:
+            raise MachineError("clock cannot move backwards")
+        self._cycles += cycles
+
+    def advance_seconds(self, seconds: float) -> None:
+        if seconds < 0:
+            raise MachineError("clock cannot move backwards")
+        self._cycles += seconds * self.core_hz

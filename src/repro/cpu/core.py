@@ -1,0 +1,117 @@
+"""Trace-driven core execution.
+
+:class:`Core` walks an :class:`~repro.cpu.ops.OpChunk` through the exact
+memory hierarchy, producing per-op memory levels, per-op retire
+timestamps, and aggregate cycle counts.  This is the *small-scale* engine
+behind unit tests, examples, and the high-resolution tracing mode; the
+large closed-form runs use the statistical path in
+:mod:`repro.workloads.base` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.cpu.ops import OpChunk, OpKind
+from repro.cpu.pipeline import PipelineModel
+from repro.machine.hierarchy import MemLevel, MemoryHierarchy
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one chunk on a core.
+
+    ``retire_cycles`` are absolute core-clock times at which each op
+    retired; the SPE sampler uses them as sample timestamps.
+    """
+
+    chunk: OpChunk
+    levels: np.ndarray          # uint8 MemLevel per op (0 for non-mem)
+    latencies: np.ndarray       # float64 pipeline latency per op
+    retire_cycles: np.ndarray   # float64 absolute retire time per op
+    total_cycles: float
+
+    @property
+    def n_ops(self) -> int:
+        return len(self.chunk)
+
+    @property
+    def n_mem(self) -> int:
+        return int(self.chunk.is_mem().sum())
+
+    def level_histogram(self) -> dict[str, int]:
+        mem_mask = self.chunk.is_mem()
+        lv = self.levels[mem_mask]
+        return {m.pretty: int((lv == int(m)).sum()) for m in MemLevel}
+
+
+class Core:
+    """One simulated core executing op chunks in order.
+
+    Parameters
+    ----------
+    core_id:
+        Index into the hierarchy's private cache arrays.
+    hierarchy:
+        Shared :class:`MemoryHierarchy` (SLC/DRAM shared across cores).
+    pipeline:
+        Timing model.
+    start_cycle:
+        Initial value of the core-local clock.
+    """
+
+    def __init__(
+        self,
+        core_id: int,
+        hierarchy: MemoryHierarchy,
+        pipeline: PipelineModel,
+        start_cycle: float = 0.0,
+    ) -> None:
+        if not 0 <= core_id < hierarchy.n_cores:
+            raise MachineError(f"core_id {core_id} out of range")
+        self.core_id = core_id
+        self.hierarchy = hierarchy
+        self.pipeline = pipeline
+        self.cycle = start_cycle
+        self.retired_ops = 0
+
+    def execute(
+        self, chunk: OpChunk, rng: np.random.Generator | None = None
+    ) -> ExecutionResult:
+        """Run a chunk, advancing the core clock.
+
+        Issue is in-order at ``dispatch_width`` ops/cycle; each op retires
+        at issue time + its pipeline latency.  The core clock advances to
+        the last retire time (memory latency overlaps within the window).
+        """
+        n = len(chunk)
+        levels = np.zeros(n, dtype=np.uint8)
+        is_mem = chunk.is_mem()
+        if is_mem.any():
+            mem_levels = self.hierarchy.access_many(
+                self.core_id, chunk.addrs[is_mem]
+            )
+            levels[is_mem] = mem_levels
+        latencies = self.pipeline.op_latencies(chunk.kinds, levels, rng=rng)
+        issue = self.cycle + np.arange(n, dtype=np.float64) / self.pipeline.dispatch_width
+        retire = issue + latencies
+        total_end = float(retire.max()) if n else self.cycle
+        result = ExecutionResult(
+            chunk=chunk,
+            levels=levels,
+            latencies=latencies,
+            retire_cycles=retire,
+            total_cycles=total_end - self.cycle,
+        )
+        self.cycle = total_end
+        self.retired_ops += n
+        return result
+
+    def idle(self, cycles: float) -> None:
+        """Advance the clock without retiring ops (barrier waits, IRQs)."""
+        if cycles < 0:
+            raise MachineError("cannot idle a negative duration")
+        self.cycle += cycles

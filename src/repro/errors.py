@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulated kernel / SPE / NMO stack derives from
+:class:`ReproError` so callers can catch substrate failures without
+swallowing programming errors.  Errors that mirror a POSIX failure mode of
+the real interfaces (``perf_event_open``, ``mmap``) carry an ``errno``-like
+:attr:`code` so tests can assert on the specific failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro stack."""
+
+
+class MachineError(ReproError):
+    """Invalid machine configuration or impossible hardware request."""
+
+
+class AddressSpaceError(ReproError):
+    """Virtual-memory operation failed (overlap, unmapped access, ...)."""
+
+
+class SegmentationFault(AddressSpaceError):
+    """Access to an address with no backing mapping."""
+
+    def __init__(self, addr: int, message: str | None = None) -> None:
+        self.addr = addr
+        super().__init__(message or f"segmentation fault at 0x{addr:x}")
+
+
+class OutOfMemoryError(AddressSpaceError):
+    """Allocation exceeded the process memory cap (cgroup-style limit)."""
+
+
+class PerfError(ReproError):
+    """Failure in the simulated perf_event subsystem."""
+
+    def __init__(self, message: str, code: str = "EINVAL") -> None:
+        self.code = code
+        super().__init__(f"[{code}] {message}")
+
+
+class BufferError_(PerfError):
+    """Ring/aux buffer misuse (bad size, double mmap, read past head)."""
+
+    def __init__(self, message: str, code: str = "EINVAL") -> None:
+        super().__init__(message, code)
+
+
+class SpeError(ReproError):
+    """ARM SPE driver/configuration failure."""
+
+
+class PacketDecodeError(SpeError):
+    """A sample packet failed structural validation.
+
+    NMO's decode loop *skips* such packets (per the paper, Section IV-A);
+    this exception is raised only by the strict decoding entry points used
+    in tests.
+    """
+
+
+class WorkloadError(ReproError):
+    """Workload construction or parameterisation error."""
+
+
+class NmoError(ReproError):
+    """NMO profiler misuse (bad env configuration, stop without start...)."""
+
+
+class AnnotationError(NmoError):
+    """Misnested or unknown profiling annotations."""

@@ -1,0 +1,411 @@
+"""One entry point per paper table/figure (the per-experiment index).
+
+Every function regenerates the data behind one exhibit of the paper's
+evaluation (§V-§VII) on the simulated Ampere Altra Max and returns plain
+dict/array results that the benches print and EXPERIMENTS.md records.
+
+Scales: the generators run the workloads' access *structure* at reduced
+op counts (locality is evaluated at reference scale, see
+``reference_locality``).  Sample counts therefore scale linearly with
+``scale`` while accuracies, overheads, and collision *shapes* are
+scale-free; each result carries its scale so reports can say so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.machine.spec import GiB, MachineSpec, ampere_altra_max
+from repro.nmo.bandwidth import dominant_period_s, summarise_bandwidth
+from repro.nmo.capacity import summarise_capacity
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler, ProfileResult
+from repro.nmo.regions import RegionProfile
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cfd import CfdWorkload
+from repro.workloads.inmem_analytics import InMemoryAnalyticsWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.stream import StreamWorkload
+
+#: default sampling-study scales per workload (sample counts shrink
+#: linearly; shapes are scale-free)
+SWEEP_SCALES = {"stream": 1 / 32, "cfd": 1 / 256, "bfs": 0.5}
+SWEEP_CLASSES = {
+    "stream": StreamWorkload,
+    "cfd": CfdWorkload,
+    "bfs": BfsWorkload,
+}
+
+FIG7_PERIODS = (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
+FIG8_PERIODS = (1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000)
+FIG9_AUX_PAGES = (2, 4, 8, 16, 32, 64, 128, 512, 2048)
+FIG10_THREADS = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128)
+
+
+@dataclass
+class SweepPoint:
+    """One measured configuration (averaged over trials)."""
+
+    workload: str
+    period: int
+    samples_mean: float
+    samples_std: float
+    samples_trials: list[int]
+    accuracy_mean: float
+    accuracy_std: float
+    overhead_mean: float
+    collisions_mean: float
+    wakeups_mean: float
+    extra: dict = field(default_factory=dict)
+
+
+def _run_sampling(
+    cls,
+    machine: MachineSpec,
+    *,
+    scale: float,
+    period: int,
+    n_threads: int = 32,
+    aux_mib: int = 1,
+    seed: int = 0,
+    workload_kwargs: dict | None = None,
+) -> ProfileResult:
+    w = cls(machine, n_threads=n_threads, scale=scale, **(workload_kwargs or {}))
+    settings = NmoSettings(
+        enable=True,
+        mode=NmoMode.SAMPLING,
+        period=period,
+        auxbufsize_mib=aux_mib,
+    )
+    return NmoProfiler(w, settings, seed=seed).run()
+
+
+def _sweep(
+    name: str,
+    periods: tuple[int, ...],
+    trials: int,
+    machine: MachineSpec,
+    scale: float | None = None,
+    n_threads: int = 32,
+) -> list[SweepPoint]:
+    cls = SWEEP_CLASSES[name]
+    sc = scale if scale is not None else SWEEP_SCALES[name]
+    out: list[SweepPoint] = []
+    for period in periods:
+        samples, acc, ovh, coll, irq = [], [], [], [], []
+        for trial in range(trials):
+            r = _run_sampling(
+                cls, machine, scale=sc, period=period,
+                n_threads=n_threads, seed=trial,
+            )
+            samples.append(r.samples_processed)
+            acc.append(r.accuracy)
+            ovh.append(r.time_overhead)
+            coll.append(r.collisions)
+            irq.append(r.wakeups)
+        s = np.array(samples, dtype=float)
+        a = np.array(acc)
+        out.append(
+            SweepPoint(
+                workload=name,
+                period=period,
+                samples_mean=float(s.mean()),
+                samples_std=float(s.std(ddof=1)) if trials > 1 else 0.0,
+                samples_trials=list(map(int, samples)),
+                accuracy_mean=float(a.mean()),
+                accuracy_std=float(a.std(ddof=1)) if trials > 1 else 0.0,
+                overhead_mean=float(np.mean(ovh)),
+                collisions_mean=float(np.mean(coll)),
+                wakeups_mean=float(np.mean(irq)),
+                extra={"scale": sc, "n_threads": n_threads},
+            )
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figures 2 and 3: temporal capacity and bandwidth of the CloudSuite pair
+# --------------------------------------------------------------------------
+
+def fig2_capacity(
+    machine: MachineSpec | None = None, scale: float = 1.0
+) -> dict[str, dict]:
+    """Fig. 2: memory capacity over time, PageRank + In-memory Analytics."""
+    machine = machine or ampere_altra_max()
+    out: dict[str, dict] = {}
+    for cls in (InMemoryAnalyticsWorkload, PageRankWorkload):
+        w = cls(machine, n_threads=32, scale=scale)
+        settings = NmoSettings(enable=True, mode=NmoMode.NONE, track_rss=True)
+        r = NmoProfiler(w, settings).run()
+        assert r.rss_series is not None
+        summary = summarise_capacity(r.rss_series, limit_bytes=256 * GiB)
+        out[w.name] = {
+            "series": r.rss_series,
+            "peak_gib": summary.peak_gib,
+            "peak_utilisation": summary.peak_utilisation,
+            "saturation_time_s": summary.saturation_time_s,
+            "duration_s": w.baseline_seconds(),
+            "scale": scale,
+        }
+    return out
+
+
+def fig3_bandwidth(
+    machine: MachineSpec | None = None, scale: float = 1.0
+) -> dict[str, dict]:
+    """Fig. 3: memory bandwidth over time for the same two workloads."""
+    machine = machine or ampere_altra_max()
+    out: dict[str, dict] = {}
+    for cls in (InMemoryAnalyticsWorkload, PageRankWorkload):
+        w = cls(machine, n_threads=32, scale=scale)
+        settings = NmoSettings(enable=True, mode=NmoMode.BANDWIDTH)
+        r = NmoProfiler(w, settings).run()
+        assert r.bw_series is not None
+        summary = summarise_bandwidth(r.bw_series, machine)
+        entry: dict = {
+            "series": r.bw_series,
+            "peak_gibs": summary.peak_gibs,
+            "time_of_peak_s": summary.time_of_peak_s,
+            "mean_gibs": summary.mean_gibs,
+            "duration_s": w.baseline_seconds(),
+            "scale": scale,
+        }
+        if w.name == "inmem_analytics":
+            entry["period_s"] = dominant_period_s(r.bw_series)
+        out[w.name] = entry
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figures 4-6: region profiling scatters
+# --------------------------------------------------------------------------
+
+def fig4_stream_regions(
+    machine: MachineSpec | None = None,
+    n_threads: int = 8,
+    period: int = 2048,
+    n_elems: int = 1 << 21,
+) -> dict:
+    """Fig. 4: STREAM triad address scatter, 8 threads, tags a/b/c."""
+    machine = machine or ampere_altra_max()
+    w = StreamWorkload(machine, n_threads=n_threads, n_elems=n_elems, iterations=5)
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=period)
+    r = NmoProfiler(w, settings).run()
+    prof = RegionProfile.build(r)
+    times, addrs = prof.scatter()
+    return {
+        "result": r,
+        "profile": prof,
+        "times": times,
+        "addrs": addrs,
+        "bands": w.tagged_objects(),
+        "triad_spans": r.annotations.spans_for("triad"),
+        "stats": prof.stats,
+    }
+
+
+def _cfd_regions(machine, n_threads, period, n_elems) -> dict:
+    w = CfdWorkload(
+        machine, n_threads=n_threads, n_elems=n_elems, iterations=20
+    )
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=period)
+    r = NmoProfiler(w, settings).run()
+    prof = RegionProfile.build(r)
+    times, addrs = prof.scatter()
+    return {
+        "result": r,
+        "profile": prof,
+        "times": times,
+        "addrs": addrs,
+        "bands": w.tagged_objects(),
+        "loop_spans": r.annotations.spans_for("computation loop"),
+        "stats": prof.stats,
+    }
+
+
+def fig5_cfd_single_thread(
+    machine: MachineSpec | None = None, period: int = 4096,
+    n_elems: int = 1 << 17,
+) -> dict:
+    """Fig. 5: CFD scatter at one thread — a continuous traverse."""
+    return _cfd_regions(machine or ampere_altra_max(), 1, period, n_elems)
+
+
+def fig6_cfd_32_threads(
+    machine: MachineSpec | None = None, period: int = 1024,
+    n_elems: int = 1 << 17,
+) -> dict:
+    """Fig. 6: CFD at 32 threads plus the high-resolution zoom window.
+
+    The headline observation: only ``normals`` splits cleanly per thread
+    (high split score); the indirectly-gathered ``variables`` does not.
+    """
+    out = _cfd_regions(machine or ampere_altra_max(), 32, period, n_elems)
+    times = out["times"]
+    if times.size:
+        t0 = float(np.quantile(times, 0.45))
+        t1 = float(np.quantile(times, 0.55))
+        ht, ha = out["profile"].scatter(t0=t0, t1=t1)
+        out["hires"] = {"t0": t0, "t1": t1, "times": ht, "addrs": ha}
+    stats = out["stats"]
+    out["split_scores"] = {name: s.split_score for name, s in stats.items()}
+    return out
+
+
+# --------------------------------------------------------------------------
+# Figure 7: samples vs sampling period, five trials
+# --------------------------------------------------------------------------
+
+def fig7_samples_vs_period(
+    machine: MachineSpec | None = None,
+    periods: tuple[int, ...] = FIG7_PERIODS,
+    trials: int = 5,
+    workloads: tuple[str, ...] = ("stream", "cfd", "bfs"),
+    scale: float | None = None,
+) -> dict[str, list[SweepPoint]]:
+    machine = machine or ampere_altra_max()
+    return {
+        name: _sweep(name, periods, trials, machine, scale=scale)
+        for name in workloads
+    }
+
+
+# --------------------------------------------------------------------------
+# Figure 8: accuracy / overhead / collisions vs sampling period
+# --------------------------------------------------------------------------
+
+def fig8_accuracy_overhead_collisions(
+    machine: MachineSpec | None = None,
+    periods: tuple[int, ...] = FIG8_PERIODS,
+    trials: int = 5,
+    workloads: tuple[str, ...] = ("stream", "cfd", "bfs"),
+    scale: float | None = None,
+) -> dict[str, list[SweepPoint]]:
+    machine = machine or ampere_altra_max()
+    return {
+        name: _sweep(name, periods, trials, machine, scale=scale)
+        for name in workloads
+    }
+
+
+# --------------------------------------------------------------------------
+# Figure 9: aux buffer size sweep (STREAM, 32 threads, ring fixed)
+# --------------------------------------------------------------------------
+
+def fig9_aux_buffer(
+    machine: MachineSpec | None = None,
+    aux_pages: tuple[int, ...] = FIG9_AUX_PAGES,
+    period: int = 1024,
+    scale: float = 0.75,
+    n_threads: int = 4,
+    seed: int = 0,
+) -> list[dict]:
+    """Fig. 9: overhead and accuracy vs aux buffer size (in 64 KiB pages).
+
+    Defaults trade the paper's exact configuration (32 threads, 1 GiB
+    arrays) for one where per-thread sample volume spans several
+    watermarks across the page sweep at simulation scale — the loss
+    mechanism is per-thread, so the shape is thread-count independent
+    (see EXPERIMENTS.md).
+    """
+    machine = machine or ampere_altra_max()
+    out = []
+    for pages in aux_pages:
+        aux_mib = max(1, pages * machine.page_size // (1 << 20))
+        settings = NmoSettings(
+            enable=True, mode=NmoMode.SAMPLING, period=period,
+            auxbufsize_mib=aux_mib,
+        )
+        w = StreamWorkload(machine, n_threads=n_threads, scale=scale)
+        prof = NmoProfiler(w, settings, seed=seed)
+        if settings.aux_pages(machine.page_size) != pages:
+            # Table I sizes are MiB-granular; the sweep's sub-MiB points
+            # (2-8 pages of 64 KiB) override the page count directly
+            r = _run_with_aux_pages(prof, pages)
+        else:
+            r = prof.run()
+        out.append(
+            {
+                "aux_pages": pages,
+                "accuracy": r.accuracy,
+                "overhead": r.time_overhead,
+                "samples": r.samples_processed,
+                "wakeups": r.wakeups,
+                "working": pages >= 4,
+            }
+        )
+    return out
+
+
+def _run_with_aux_pages(prof: NmoProfiler, pages: int) -> ProfileResult:
+    """Run with an explicit aux page count (sub-MiB sweep points)."""
+    from repro.nmo.backends import ArmSpeBackend
+
+    class _Backend(ArmSpeBackend):
+        def open_session(self, perf, core, settings, pipeline, timer, rng, cost):
+            session = super().open_session(
+                perf, core, settings, pipeline, timer, rng, cost
+            )
+            # replace the aux buffer with the requested page count
+            from repro.kernel.aux_buffer import AuxBuffer
+
+            ev = session.event
+            ev.aux = AuxBuffer(n_pages=pages, page_size=perf.machine.page_size)
+            ev.ring.meta.aux_size = ev.aux.size
+            return session
+
+    prof.backend = _Backend()
+    return prof.run()
+
+
+# --------------------------------------------------------------------------
+# Figures 10 and 11: thread-count sweep (STREAM, 16-page aux)
+# --------------------------------------------------------------------------
+
+def fig10_fig11_threads(
+    machine: MachineSpec | None = None,
+    thread_counts: tuple[int, ...] = FIG10_THREADS,
+    period: int = 4096,
+    scale: float = 4.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Figs. 10-11: overhead, accuracy, collisions, throttling vs threads."""
+    machine = machine or ampere_altra_max()
+    out = []
+    for t in thread_counts:
+        r = _run_sampling(
+            StreamWorkload, machine, scale=scale, period=period,
+            n_threads=t, seed=seed,
+        )
+        out.append(
+            {
+                "threads": t,
+                "accuracy": r.accuracy,
+                "overhead": r.time_overhead,
+                "collisions": r.collisions,
+                "throttle_events": r.throttle_events,
+                "throttled_samples": r.throttled_samples,
+                "samples": r.samples_processed,
+                "wakeups": r.wakeups,
+            }
+        )
+    return out
+
+
+# --------------------------------------------------------------------------
+# Tables I and II
+# --------------------------------------------------------------------------
+
+def table1_env_defaults() -> dict[str, str]:
+    """Table I: the supported environment variables and defaults."""
+    from repro.nmo.env import TABLE_I_DEFAULTS
+
+    return dict(TABLE_I_DEFAULTS)
+
+
+def table2_machine_spec(machine: MachineSpec | None = None) -> dict[str, str]:
+    """Table II: the hardware specification rows."""
+    machine = machine or ampere_altra_max()
+    return machine.describe()

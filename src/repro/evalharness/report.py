@@ -1,0 +1,163 @@
+"""Report rendering for the experiment harness.
+
+Turns experiment outputs into the same rows/series the paper reports,
+as aligned text tables and ASCII charts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.plotting import line_plot, table
+from repro.evalharness.experiments import SweepPoint
+from repro.machine.spec import GiB
+
+
+def render_sweep_table(points: list[SweepPoint], title: str) -> str:
+    """Fig. 7/8-style rows: one line per (workload, period)."""
+    rows = []
+    for p in points:
+        rows.append(
+            [
+                p.workload,
+                p.period,
+                f"{p.samples_mean:.3e}",
+                f"{p.samples_std:.2e}",
+                f"{p.accuracy_mean * 100:.1f}%",
+                f"{p.overhead_mean * 100:.2f}%",
+                f"{p.collisions_mean:.1f}",
+            ]
+        )
+    return table(
+        ["workload", "period", "samples", "std", "accuracy", "overhead", "collisions"],
+        rows,
+        title=title,
+    )
+
+
+def render_fig7(results: dict[str, list[SweepPoint]]) -> str:
+    """Samples vs period per workload, log-x chart + table."""
+    parts = []
+    series = {}
+    for name, pts in results.items():
+        x = np.array([p.period for p in pts], dtype=float)
+        y = np.array([max(p.samples_mean, 1.0) for p in pts])
+        series[name] = (x, np.log10(y))
+        parts.append(render_sweep_table(pts, f"Fig.7 ({name})"))
+    parts.append(
+        line_plot(series, title="Fig.7: log10(samples) vs period", logx=True)
+    )
+    return "\n\n".join(parts)
+
+
+def render_fig8(results: dict[str, list[SweepPoint]]) -> str:
+    parts = []
+    for metric, label, scale in (
+        ("accuracy_mean", "accuracy %", 100.0),
+        ("overhead_mean", "time overhead %", 100.0),
+        ("collisions_mean", "sample collisions", 1.0),
+    ):
+        series = {}
+        for name, pts in results.items():
+            x = np.array([p.period for p in pts], dtype=float)
+            y = np.array([getattr(p, metric) * scale for p in pts])
+            series[name] = (x, y)
+        parts.append(line_plot(series, title=f"Fig.8: {label} vs period", logx=True))
+    for name, pts in results.items():
+        parts.append(render_sweep_table(pts, f"Fig.8 ({name})"))
+    return "\n\n".join(parts)
+
+
+def render_fig9(rows: list[dict]) -> str:
+    tbl = table(
+        ["aux pages", "accuracy", "overhead", "samples", "wakeups", "working"],
+        [
+            [
+                r["aux_pages"],
+                f"{r['accuracy'] * 100:.1f}%",
+                f"{r['overhead'] * 100:.2f}%",
+                r["samples"],
+                r["wakeups"],
+                "yes" if r["working"] else "no",
+            ]
+            for r in rows
+        ],
+        title="Fig.9: aux buffer size sweep (STREAM)",
+    )
+    x = np.array([r["aux_pages"] for r in rows], dtype=float)
+    chart = line_plot(
+        {
+            "accuracy%": (x, np.array([r["accuracy"] * 100 for r in rows])),
+            "overhead%x10": (x, np.array([r["overhead"] * 1000 for r in rows])),
+        },
+        title="Fig.9 (overhead scaled x10 for visibility)",
+        logx=True,
+    )
+    return tbl + "\n\n" + chart
+
+
+def render_fig10_fig11(rows: list[dict]) -> str:
+    tbl = table(
+        [
+            "threads", "accuracy", "overhead", "collisions",
+            "throttle events", "samples",
+        ],
+        [
+            [
+                r["threads"],
+                f"{r['accuracy'] * 100:.1f}%",
+                f"{r['overhead'] * 100:.2f}%",
+                r["collisions"],
+                r["throttle_events"],
+                r["samples"],
+            ]
+            for r in rows
+        ],
+        title="Fig.10/11: thread sweep (STREAM, 16-page aux)",
+    )
+    x = np.array([r["threads"] for r in rows], dtype=float)
+    chart = line_plot(
+        {
+            "accuracy%": (x, np.array([r["accuracy"] * 100 for r in rows])),
+            "overhead%x100": (x, np.array([r["overhead"] * 1e4 for r in rows])),
+        },
+        title="Fig.10: accuracy / overhead vs threads",
+    )
+    chart2 = line_plot(
+        {
+            "collisions": (x, np.array([r["collisions"] for r in rows], dtype=float)),
+            "throttles": (
+                x,
+                np.array([r["throttle_events"] for r in rows], dtype=float),
+            ),
+        },
+        title="Fig.11: collisions and throttling vs threads",
+    )
+    return "\n\n".join([tbl, chart, chart2])
+
+
+def render_capacity(results: dict[str, dict]) -> str:
+    parts = []
+    for name, r in results.items():
+        t, v = r["series"]
+        parts.append(
+            line_plot(
+                {name: (t, v / GiB)},
+                title=(
+                    f"Fig.2 ({name}): peak {r['peak_gib']:.1f} GiB "
+                    f"({r['peak_utilisation'] * 100:.1f}% of 256 GiB)"
+                ),
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def render_bandwidth(results: dict[str, dict]) -> str:
+    parts = []
+    for name, r in results.items():
+        t, v = r["series"]
+        title = f"Fig.3 ({name}): peak {r['peak_gibs']:.1f} GiB/s"
+        if "period_s" in r:
+            title += f", period ~{r['period_s']:.1f}s"
+        parts.append(line_plot({name: (t, v / GiB)}, title=title))
+    return "\n\n".join(parts)

@@ -1,0 +1,72 @@
+"""Generic parameter-sweep utility.
+
+The figure experiments are specific sweeps; this helper supports the
+ablation benches (cost-model factors, jitter windows, watermark ratios)
+without duplicating the trial/aggregation logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One sweep point: the parameter value plus per-metric trial stats."""
+
+    value: Any
+    metrics: dict[str, float]
+    stds: dict[str, float]
+    trials: int
+
+
+def sweep(
+    values: Iterable[Any],
+    run: Callable[[Any, int], dict[str, float]],
+    trials: int = 1,
+) -> list[SweepResult]:
+    """Run ``run(value, trial_seed)`` over the grid and aggregate.
+
+    ``run`` returns a flat metric dict; every trial must return the same
+    keys.  Means and (sample) standard deviations are reported per key.
+    """
+    if trials <= 0:
+        raise ReproError("trials must be >= 1")
+    out: list[SweepResult] = []
+    for v in values:
+        rows: list[dict[str, float]] = []
+        for t in range(trials):
+            m = run(v, t)
+            if rows and set(m) != set(rows[0]):
+                raise ReproError(
+                    f"inconsistent metric keys at value {v!r}: "
+                    f"{sorted(m)} vs {sorted(rows[0])}"
+                )
+            rows.append(m)
+        keys = rows[0].keys()
+        means = {k: float(np.mean([r[k] for r in rows])) for k in keys}
+        stds = {
+            k: float(np.std([r[k] for r in rows], ddof=1)) if trials > 1 else 0.0
+            for k in keys
+        }
+        out.append(SweepResult(value=v, metrics=means, stds=stds, trials=trials))
+    return out
+
+
+def crossover(
+    results: list[SweepResult], metric_a: str, metric_b: str
+) -> Any | None:
+    """First sweep value where metric_a overtakes metric_b (or None)."""
+    if not results:
+        raise ReproError("empty sweep")
+    for r in results:
+        if metric_a not in r.metrics or metric_b not in r.metrics:
+            raise ReproError(f"metrics missing at value {r.value!r}")
+        if r.metrics[metric_a] > r.metrics[metric_b]:
+            return r.value
+    return None

@@ -1,0 +1,71 @@
+"""Simulated Linux perf substrate: syscalls, ring/aux buffers, counters."""
+
+from repro.kernel.aux_buffer import AuxBuffer
+from repro.kernel.counters import (
+    CounterEvent,
+    CounterGroup,
+    IntervalSeries,
+    PmuCounter,
+)
+from repro.kernel.epoll import EPOLLIN, Epoll
+from repro.kernel.perf_event import (
+    ARM_SPE_PMU_TYPE,
+    PERF_EVENT_IOC_DISABLE,
+    PERF_EVENT_IOC_ENABLE,
+    PERF_EVENT_IOC_RESET,
+    PERF_TYPE_HARDWARE,
+    PERF_TYPE_RAW,
+    PerfEvent,
+    PerfEventAttr,
+    PerfSubsystem,
+)
+from repro.kernel.records import (
+    PERF_AUX_FLAG_COLLISION,
+    PERF_AUX_FLAG_PARTIAL,
+    PERF_AUX_FLAG_TRUNCATED,
+    PERF_RECORD_AUX,
+    PERF_RECORD_ITRACE_START,
+    PERF_RECORD_LOST,
+    PERF_RECORD_THROTTLE,
+    AuxRecord,
+    ItraceStartRecord,
+    LostRecord,
+    RecordHeader,
+    ThrottleRecord,
+    parse_record,
+)
+from repro.kernel.ring_buffer import MmapMetadataPage, RingBuffer
+
+__all__ = [
+    "ARM_SPE_PMU_TYPE",
+    "AuxBuffer",
+    "AuxRecord",
+    "CounterEvent",
+    "CounterGroup",
+    "EPOLLIN",
+    "Epoll",
+    "IntervalSeries",
+    "ItraceStartRecord",
+    "LostRecord",
+    "MmapMetadataPage",
+    "PERF_AUX_FLAG_COLLISION",
+    "PERF_AUX_FLAG_PARTIAL",
+    "PERF_AUX_FLAG_TRUNCATED",
+    "PERF_EVENT_IOC_DISABLE",
+    "PERF_EVENT_IOC_ENABLE",
+    "PERF_EVENT_IOC_RESET",
+    "PERF_RECORD_AUX",
+    "PERF_RECORD_ITRACE_START",
+    "PERF_RECORD_LOST",
+    "PERF_RECORD_THROTTLE",
+    "PERF_TYPE_HARDWARE",
+    "PERF_TYPE_RAW",
+    "PerfEvent",
+    "PerfEventAttr",
+    "PerfSubsystem",
+    "PmuCounter",
+    "RecordHeader",
+    "RingBuffer",
+    "ThrottleRecord",
+    "parse_record",
+]

@@ -1,0 +1,123 @@
+"""The SPE aux buffer.
+
+ARM SPE does not write samples into the perf data ring; it streams packed
+sample records into a separate mmap'd **aux buffer** and the kernel posts
+``PERF_RECORD_AUX`` metadata (offset/size/flags) into the data ring each
+time the configured ``aux_watermark`` worth of new bytes is available
+(paper §II-A and §IV-A).  The size of this buffer is the central knob of
+the paper's Fig. 9: it sets the interrupt frequency (time overhead) and
+the headroom before samples are dropped (accuracy).
+
+The buffer is byte-accurate: SPE's 64-byte sample records are copied in
+and read back out; head/tail are free-running counters like the real ABI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BufferError_
+
+
+class AuxBuffer:
+    """Byte ring written by the SPE "hardware", drained by the profiler."""
+
+    def __init__(self, n_pages: int, page_size: int, watermark: int | None = None) -> None:
+        if n_pages <= 0:
+            raise BufferError_(f"aux buffer needs >= 1 page, got {n_pages}")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise BufferError_("page size must be a positive power of two")
+        self.n_pages = n_pages
+        self.page_size = page_size
+        self.size = n_pages * page_size
+        #: bytes of new data per PERF_RECORD_AUX; defaults to half the buffer
+        self.watermark = watermark if watermark is not None else max(1, self.size // 2)
+        if not 0 < self.watermark <= self.size:
+            raise BufferError_(
+                f"watermark {self.watermark} must be in (0, {self.size}]"
+            )
+        self._buf = np.zeros(self.size, dtype=np.uint8)
+        self.head = 0  # free-running producer offset
+        self.tail = 0  # free-running consumer offset
+        self._last_signal = 0  # head value at the last watermark crossing
+        self.bytes_written = 0
+        self.bytes_dropped = 0
+
+    # -- producer (SPE) -----------------------------------------------------------
+
+    @property
+    def used(self) -> int:
+        return self.head - self.tail
+
+    @property
+    def free(self) -> int:
+        return self.size - self.used
+
+    def write(self, data: bytes | np.ndarray) -> int:
+        """Append sample bytes; returns bytes accepted.
+
+        Bytes beyond the free space are dropped (SPE raises a buffer-full
+        event and discards in hardware); callers learn about the loss via
+        the return value and :attr:`bytes_dropped`.
+        """
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        n = int(arr.shape[0])
+        accept = min(n, self.free)
+        if accept:
+            pos = self.head % self.size
+            first = min(accept, self.size - pos)
+            self._buf[pos : pos + first] = arr[:first]
+            if first < accept:
+                self._buf[: accept - first] = arr[first : accept]
+            self.head += accept
+            self.bytes_written += accept
+        if accept < n:
+            self.bytes_dropped += n - accept
+        return accept
+
+    def pending_signal(self) -> int:
+        """Bytes accumulated since the last watermark notification."""
+        return self.head - self._last_signal
+
+    def should_signal(self) -> bool:
+        """True when >= watermark new bytes are available to announce."""
+        return self.pending_signal() >= self.watermark
+
+    def take_signal(self) -> tuple[int, int]:
+        """Consume the pending notification; returns (aux_offset, aux_size).
+
+        These are the fields of the ``PERF_RECORD_AUX`` the kernel posts.
+        """
+        size = self.pending_signal()
+        if size <= 0:
+            raise BufferError_("no pending aux data to signal")
+        offset = self._last_signal
+        self._last_signal = self.head
+        return offset, size
+
+    # -- consumer (profiler) ---------------------------------------------------------
+
+    def read(self, offset: int, n: int) -> bytes:
+        """Copy ``n`` bytes at free-running ``offset`` (wrapping read)."""
+        if n < 0:
+            raise BufferError_("cannot read negative length")
+        if offset < self.tail or offset + n > self.head:
+            raise BufferError_(
+                f"read [{offset}, {offset + n}) outside live data "
+                f"[{self.tail}, {self.head})"
+            )
+        pos = offset % self.size
+        first = min(n, self.size - pos)
+        out = bytearray(n)
+        out[:first] = self._buf[pos : pos + first].tobytes()
+        if first < n:
+            out[first:] = self._buf[: n - first].tobytes()
+        return bytes(out)
+
+    def advance_tail(self, new_tail: int) -> None:
+        """Publish consumption up to ``new_tail`` (frees producer space)."""
+        if new_tail < self.tail or new_tail > self.head:
+            raise BufferError_(
+                f"tail {new_tail} outside [{self.tail}, {self.head}]"
+            )
+        self.tail = new_tail

@@ -1,0 +1,141 @@
+"""PMU counting events.
+
+Besides SPE sampling, NMO reads classic counting events:
+
+* ``mem_access`` — retired loads+stores; the ground truth of the paper's
+  accuracy metric (Eq. 1 baseline run with ``perf stat``),
+* ``bus_access`` — bus/DRAM transfer events, the basis of the temporal
+  bandwidth view (Fig. 3: events x line size / interval),
+* FP ops — combined with bandwidth into arithmetic intensity (Roofline),
+* cycles / instructions.
+
+Counters accumulate from workload execution summaries; interval counters
+additionally keep a per-interval time series (1-second buckets by
+default), which is what the temporal views plot.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import PerfError
+
+
+class CounterEvent(enum.Enum):
+    """The PMU events NMO knows how to program."""
+
+    CYCLES = "cycles"
+    INSTRUCTIONS = "inst_retired"
+    MEM_ACCESS = "mem_access"
+    BUS_ACCESS = "bus_access"
+    FP_OPS = "fp_spec"
+    L2_REFILL = "l2d_cache_refill"
+
+
+@dataclass
+class PmuCounter:
+    """One free-running counting event."""
+
+    event: CounterEvent
+    value: int = 0
+    enabled: bool = True
+
+    def add(self, n: int) -> None:
+        if n < 0:
+            raise PerfError(f"counter increments must be >= 0, got {n}")
+        if self.enabled:
+            self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class IntervalSeries:
+    """Per-interval accumulation of one event (temporal profiling).
+
+    Samples are binned into fixed-width wall-clock intervals; the series
+    grows on demand so callers can feed events in any time order.
+    """
+
+    interval_s: float = 1.0
+    _bins: dict[int, float] = field(default_factory=dict)
+
+    def add(self, t_seconds: float, amount: float) -> None:
+        if t_seconds < 0:
+            raise PerfError("negative timestamp")
+        if amount < 0:
+            raise PerfError("negative amount")
+        b = int(t_seconds // self.interval_s)
+        self._bins[b] = self._bins.get(b, 0.0) + amount
+
+    def add_many(self, t_seconds: np.ndarray, amounts: np.ndarray | float) -> None:
+        t = np.asarray(t_seconds, dtype=np.float64)
+        a = np.broadcast_to(np.asarray(amounts, dtype=np.float64), t.shape)
+        if (t < 0).any():
+            raise PerfError("negative timestamp")
+        bins = (t // self.interval_s).astype(np.int64)
+        uniq, inv = np.unique(bins, return_inverse=True)
+        sums = np.bincount(inv, weights=a)
+        for b, s in zip(uniq.tolist(), sums.tolist()):
+            self._bins[b] = self._bins.get(b, 0.0) + s
+
+    def series(self, until_s: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Return (interval start times, per-interval totals), zero-filled."""
+        if not self._bins and until_s is None:
+            return np.zeros(0), np.zeros(0)
+        last = max(self._bins) if self._bins else 0
+        if until_s is not None:
+            last = max(last, int(until_s // self.interval_s))
+        idx = np.arange(last + 1)
+        vals = np.array([self._bins.get(int(i), 0.0) for i in idx])
+        return idx * self.interval_s, vals
+
+    def rate_series(self, until_s: float | None = None) -> tuple[np.ndarray, np.ndarray]:
+        """Per-interval totals divided by interval width (events/second)."""
+        t, v = self.series(until_s)
+        return t, v / self.interval_s
+
+    @property
+    def total(self) -> float:
+        return float(sum(self._bins.values()))
+
+
+class CounterGroup:
+    """A ``perf stat``-style set of counters read/reset together."""
+
+    def __init__(self, events: list[CounterEvent]) -> None:
+        if not events:
+            raise PerfError("counter group needs at least one event")
+        if len(set(events)) != len(events):
+            raise PerfError("duplicate events in counter group")
+        self._counters = {e: PmuCounter(e) for e in events}
+
+    def __contains__(self, event: CounterEvent) -> bool:
+        return event in self._counters
+
+    def add(self, event: CounterEvent, n: int) -> None:
+        try:
+            self._counters[event].add(n)
+        except KeyError:
+            raise PerfError(f"event {event} not in group") from None
+
+    def read(self) -> dict[CounterEvent, int]:
+        return {e: c.value for e, c in self._counters.items()}
+
+    def __getitem__(self, event: CounterEvent) -> int:
+        try:
+            return self._counters[event].value
+        except KeyError:
+            raise PerfError(f"event {event} not in group") from None
+
+    def reset(self) -> None:
+        for c in self._counters.values():
+            c.reset()
+
+    def enable(self, on: bool = True) -> None:
+        for c in self._counters.values():
+            c.enabled = on

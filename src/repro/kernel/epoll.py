@@ -1,0 +1,46 @@
+"""epoll-style readiness monitoring over simulated perf events.
+
+NMO "uses epoll to monitor incoming updates to the ring buffer"
+(paper §IV-A).  In the simulation, readiness is level-triggered off each
+event's ring-buffer state; :meth:`Epoll.wait` returns the ready perf
+events, and the profiler drains them exactly as the real monitor thread
+would.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PerfError
+from repro.kernel.perf_event import PerfEvent
+
+EPOLLIN = 0x001
+
+
+class Epoll:
+    """Level-triggered readiness set over :class:`PerfEvent` objects."""
+
+    def __init__(self) -> None:
+        self._interest: dict[int, tuple[PerfEvent, int]] = {}
+
+    def register(self, ev: PerfEvent, events: int = EPOLLIN) -> None:
+        if ev.fd in self._interest:
+            raise PerfError(f"fd {ev.fd} already registered", "EEXIST")
+        if not events & EPOLLIN:
+            raise PerfError("only EPOLLIN interest is modelled", "EINVAL")
+        self._interest[ev.fd] = (ev, events)
+
+    def unregister(self, ev: PerfEvent) -> None:
+        if ev.fd not in self._interest:
+            raise PerfError(f"fd {ev.fd} not registered", "ENOENT")
+        del self._interest[ev.fd]
+
+    def wait(self) -> list[PerfEvent]:
+        """Return the currently-readable events (no blocking: the
+        simulation advances virtual time explicitly elsewhere)."""
+        return [ev for ev, _m in self._interest.values() if ev.readable]
+
+    @property
+    def n_registered(self) -> int:
+        return len(self._interest)
+
+    def __contains__(self, ev: PerfEvent) -> bool:
+        return ev.fd in self._interest

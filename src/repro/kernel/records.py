@@ -1,0 +1,188 @@
+"""perf event record formats.
+
+The simulated kernel serialises records into the perf ring buffer using
+the real ABI shapes: an 8-byte ``perf_event_header`` (type u32, misc u16,
+size u16) followed by a type-specific payload.  NMO consumes
+``PERF_RECORD_AUX`` records to learn where SPE deposited sample data in
+the aux buffer (paper §IV-A: ``aux_offset``, ``aux_size``, ``flags``).
+
+Flag values are the real ``PERF_AUX_FLAG_*`` constants from
+``include/uapi/linux/perf_event.h``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import PerfError
+
+# perf_event_type values (uapi)
+PERF_RECORD_LOST = 2
+PERF_RECORD_EXIT = 4
+PERF_RECORD_THROTTLE = 5
+PERF_RECORD_UNTHROTTLE = 6
+PERF_RECORD_AUX = 11
+PERF_RECORD_ITRACE_START = 12
+
+# PERF_AUX flags (uapi)
+PERF_AUX_FLAG_TRUNCATED = 0x01
+PERF_AUX_FLAG_OVERWRITE = 0x02
+PERF_AUX_FLAG_PARTIAL = 0x04
+PERF_AUX_FLAG_COLLISION = 0x08
+
+_HEADER = struct.Struct("<IHH")
+_AUX_PAYLOAD = struct.Struct("<QQQ")
+_LOST_PAYLOAD = struct.Struct("<QQ")
+_THROTTLE_PAYLOAD = struct.Struct("<QQQ")
+_ITRACE_PAYLOAD = struct.Struct("<II")
+
+HEADER_SIZE = _HEADER.size
+
+
+@dataclass(frozen=True)
+class RecordHeader:
+    """The common 8-byte ``perf_event_header``."""
+
+    type: int
+    misc: int
+    size: int
+
+    def pack(self) -> bytes:
+        return _HEADER.pack(self.type, self.misc, self.size)
+
+    @staticmethod
+    def unpack(buf: bytes | memoryview, offset: int = 0) -> "RecordHeader":
+        t, m, s = _HEADER.unpack_from(buf, offset)
+        if s < HEADER_SIZE:
+            raise PerfError(f"record size {s} smaller than header")
+        return RecordHeader(t, m, s)
+
+
+@dataclass(frozen=True)
+class AuxRecord:
+    """``PERF_RECORD_AUX``: new data available in the aux buffer.
+
+    ``aux_offset`` is a free-running byte offset (the consumer applies
+    ``% aux_size`` when reading, as the real ABI requires), ``aux_size``
+    the number of new bytes, ``flags`` the ``PERF_AUX_FLAG_*`` bits.
+    """
+
+    aux_offset: int
+    aux_size: int
+    flags: int = 0
+
+    TYPE = PERF_RECORD_AUX
+
+    @property
+    def truncated(self) -> bool:
+        return bool(self.flags & PERF_AUX_FLAG_TRUNCATED)
+
+    @property
+    def collision(self) -> bool:
+        return bool(self.flags & PERF_AUX_FLAG_COLLISION)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.flags & PERF_AUX_FLAG_PARTIAL)
+
+    def pack(self) -> bytes:
+        payload = _AUX_PAYLOAD.pack(self.aux_offset, self.aux_size, self.flags)
+        hdr = RecordHeader(self.TYPE, 0, HEADER_SIZE + len(payload))
+        return hdr.pack() + payload
+
+    @staticmethod
+    def unpack_payload(buf: bytes | memoryview, offset: int) -> "AuxRecord":
+        o, s, f = _AUX_PAYLOAD.unpack_from(buf, offset)
+        return AuxRecord(o, s, f)
+
+
+@dataclass(frozen=True)
+class LostRecord:
+    """``PERF_RECORD_LOST``: ring-buffer records dropped by the kernel."""
+
+    event_id: int
+    lost: int
+
+    TYPE = PERF_RECORD_LOST
+
+    def pack(self) -> bytes:
+        payload = _LOST_PAYLOAD.pack(self.event_id, self.lost)
+        hdr = RecordHeader(self.TYPE, 0, HEADER_SIZE + len(payload))
+        return hdr.pack() + payload
+
+    @staticmethod
+    def unpack_payload(buf: bytes | memoryview, offset: int) -> "LostRecord":
+        i, l = _LOST_PAYLOAD.unpack_from(buf, offset)
+        return LostRecord(i, l)
+
+
+@dataclass(frozen=True)
+class ThrottleRecord:
+    """``PERF_RECORD_THROTTLE``/``UNTHROTTLE``: sampling rate limiting.
+
+    The thread-count experiments (paper Fig. 11) count these to measure
+    sampling throttling at high core counts.
+    """
+
+    time: int
+    event_id: int
+    stream_id: int
+    throttled: bool = True
+
+    def pack(self) -> bytes:
+        payload = _THROTTLE_PAYLOAD.pack(self.time, self.event_id, self.stream_id)
+        t = PERF_RECORD_THROTTLE if self.throttled else PERF_RECORD_UNTHROTTLE
+        hdr = RecordHeader(t, 0, HEADER_SIZE + len(payload))
+        return hdr.pack() + payload
+
+    @staticmethod
+    def unpack_payload(
+        buf: bytes | memoryview, offset: int, throttled: bool
+    ) -> "ThrottleRecord":
+        t, e, s = _THROTTLE_PAYLOAD.unpack_from(buf, offset)
+        return ThrottleRecord(t, e, s, throttled)
+
+
+@dataclass(frozen=True)
+class ItraceStartRecord:
+    """``PERF_RECORD_ITRACE_START``: hardware trace began for pid/tid."""
+
+    pid: int
+    tid: int
+
+    TYPE = PERF_RECORD_ITRACE_START
+
+    def pack(self) -> bytes:
+        payload = _ITRACE_PAYLOAD.pack(self.pid, self.tid)
+        hdr = RecordHeader(self.TYPE, 0, HEADER_SIZE + len(payload))
+        return hdr.pack() + payload
+
+    @staticmethod
+    def unpack_payload(buf: bytes | memoryview, offset: int) -> "ItraceStartRecord":
+        p, t = _ITRACE_PAYLOAD.unpack_from(buf, offset)
+        return ItraceStartRecord(p, t)
+
+
+Record = AuxRecord | LostRecord | ThrottleRecord | ItraceStartRecord
+
+
+def parse_record(buf: bytes | memoryview, offset: int = 0) -> tuple[Record, int]:
+    """Parse one record at ``offset``; returns (record, total_size).
+
+    Unknown record types raise :class:`PerfError` — the simulated kernel
+    never emits types it does not define.
+    """
+    hdr = RecordHeader.unpack(buf, offset)
+    body = offset + HEADER_SIZE
+    if hdr.type == PERF_RECORD_AUX:
+        return AuxRecord.unpack_payload(buf, body), hdr.size
+    if hdr.type == PERF_RECORD_LOST:
+        return LostRecord.unpack_payload(buf, body), hdr.size
+    if hdr.type == PERF_RECORD_THROTTLE:
+        return ThrottleRecord.unpack_payload(buf, body, True), hdr.size
+    if hdr.type == PERF_RECORD_UNTHROTTLE:
+        return ThrottleRecord.unpack_payload(buf, body, False), hdr.size
+    if hdr.type == PERF_RECORD_ITRACE_START:
+        return ItraceStartRecord.unpack_payload(buf, body), hdr.size
+    raise PerfError(f"unknown record type {hdr.type}")

@@ -1,0 +1,46 @@
+"""Simulated ARM machine: specs, address space, caches, memory hierarchy.
+
+This package replaces the paper's physical testbed (an Ampere Altra Max,
+Table II).  See ``DESIGN.md`` section 1 for the substitution rationale.
+"""
+
+from repro.machine.address_space import Mapping, VirtualAddressSpace
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.hierarchy import MemLevel, MemoryHierarchy
+from repro.machine.memory import DramModel
+from repro.machine.spec import (
+    CACHE_LINE,
+    CacheSpec,
+    DramSpec,
+    GiB,
+    KiB,
+    MachineSpec,
+    MiB,
+    ampere_altra_max,
+    small_test_machine,
+    x86_pebs_machine,
+)
+from repro.machine.statcache import AccessClass, StatCacheModel
+from repro.machine.tlb import Tlb
+
+__all__ = [
+    "CACHE_LINE",
+    "AccessClass",
+    "CacheSpec",
+    "DramModel",
+    "DramSpec",
+    "GiB",
+    "KiB",
+    "MachineSpec",
+    "Mapping",
+    "MemLevel",
+    "MemoryHierarchy",
+    "MiB",
+    "SetAssociativeCache",
+    "StatCacheModel",
+    "Tlb",
+    "VirtualAddressSpace",
+    "ampere_altra_max",
+    "small_test_machine",
+    "x86_pebs_machine",
+]

@@ -1,0 +1,246 @@
+"""Virtual address space of a simulated process.
+
+The workloads allocate named data objects (``a``, ``b``, ``c`` arrays in
+STREAM; ``normals`` etc. in CFD) from a per-process
+:class:`VirtualAddressSpace`.  The address space provides:
+
+* ``mmap``-style allocation at page granularity (64 KB pages on the
+  paper's testbed), returning stable virtual base addresses,
+* named-region lookup so NMO's ``nmo_tag_addr`` annotations and the
+  region-profiling analysis can map sampled virtual addresses back to
+  data objects,
+* resident-set-size (RSS) accounting: a page becomes resident the first
+  time it is touched, mirroring demand paging.  The capacity profiler
+  (paper Fig. 2) polls :attr:`rss_bytes` over time,
+* an optional memory cap that models the Docker/cgroup limit used for
+  the CloudSuite runs (32 cores x 8 GiB = 256 GiB).
+
+Touch accounting is vectorised: callers hand in NumPy arrays of sampled
+addresses and residency is updated from the unique page indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AddressSpaceError, OutOfMemoryError, SegmentationFault
+from repro.machine.spec import MachineSpec
+
+#: Base of the simulated heap; mirrors a typical aarch64 mmap base so the
+#: addresses in region plots look like real virtual addresses.
+DEFAULT_MMAP_BASE = 0x0000_FFFF_8000_0000
+
+
+@dataclass
+class Mapping:
+    """One virtual memory area (VMA).
+
+    ``resident`` is a per-page bitmap; a page is set on first touch.
+    ``name`` is the data-object label used by region profiling ("a",
+    "normals", "heap", ...).
+    """
+
+    name: str
+    start: int
+    length: int
+    page_size: int
+    resident: np.ndarray = field(repr=False, default=None)  # type: ignore[assignment]
+    freed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.resident is None:
+            n_pages = -(-self.length // self.page_size)
+            self.resident = np.zeros(n_pages, dtype=bool)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.start + self.length
+
+    @property
+    def n_pages(self) -> int:
+        return self.resident.shape[0]
+
+    @property
+    def resident_pages(self) -> int:
+        return int(self.resident.sum())
+
+    @property
+    def resident_bytes(self) -> int:
+        return self.resident_pages * self.page_size
+
+    def contains(self, addr: int) -> bool:
+        return self.start <= addr < self.end
+
+    def touch_all(self) -> None:
+        """Mark the whole mapping resident (eager population)."""
+        self.resident[:] = True
+
+
+class VirtualAddressSpace:
+    """Page-granular virtual address space with RSS accounting.
+
+    Parameters
+    ----------
+    spec:
+        Machine description (supplies the page size and DRAM capacity).
+    mem_limit:
+        Optional cap in bytes on *resident* memory; exceeding it raises
+        :class:`OutOfMemoryError`, modelling the container limit used for
+        the CloudSuite experiments.
+    base:
+        Virtual address where the first mapping is placed.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        mem_limit: int | None = None,
+        base: int = DEFAULT_MMAP_BASE,
+    ) -> None:
+        self.spec = spec
+        self.page_size = spec.page_size
+        self.page_shift = int(spec.page_size).bit_length() - 1
+        self.mem_limit = mem_limit
+        self._next_base = base
+        self._mappings: list[Mapping] = []
+        self._by_name: dict[str, Mapping] = {}
+        #: guard pages inserted between mappings so adjacent objects are
+        #: visually separable in address-scatter plots (paper Fig. 4).
+        self.guard_pages = 1
+
+    # -- allocation ---------------------------------------------------------
+
+    def mmap(self, nbytes: int, name: str | None = None) -> Mapping:
+        """Allocate ``nbytes`` rounded up to whole pages.
+
+        Returns the new :class:`Mapping`.  Named mappings can be looked up
+        with :meth:`region`; anonymous ones get a synthetic name.
+        """
+        if nbytes <= 0:
+            raise AddressSpaceError(f"mmap length must be positive, got {nbytes}")
+        n_pages = -(-nbytes // self.page_size)
+        length = n_pages * self.page_size
+        start = self._next_base
+        self._next_base = start + length + self.guard_pages * self.page_size
+        if name is None:
+            name = f"anon#{len(self._mappings)}"
+        if name in self._by_name and not self._by_name[name].freed:
+            raise AddressSpaceError(f"mapping name already in use: {name!r}")
+        m = Mapping(name=name, start=start, length=length, page_size=self.page_size)
+        self._mappings.append(m)
+        self._by_name[name] = m
+        return m
+
+    def munmap(self, mapping: Mapping) -> None:
+        """Release a mapping; its pages leave the resident set."""
+        if mapping.freed:
+            raise AddressSpaceError(f"double munmap of {mapping.name!r}")
+        mapping.freed = True
+        mapping.resident[:] = False
+
+    # -- lookup ---------------------------------------------------------------
+
+    def region(self, name: str) -> Mapping:
+        """Look up a live mapping by data-object name."""
+        try:
+            m = self._by_name[name]
+        except KeyError:
+            raise AddressSpaceError(f"no mapping named {name!r}") from None
+        if m.freed:
+            raise AddressSpaceError(f"mapping {name!r} has been freed")
+        return m
+
+    def mappings(self, include_freed: bool = False) -> list[Mapping]:
+        """All mappings in allocation order."""
+        if include_freed:
+            return list(self._mappings)
+        return [m for m in self._mappings if not m.freed]
+
+    def find(self, addr: int) -> Mapping | None:
+        """Mapping containing ``addr``, or ``None``."""
+        for m in self._mappings:
+            if not m.freed and m.contains(addr):
+                return m
+        return None
+
+    def classify(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorised region lookup.
+
+        Returns an int array: index into :meth:`mappings` for each address,
+        or -1 where the address is unmapped.  Used by the region-profiling
+        post-processing to tag sampled addresses.
+        """
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        out = np.full(addrs.shape, -1, dtype=np.int64)
+        for i, m in enumerate(self.mappings()):
+            mask = (addrs >= m.start) & (addrs < m.end)
+            out[mask] = i
+        return out
+
+    # -- residency / RSS -------------------------------------------------------
+
+    def touch(self, addrs: np.ndarray) -> int:
+        """Mark the pages containing ``addrs`` resident.
+
+        Returns the number of *newly* resident pages.  Raises
+        :class:`SegmentationFault` if any address is unmapped and
+        :class:`OutOfMemoryError` if the new RSS would exceed the cap.
+        """
+        addrs = np.atleast_1d(np.asarray(addrs, dtype=np.uint64))
+        if addrs.size == 0:
+            return 0
+        new_pages = 0
+        unmatched = np.ones(addrs.shape, dtype=bool)
+        for m in self.mappings():
+            mask = (addrs >= m.start) & (addrs < m.end)
+            if not mask.any():
+                continue
+            unmatched &= ~mask
+            page_idx = (addrs[mask] - m.start) >> np.uint64(self.page_shift)
+            page_idx = np.unique(page_idx).astype(np.int64)
+            fresh = ~m.resident[page_idx]
+            new_pages += int(fresh.sum())
+            m.resident[page_idx] = True
+        if unmatched.any():
+            bad = int(addrs[unmatched][0])
+            raise SegmentationFault(bad)
+        self._check_limit()
+        return new_pages
+
+    def populate(self, name: str) -> None:
+        """Eagerly fault in every page of a named mapping."""
+        self.region(name).touch_all()
+        self._check_limit()
+
+    def _check_limit(self) -> None:
+        if self.mem_limit is not None and self.rss_bytes > self.mem_limit:
+            raise OutOfMemoryError(
+                f"RSS {self.rss_bytes} exceeds limit {self.mem_limit}"
+            )
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes in live mappings (virtual size)."""
+        return sum(m.length for m in self.mappings())
+
+    @property
+    def rss_bytes(self) -> int:
+        """Resident set size in bytes (touched pages only)."""
+        return sum(m.resident_bytes for m in self.mappings())
+
+    @property
+    def rss_pages(self) -> int:
+        return sum(m.resident_pages for m in self.mappings())
+
+    def layout(self) -> list[tuple[str, int, int]]:
+        """``(name, start, end)`` rows for live mappings, address-sorted.
+
+        This is the data behind the tag bands in the paper's Fig. 4-6
+        scatter plots.
+        """
+        rows = [(m.name, m.start, m.end) for m in self.mappings()]
+        rows.sort(key=lambda r: r[1])
+        return rows

@@ -1,0 +1,146 @@
+"""Exact set-associative cache simulator.
+
+This is the trace-driven path of the machine model: every access walks a
+true LRU set-associative cache.  It is used by unit tests, the
+high-resolution tracing mode (paper Fig. 6), and any workload small enough
+to materialise its op stream.  The huge closed-form runs behind Fig. 7-11
+use the analytic :mod:`repro.machine.statcache` instead; the two models
+are cross-validated in ``tests/machine/test_statcache.py``.
+
+The simulator stores per-set tag arrays and LRU ages in NumPy arrays and
+processes accesses in a tight Python loop; batch helpers accept address
+vectors so callers never loop themselves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.spec import CacheSpec
+
+#: Sentinel tag for an invalid (empty) way.
+_INVALID = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+
+
+class SetAssociativeCache:
+    """A single level of true-LRU set-associative cache.
+
+    Parameters
+    ----------
+    spec:
+        Geometry (size / associativity / line size).
+    name:
+        Label used in stats dictionaries ("L1d", "L2", "SLC").
+    """
+
+    def __init__(self, spec: CacheSpec, name: str = "cache") -> None:
+        self.spec = spec
+        self.name = name
+        self.n_sets = spec.n_sets
+        self.ways = spec.associativity
+        self.line_shift = int(spec.line_size).bit_length() - 1
+        if (1 << self.line_shift) != spec.line_size:
+            raise MachineError("line size must be a power of two")
+        # tags[set, way]; age[set, way] smaller = more recently used
+        self._tags = np.full((self.n_sets, self.ways), _INVALID, dtype=np.uint64)
+        self._age = np.zeros((self.n_sets, self.ways), dtype=np.int64)
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- core operations -----------------------------------------------------
+
+    def _index_tag(self, addr: int) -> tuple[int, np.uint64]:
+        line = addr >> self.line_shift
+        return int(line % self.n_sets), np.uint64(line)
+
+    def access(self, addr: int) -> bool:
+        """Access one byte address; returns True on hit.
+
+        On miss the line is installed, evicting the LRU way.
+        """
+        s, tag = self._index_tag(int(addr))
+        self._tick += 1
+        row = self._tags[s]
+        hit_ways = np.nonzero(row == tag)[0]
+        if hit_ways.size:
+            self._age[s, hit_ways[0]] = self._tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        # choose victim: an invalid way if present, else LRU
+        invalid = np.nonzero(row == _INVALID)[0]
+        if invalid.size:
+            victim = invalid[0]
+        else:
+            victim = int(np.argmin(self._age[s]))
+            self.evictions += 1
+        self._tags[s, victim] = tag
+        self._age[s, victim] = self._tick
+        return False
+
+    def probe(self, addr: int) -> bool:
+        """Check residency without updating LRU state or stats."""
+        s, tag = self._index_tag(int(addr))
+        return bool((self._tags[s] == tag).any())
+
+    def access_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Access a vector of byte addresses; returns per-access hit mask."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        out = np.empty(addrs.shape, dtype=bool)
+        # local bindings for loop speed
+        access = self.access
+        for i, a in enumerate(addrs):
+            out[i] = access(int(a))
+        return out
+
+    def invalidate_all(self) -> None:
+        """Flush the cache (keeps statistics)."""
+        self._tags.fill(_INVALID)
+        self._age.fill(0)
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits / accesses; 0.0 before any access."""
+        n = self.accesses
+        return self.hits / n if n else 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently installed."""
+        return int((self._tags != _INVALID).sum())
+
+    def resident_lines(self) -> np.ndarray:
+        """Sorted array of the line numbers currently cached."""
+        valid = self._tags[self._tags != _INVALID]
+        return np.sort(valid.astype(np.uint64))
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "name": self.name,  # type: ignore[dict-item]
+            "accesses": float(self.accesses),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "hit_ratio": self.hit_ratio,
+            "occupancy": float(self.occupancy),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{self.name}: {self.spec.size}B {self.ways}-way "
+            f"{self.n_sets} sets, {self.occupancy} lines resident>"
+        )

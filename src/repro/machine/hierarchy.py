@@ -1,0 +1,140 @@
+"""Multi-level memory hierarchy: per-core L1d/L2 plus shared SLC and DRAM.
+
+The hierarchy answers the question SPE answers in hardware for each
+sampled operation: *which level serviced this access, and how long did it
+take?*  Levels follow the Neoverse / Ampere Altra organisation of the
+paper's Table II:
+
+``L1d (per core) -> L2 (per core) -> System Level Cache (shared) -> DRAM``
+
+:class:`MemLevel` values are ordered by distance from the core; SPE sample
+records carry this level (the "memory level" field of §II-A) and the
+pipeline model converts it to a latency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.spec import MachineSpec
+
+
+class MemLevel(enum.IntEnum):
+    """Data source of a memory access, ordered core-outwards."""
+
+    L1 = 1
+    L2 = 2
+    SLC = 3
+    DRAM = 4
+
+    @property
+    def pretty(self) -> str:
+        return {1: "L1", 2: "L2", 3: "SLC", 4: "DRAM"}[int(self)]
+
+
+class MemoryHierarchy:
+    """Trace-driven hierarchy shared by the cores of one simulated socket.
+
+    Parameters
+    ----------
+    spec:
+        Machine geometry (cache sizes, latencies).
+    n_cores:
+        Number of cores to instantiate private L1/L2 for; defaults to
+        ``spec.n_cores`` but tests typically use fewer.
+    """
+
+    def __init__(self, spec: MachineSpec, n_cores: int | None = None) -> None:
+        self.spec = spec
+        self.n_cores = n_cores if n_cores is not None else spec.n_cores
+        if self.n_cores <= 0 or self.n_cores > spec.n_cores:
+            raise MachineError(
+                f"n_cores must be in [1, {spec.n_cores}], got {self.n_cores}"
+            )
+        self.l1 = [
+            SetAssociativeCache(spec.l1d, f"L1d#{c}") for c in range(self.n_cores)
+        ]
+        self.l2 = [
+            SetAssociativeCache(spec.l2, f"L2#{c}") for c in range(self.n_cores)
+        ]
+        self.slc = SetAssociativeCache(spec.slc, "SLC")
+        self.dram_accesses = 0
+        self._latency = {
+            MemLevel.L1: spec.l1d.latency_cycles,
+            MemLevel.L2: spec.l2.latency_cycles,
+            MemLevel.SLC: spec.slc.latency_cycles,
+            MemLevel.DRAM: spec.dram.latency_cycles,
+        }
+
+    # -- access path -----------------------------------------------------------
+
+    def access(self, core: int, addr: int) -> MemLevel:
+        """Walk one address through core-private then shared levels."""
+        if not 0 <= core < self.n_cores:
+            raise MachineError(f"core {core} out of range [0, {self.n_cores})")
+        if self.l1[core].access(addr):
+            return MemLevel.L1
+        if self.l2[core].access(addr):
+            return MemLevel.L2
+        if self.slc.access(addr):
+            return MemLevel.SLC
+        self.dram_accesses += 1
+        return MemLevel.DRAM
+
+    def access_many(self, core: int, addrs: np.ndarray) -> np.ndarray:
+        """Vector entry point; returns a ``MemLevel``-valued uint8 array."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        out = np.empty(addrs.shape, dtype=np.uint8)
+        access = self.access
+        for i, a in enumerate(addrs):
+            out[i] = int(access(core, int(a)))
+        return out
+
+    def latency_cycles(self, level: MemLevel | int) -> int:
+        """Load-to-use latency for a hit at ``level``."""
+        return self._latency[MemLevel(level)]
+
+    def latencies_for(self, levels: np.ndarray) -> np.ndarray:
+        """Map a level array to per-access latencies (vectorised)."""
+        levels = np.asarray(levels, dtype=np.uint8)
+        lut = np.zeros(int(MemLevel.DRAM) + 1, dtype=np.int64)
+        for lv, lat in self._latency.items():
+            lut[int(lv)] = lat
+        return lut[levels]
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def flush(self) -> None:
+        """Invalidate every level (e.g. between workload phases in tests)."""
+        for c in self.l1:
+            c.invalidate_all()
+        for c in self.l2:
+            c.invalidate_all()
+        self.slc.invalidate_all()
+
+    def reset_stats(self) -> None:
+        for c in self.l1:
+            c.reset_stats()
+        for c in self.l2:
+            c.reset_stats()
+        self.slc.reset_stats()
+        self.dram_accesses = 0
+
+    def level_counts(self) -> dict[str, int]:
+        """Aggregate access counts by servicing level."""
+        l1_hits = sum(c.hits for c in self.l1)
+        l2_hits = sum(c.hits for c in self.l2)
+        return {
+            "L1": l1_hits,
+            "L2": l2_hits,
+            "SLC": self.slc.hits,
+            "DRAM": self.dram_accesses,
+        }
+
+    def dram_bytes(self) -> int:
+        """Bytes transferred from DRAM (one line per DRAM access)."""
+        return self.dram_accesses * self.spec.line_size

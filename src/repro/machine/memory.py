@@ -1,0 +1,61 @@
+"""DRAM bandwidth model.
+
+The bandwidth view in the paper (Fig. 3) divides bus-event counts by the
+interval length; the substrate therefore needs a notion of how many bytes
+the memory system can actually move per second, and how demand above the
+peak stretches execution.  :class:`DramModel` provides both:
+
+* :meth:`service_time` — time to move N bytes given concurrent demand,
+* :meth:`effective_bandwidth` — achieved bandwidth under a saturating
+  roofline with a tunable efficiency factor (STREAM-like kernels reach
+  ~85% of peak on Altra-class parts).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.spec import DramSpec
+
+
+class DramModel:
+    """Shared main-memory channel with a saturating-bandwidth roofline."""
+
+    def __init__(self, spec: DramSpec, efficiency: float = 0.85) -> None:
+        if not 0.0 < efficiency <= 1.0:
+            raise MachineError("efficiency must be in (0, 1]")
+        self.spec = spec
+        self.efficiency = efficiency
+        self.bytes_moved = 0
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Achievable bytes/second (peak x efficiency)."""
+        return self.spec.peak_bandwidth * self.efficiency
+
+    def effective_bandwidth(self, demand_bytes_per_s: float) -> float:
+        """Achieved bandwidth for a given demand (min(demand, usable))."""
+        if demand_bytes_per_s < 0:
+            raise MachineError("demand must be >= 0")
+        return min(demand_bytes_per_s, self.usable_bandwidth)
+
+    def service_time(self, nbytes: int | float) -> float:
+        """Seconds to transfer ``nbytes`` at usable bandwidth."""
+        if nbytes < 0:
+            raise MachineError("nbytes must be >= 0")
+        self.bytes_moved += int(nbytes)
+        return float(nbytes) / self.usable_bandwidth
+
+    def slowdown(self, demand_bytes_per_s: float) -> float:
+        """Execution-time stretch factor when demand exceeds the roofline.
+
+        1.0 while under the usable bandwidth; proportional beyond it.
+        """
+        if demand_bytes_per_s <= self.usable_bandwidth:
+            return 1.0
+        return demand_bytes_per_s / self.usable_bandwidth
+
+    def utilisation(self, achieved_bytes_per_s: float | np.ndarray) -> np.ndarray:
+        """Fraction of peak bandwidth used (vectorised)."""
+        return np.asarray(achieved_bytes_per_s, dtype=np.float64) / self.spec.peak_bandwidth

@@ -1,0 +1,215 @@
+"""Hardware specification of the simulated machine (paper Table II).
+
+The reproduction targets the paper's testbed, an Ampere Altra Max:
+
+========================  =======================================
+CPU                       ARM Ampere Altra Max 64-bit
+Cores                     128 Armv8.2+ cores
+Frequency                 3.0 GHz
+Memory capacity           256 GB DDR4
+Peak bandwidth            200 GB/s
+L1i / L1d                 64 KB per core
+L2                        1 MB per core
+System Level Cache (SLC)  16 MB shared
+Page size                 64 KB (the kernel configuration used in §IV)
+========================  =======================================
+
+:class:`MachineSpec` is a frozen value object; :func:`ampere_altra_max`
+returns the Table II preset.  All sizes are bytes, frequency in Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import MachineError
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Cache line size on Neoverse cores (bytes).
+CACHE_LINE = 64
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    size:
+        Total capacity in bytes.
+    associativity:
+        Number of ways per set.
+    line_size:
+        Line size in bytes (64 on Neoverse).
+    latency_cycles:
+        Load-to-use latency for a hit in this level, in core cycles.
+    shared:
+        Whether the cache is shared between all cores (SLC) or private.
+    """
+
+    size: int
+    associativity: int
+    line_size: int = CACHE_LINE
+    latency_cycles: int = 4
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.associativity <= 0 or self.line_size <= 0:
+            raise MachineError("cache size/associativity/line_size must be positive")
+        if self.size % (self.associativity * self.line_size) != 0:
+            raise MachineError(
+                f"cache size {self.size} not divisible into "
+                f"{self.associativity}-way sets of {self.line_size}B lines"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets (size / (ways * line))."""
+        return self.size // (self.associativity * self.line_size)
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines the cache can hold."""
+        return self.size // self.line_size
+
+
+@dataclass(frozen=True)
+class DramSpec:
+    """Main-memory capacity / bandwidth / latency model parameters."""
+
+    capacity: int
+    peak_bandwidth: float  # bytes/second
+    latency_cycles: int = 330  # loaded DRAM latency seen by the core
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.peak_bandwidth <= 0:
+            raise MachineError("DRAM capacity and bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full machine description used by every substrate layer.
+
+    The defaults replicate the paper's Table II.  ``page_size`` is the
+    64 KB translation granule used by the testbed kernel; the perf ring
+    buffer and SPE aux buffer are allocated in units of this page size,
+    which is why the paper's Fig. 9 x-axis ("# pages") means 64 KB steps.
+    """
+
+    name: str = "generic-arm"
+    n_cores: int = 128
+    frequency_hz: float = 3.0e9
+    page_size: int = 64 * KiB
+    l1d: CacheSpec = field(
+        default_factory=lambda: CacheSpec(64 * KiB, 4, latency_cycles=4)
+    )
+    l1i: CacheSpec = field(
+        default_factory=lambda: CacheSpec(64 * KiB, 4, latency_cycles=4)
+    )
+    l2: CacheSpec = field(
+        default_factory=lambda: CacheSpec(1 * MiB, 8, latency_cycles=13)
+    )
+    slc: CacheSpec = field(
+        default_factory=lambda: CacheSpec(16 * MiB, 16, latency_cycles=55, shared=True)
+    )
+    dram: DramSpec = field(
+        default_factory=lambda: DramSpec(256 * GiB, 200e9, latency_cycles=330)
+    )
+    #: Does this machine implement the Statistical Profiling Extension?
+    has_spe: bool = True
+    #: Architecture string reported to NMO's backend selection.
+    arch: str = "aarch64"
+
+    def __post_init__(self) -> None:
+        if self.n_cores <= 0:
+            raise MachineError("machine needs at least one core")
+        if self.frequency_hz <= 0:
+            raise MachineError("frequency must be positive")
+        if self.page_size <= 0 or self.page_size & (self.page_size - 1):
+            raise MachineError("page size must be a positive power of two")
+        line = self.l1d.line_size
+        for c in (self.l1i, self.l2, self.slc):
+            if c.line_size != line:
+                raise MachineError("all cache levels must share one line size")
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def line_size(self) -> int:
+        """Cache line size shared by all levels (bytes)."""
+        return self.l1d.line_size
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one core cycle in seconds."""
+        return 1.0 / self.frequency_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at the core frequency."""
+        return cycles / self.frequency_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        """Convert seconds to (fractional) core cycles."""
+        return seconds * self.frequency_hz
+
+    def pages(self, nbytes: int) -> int:
+        """Number of pages needed to back ``nbytes`` (round up)."""
+        return -(-nbytes // self.page_size)
+
+    def with_cores(self, n_cores: int) -> "MachineSpec":
+        """Return a copy of this spec with a different core count."""
+        return replace(self, n_cores=n_cores)
+
+    def describe(self) -> dict[str, str]:
+        """Human-readable spec rows mirroring Table II of the paper."""
+        return {
+            "CPU": self.name,
+            "Cores": f"{self.n_cores} ({self.arch})",
+            "Frequency": f"{self.frequency_hz / 1e9:.1f} GHz",
+            "Mem. capacity": f"{self.dram.capacity / GiB:.0f} GB",
+            "Peak bandwidth": f"{self.dram.peak_bandwidth / 1e9:.0f} GB/s",
+            "L1i": f"{self.l1i.size // KiB} KB per core",
+            "L1d": f"{self.l1d.size // KiB} KB per core",
+            "L2": f"{self.l2.size // MiB} MB per core",
+            "System Level Cache": f"{self.slc.size // MiB} MB",
+            "Page size": f"{self.page_size // KiB} KB",
+        }
+
+
+def ampere_altra_max() -> MachineSpec:
+    """The paper's testbed: Ampere Altra Max (Table II)."""
+    return MachineSpec(name="ARM Ampere Altra Max 64-Bit")
+
+
+def small_test_machine(n_cores: int = 4) -> MachineSpec:
+    """A deliberately tiny machine for fast unit tests.
+
+    Caches are shrunk so tests can exercise capacity evictions with a few
+    hundred accesses; geometry ratios mirror the Altra (L1 < L2 < SLC).
+    """
+    return MachineSpec(
+        name="test-arm",
+        n_cores=n_cores,
+        frequency_hz=1.0e9,
+        page_size=4 * KiB,
+        l1d=CacheSpec(1 * KiB, 2, latency_cycles=4),
+        l1i=CacheSpec(1 * KiB, 2, latency_cycles=4),
+        l2=CacheSpec(8 * KiB, 4, latency_cycles=13),
+        slc=CacheSpec(64 * KiB, 8, latency_cycles=55, shared=True),
+        dram=DramSpec(256 * MiB, 10e9, latency_cycles=200),
+    )
+
+
+def x86_pebs_machine(n_cores: int = 32) -> MachineSpec:
+    """An x86-flavoured machine (no SPE) for NMO's PEBS backend tests."""
+    return MachineSpec(
+        name="x86-test",
+        n_cores=n_cores,
+        frequency_hz=2.5e9,
+        page_size=4 * KiB,
+        has_spe=False,
+        arch="x86_64",
+    )

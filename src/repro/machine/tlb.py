@@ -1,0 +1,77 @@
+"""A small fully-associative TLB model.
+
+SPE sample records include translation information; NMO does not surface
+TLB metrics in the paper's evaluation, but the substrate models one so
+that (a) the per-op pipeline latency includes realistic walk penalties for
+sparse access patterns and (b) the extension hooks ("tracing cache
+activities", §IX future work) have somewhere to attach.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+
+
+class Tlb:
+    """Fully-associative LRU TLB over fixed-size pages.
+
+    Parameters
+    ----------
+    entries:
+        Number of page translations held (Neoverse V1 L1 dTLB ~48).
+    page_size:
+        Translation granule in bytes.
+    walk_cycles:
+        Penalty charged on a miss (page-table walk).
+    """
+
+    def __init__(self, entries: int = 48, page_size: int = 65536,
+                 walk_cycles: int = 25) -> None:
+        if entries <= 0:
+            raise MachineError("TLB needs at least one entry")
+        if page_size <= 0 or page_size & (page_size - 1):
+            raise MachineError("page size must be a positive power of two")
+        self.entries = entries
+        self.page_shift = int(page_size).bit_length() - 1
+        self.walk_cycles = walk_cycles
+        self._pages: dict[int, int] = {}  # page -> last-use tick
+        self._tick = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Translate one address; returns True on TLB hit."""
+        page = int(addr) >> self.page_shift
+        self._tick += 1
+        if page in self._pages:
+            self._pages[page] = self._tick
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._pages) >= self.entries:
+            lru = min(self._pages, key=self._pages.__getitem__)
+            del self._pages[lru]
+        self._pages[page] = self._tick
+        return False
+
+    def access_many(self, addrs: np.ndarray) -> np.ndarray:
+        """Vector entry point; per-access hit mask."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        out = np.empty(addrs.shape, dtype=bool)
+        for i, a in enumerate(addrs):
+            out[i] = self.access(int(a))
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pages)
+
+    @property
+    def hit_ratio(self) -> float:
+        n = self.hits + self.misses
+        return self.hits / n if n else 0.0
+
+    def flush(self) -> None:
+        self._pages.clear()

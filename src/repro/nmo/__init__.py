@@ -1,0 +1,82 @@
+"""NMO: the paper's multi-level memory-centric profiler."""
+
+from repro.nmo.annotations import AddressTag, AnnotationRegistry, RegionSpan
+from repro.nmo.backends import (
+    ArmSpeBackend,
+    CoreSession,
+    X86PebsBackend,
+    select_backend,
+)
+from repro.nmo.cache_activity import (
+    CacheMixSeries,
+    LatencyProfile,
+    cache_mix_over_time,
+    dram_pressure_windows,
+    level_breakdown_by_object,
+    miss_latency_profile,
+)
+from repro.nmo.bandwidth import (
+    BandwidthSummary,
+    RooflinePoint,
+    arithmetic_intensity,
+    dominant_period_s,
+    roofline,
+    summarise_bandwidth,
+)
+from repro.nmo.capacity import (
+    CapacitySummary,
+    overprovisioned_bytes,
+    summarise_capacity,
+)
+from repro.nmo.env import TABLE_I_DEFAULTS, NmoMode, NmoSettings
+from repro.nmo.profiler import (
+    BaselineResult,
+    NmoProfiler,
+    ProfileResult,
+    ThreadStats,
+    sampling_accuracy,
+)
+from repro.nmo.regions import RegionProfile, RegionStats, split_score
+from repro.nmo.timescale import TimescaleConverter
+from repro.nmo.tracefile import TraceData, read_trace, samples_digest, write_trace
+
+__all__ = [
+    "AddressTag",
+    "AnnotationRegistry",
+    "ArmSpeBackend",
+    "CacheMixSeries",
+    "LatencyProfile",
+    "cache_mix_over_time",
+    "dram_pressure_windows",
+    "level_breakdown_by_object",
+    "miss_latency_profile",
+    "BandwidthSummary",
+    "BaselineResult",
+    "CapacitySummary",
+    "CoreSession",
+    "NmoMode",
+    "NmoProfiler",
+    "NmoSettings",
+    "ProfileResult",
+    "RegionProfile",
+    "RegionSpan",
+    "RegionStats",
+    "RooflinePoint",
+    "TABLE_I_DEFAULTS",
+    "ThreadStats",
+    "TimescaleConverter",
+    "TraceData",
+    "X86PebsBackend",
+    "arithmetic_intensity",
+    "dominant_period_s",
+    "overprovisioned_bytes",
+    "read_trace",
+    "roofline",
+    "sampling_accuracy",
+    "samples_digest",
+    "select_backend",
+    "split_score",
+    "summarise_bandwidth",
+    "summarise_capacity",
+    "write_trace",
+]

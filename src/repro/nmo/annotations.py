@@ -1,0 +1,105 @@
+"""NMO's architecture-agnostic annotation interface (paper §III-B).
+
+Applications opt into finer-grained profiling with two kinds of
+annotations, exposed in C as::
+
+    nmo_tag_addr("data_a", addr0_start, addr0_end);
+    nmo_start("kernel0");
+    ...
+    nmo_stop();
+
+``nmo_tag_addr`` names an address range (a data object) so the region
+profile can attribute samples; ``nmo_start``/``nmo_stop`` bracket an
+execution region so the temporal views can shade it (the "triad" band of
+Fig. 4, the "computation loop" of Figs. 5-6).  This module is the Python
+equivalent the simulated applications call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AnnotationError
+
+
+@dataclass(frozen=True)
+class AddressTag:
+    """A named address range from ``nmo_tag_addr``."""
+
+    name: str
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise AnnotationError(
+                f"tag {self.name!r}: end 0x{self.end:x} <= start 0x{self.start:x}"
+            )
+
+    def contains(self, addrs: np.ndarray) -> np.ndarray:
+        a = np.asarray(addrs, dtype=np.uint64)
+        return (a >= self.start) & (a < self.end)
+
+
+@dataclass(frozen=True)
+class RegionSpan:
+    """A closed ``nmo_start``/``nmo_stop`` execution region."""
+
+    tag: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise AnnotationError(f"region {self.tag!r} ends before it starts")
+
+
+@dataclass
+class AnnotationRegistry:
+    """Collects the annotations of one profiled run."""
+
+    address_tags: list[AddressTag] = field(default_factory=list)
+    spans: list[RegionSpan] = field(default_factory=list)
+    _open: list[tuple[str, float]] = field(default_factory=list)
+
+    # -- the C-style API -----------------------------------------------------------
+
+    def nmo_tag_addr(self, name: str, start: int, end: int) -> None:
+        """Register a named address range (may be called any time)."""
+        if any(t.name == name for t in self.address_tags):
+            raise AnnotationError(f"address tag {name!r} already registered")
+        self.address_tags.append(AddressTag(name, start, end))
+
+    def nmo_start(self, tag: str, now_s: float) -> None:
+        """Open an execution region at virtual time ``now_s``."""
+        self._open.append((tag, now_s))
+
+    def nmo_stop(self, now_s: float) -> None:
+        """Close the innermost open region."""
+        if not self._open:
+            raise AnnotationError("nmo_stop() without a matching nmo_start()")
+        tag, t0 = self._open.pop()
+        self.spans.append(RegionSpan(tag, t0, now_s))
+
+    # -- queries --------------------------------------------------------------------
+
+    @property
+    def has_open_regions(self) -> bool:
+        return bool(self._open)
+
+    def spans_for(self, tag: str) -> list[RegionSpan]:
+        return [s for s in self.spans if s.tag == tag]
+
+    def tag_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Index of the first matching address tag per sample (-1 = none)."""
+        a = np.asarray(addrs, dtype=np.uint64)
+        out = np.full(a.shape, -1, dtype=np.int64)
+        for i, t in enumerate(self.address_tags):
+            hit = (out == -1) & t.contains(a)
+            out[hit] = i
+        return out
+
+    def tag_names(self) -> list[str]:
+        return [t.name for t in self.address_tags]

@@ -1,0 +1,121 @@
+"""Temporal bandwidth profiling and arithmetic intensity — §VI-B, Fig. 3.
+
+NMO estimates memory bandwidth by counting bus load/store events each
+interval and dividing by the interval length.  Augmenting the bus events
+with floating-point events yields arithmetic intensity — the x-axis of
+the Roofline model — so phases can be classified compute- versus
+memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NmoError
+from repro.machine.spec import GiB, MachineSpec
+from repro.workloads.base import Phase, Workload
+
+
+@dataclass(frozen=True)
+class BandwidthSummary:
+    """Headline bandwidth metrics of one run."""
+
+    peak_bytes_per_s: float
+    mean_bytes_per_s: float
+    time_of_peak_s: float
+    peak_utilisation: float   #: of the machine's peak bandwidth
+
+    @property
+    def peak_gibs(self) -> float:
+        return self.peak_bytes_per_s / GiB
+
+    @property
+    def mean_gibs(self) -> float:
+        return self.mean_bytes_per_s / GiB
+
+
+def summarise_bandwidth(
+    series: tuple[np.ndarray, np.ndarray], machine: MachineSpec
+) -> BandwidthSummary:
+    t, v = np.asarray(series[0]), np.asarray(series[1])
+    if t.shape != v.shape or t.ndim != 1 or t.size == 0:
+        raise NmoError("bandwidth series must be two equal non-empty 1-D arrays")
+    i = int(np.argmax(v))
+    return BandwidthSummary(
+        peak_bytes_per_s=float(v[i]),
+        mean_bytes_per_s=float(v.mean()),
+        time_of_peak_s=float(t[i]),
+        peak_utilisation=float(v[i] / machine.dram.peak_bandwidth),
+    )
+
+
+def dominant_period_s(series: tuple[np.ndarray, np.ndarray]) -> float:
+    """Dominant periodicity of a bandwidth series (FFT peak).
+
+    The paper reads a ~15 s period off In-memory Analytics' bandwidth
+    plot; this computes it instead of eyeballing.
+    """
+    t, v = np.asarray(series[0], dtype=float), np.asarray(series[1], dtype=float)
+    if t.size < 8:
+        raise NmoError("series too short for period estimation")
+    dt = float(np.median(np.diff(t)))
+    x = v - v.mean()
+    spec = np.abs(np.fft.rfft(x))
+    freqs = np.fft.rfftfreq(x.size, d=dt)
+    # ignore the DC bin
+    k = 1 + int(np.argmax(spec[1:]))
+    if freqs[k] <= 0:
+        raise NmoError("no dominant period found")
+    return float(1.0 / freqs[k])
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One phase in Roofline coordinates."""
+
+    phase: str
+    arithmetic_intensity: float   #: flops / DRAM byte
+    flops_per_s: float
+    bandwidth_bytes_per_s: float
+    memory_bound: bool
+
+
+def arithmetic_intensity(workload: Workload, phase: Phase) -> float:
+    """FLOPs per DRAM byte for one phase (inf for zero-traffic phases)."""
+    flops = phase.n_mem_ops * phase.flops_per_group * workload.phase_threads(phase)
+    nbytes = workload.phase_dram_bytes(phase)
+    if nbytes <= 0:
+        return float("inf")
+    return flops / nbytes
+
+
+def roofline(workload: Workload, peak_flops: float | None = None) -> list[RooflinePoint]:
+    """Classify every phase against the machine's roofline.
+
+    ``peak_flops`` defaults to 4 FLOPs/cycle/core (128-bit SIMD FMA),
+    matching a Neoverse-class core.
+    """
+    m = workload.machine
+    if peak_flops is None:
+        peak_flops = 4.0 * m.frequency_hz * workload.n_threads
+    if peak_flops <= 0:
+        raise NmoError("peak_flops must be positive")
+    ridge = peak_flops / m.dram.peak_bandwidth
+    out = []
+    for phase in workload.phases:
+        ai = arithmetic_intensity(workload, phase)
+        dur = phase.duration_cycles() / m.frequency_hz
+        flops = phase.n_mem_ops * phase.flops_per_group * workload.phase_threads(phase)
+        bw = workload.phase_bandwidth(phase)
+        out.append(
+            RooflinePoint(
+                phase=phase.name,
+                arithmetic_intensity=ai,
+                flops_per_s=flops / dur if dur > 0 else 0.0,
+                bandwidth_bytes_per_s=bw,
+                memory_bound=ai < ridge,
+            )
+        )
+    return out

@@ -1,0 +1,142 @@
+"""Cache-activity tracing — the paper's §IX future work.
+
+"Furthermore, we will ... provide more advanced metrics, such as tracing
+cache activities."  SPE sample records already carry the memory level
+that serviced each sampled access; this module turns them into the
+advanced views the authors sketch:
+
+* a **temporal cache mix**: per-interval share of samples serviced by
+  L1 / L2 / SLC / DRAM,
+* **per-object level breakdowns**: which data structures miss where,
+* a **miss-latency profile**: observed latency distribution per level
+  (the raw material for cycles-per-miss attribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NmoError
+from repro.machine.hierarchy import MemLevel
+from repro.nmo.profiler import ProfileResult
+
+LEVELS = (MemLevel.L1, MemLevel.L2, MemLevel.SLC, MemLevel.DRAM)
+
+
+@dataclass(frozen=True)
+class CacheMixSeries:
+    """Per-interval servicing-level shares (each row sums to ~1)."""
+
+    times: np.ndarray                 #: interval start times (s)
+    shares: dict[MemLevel, np.ndarray]
+    counts: np.ndarray                #: samples per interval
+
+    def dominant_level(self) -> list[MemLevel]:
+        """Per interval, the level servicing the most samples."""
+        stacked = np.vstack([self.shares[lv] for lv in LEVELS])
+        idx = np.argmax(stacked, axis=0)
+        return [LEVELS[i] for i in idx]
+
+
+def cache_mix_over_time(
+    result: ProfileResult, n_bins: int = 40
+) -> CacheMixSeries:
+    """Bin the sampled accesses and compute per-level shares per bin."""
+    if n_bins <= 0:
+        raise NmoError("n_bins must be positive")
+    t = result.sample_times_s
+    if t.size == 0:
+        raise NmoError("no samples to analyse")
+    t_end = float(t.max()) + 1e-12
+    edges = np.linspace(0.0, t_end, n_bins + 1)
+    bins = np.clip(np.searchsorted(edges, t, side="right") - 1, 0, n_bins - 1)
+    counts = np.bincount(bins, minlength=n_bins).astype(np.float64)
+    shares: dict[MemLevel, np.ndarray] = {}
+    for lv in LEVELS:
+        lv_counts = np.bincount(
+            bins[result.batch.level == int(lv)], minlength=n_bins
+        )
+        with np.errstate(invalid="ignore", divide="ignore"):
+            shares[lv] = np.where(counts > 0, lv_counts / counts, 0.0)
+    return CacheMixSeries(times=edges[:-1], shares=shares, counts=counts)
+
+
+def level_breakdown_by_object(
+    result: ProfileResult,
+) -> dict[str, dict[str, float]]:
+    """Per tagged data object, the share of samples per memory level.
+
+    The region-level extension of the paper's workflow: "which memory
+    objects are the most accessed" becomes "which objects miss where".
+    """
+    out: dict[str, dict[str, float]] = {}
+    for tag in result.annotations.address_tags:
+        mask = tag.contains(result.batch.addr)
+        n = int(mask.sum())
+        if n == 0:
+            out[tag.name] = {lv.pretty: 0.0 for lv in LEVELS}
+            continue
+        lv_col = result.batch.level[mask]
+        out[tag.name] = {
+            lv.pretty: float((lv_col == int(lv)).sum() / n) for lv in LEVELS
+        }
+    return out
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Observed sampled-latency statistics for one memory level."""
+
+    level: MemLevel
+    n_samples: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+
+def miss_latency_profile(result: ProfileResult) -> list[LatencyProfile]:
+    """Latency distribution per servicing level (cycles, from SPE's
+    total-latency counter packets)."""
+    out = []
+    for lv in LEVELS:
+        lat = result.batch.total_lat[result.batch.level == int(lv)]
+        if lat.size == 0:
+            continue
+        latf = lat.astype(np.float64)
+        out.append(
+            LatencyProfile(
+                level=lv,
+                n_samples=int(lat.size),
+                mean=float(latf.mean()),
+                p50=float(np.percentile(latf, 50)),
+                p95=float(np.percentile(latf, 95)),
+                maximum=float(latf.max()),
+            )
+        )
+    return out
+
+
+def dram_pressure_windows(
+    result: ProfileResult, n_bins: int = 40, threshold: float = 0.2
+) -> list[tuple[float, float]]:
+    """Time windows where the DRAM share of samples exceeds ``threshold``
+    — candidate phases for data placement or HBM tiering."""
+    if not 0.0 < threshold < 1.0:
+        raise NmoError("threshold must be in (0, 1)")
+    mix = cache_mix_over_time(result, n_bins=n_bins)
+    dram = mix.shares[MemLevel.DRAM]
+    dt = mix.times[1] - mix.times[0] if mix.times.size > 1 else 0.0
+    windows: list[tuple[float, float]] = []
+    start = None
+    for t, share in zip(mix.times, dram):
+        if share >= threshold and start is None:
+            start = float(t)
+        elif share < threshold and start is not None:
+            windows.append((start, float(t)))
+            start = None
+    if start is not None:
+        windows.append((start, float(mix.times[-1]) + dt))
+    return windows

@@ -1,0 +1,162 @@
+"""NMO environment-variable configuration (paper Table I).
+
+NMO profiles transparently by being preloaded into the target process;
+its behaviour is therefore configured entirely through environment
+variables:
+
+================  ==========================================  =========
+``NMO_ENABLE``    Enable profile collection                    off
+``NMO_NAME``      Base name of output files                    ``nmo``
+``NMO_MODE``      Profile collection mode                      none
+``NMO_PERIOD``    Sampling period                              0
+``NMO_TRACK_RSS`` Capture working set size                     off
+``NMO_BUFSIZE``   Ring buffer size [MiB]                       1
+``NMO_AUXBUFSIZE`` Aux buffer size [MiB]                       1
+================  ==========================================  =========
+
+:class:`NmoSettings` parses a process environment into typed settings and
+back; defaults exactly reproduce Table I.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import NmoError
+from repro.machine.spec import MiB
+
+
+class NmoMode(enum.Enum):
+    """Profile collection modes."""
+
+    NONE = "none"
+    #: precise memory-access sampling via SPE/PEBS (region profiling)
+    SAMPLING = "sampling"
+    #: bus-event bandwidth profiling
+    BANDWIDTH = "bandwidth"
+    #: everything at once
+    FULL = "full"
+
+
+TRUTHY = {"1", "on", "yes", "true"}
+FALSY = {"0", "off", "no", "false", ""}
+
+
+def _parse_bool(value: str, var: str) -> bool:
+    v = value.strip().lower()
+    if v in TRUTHY:
+        return True
+    if v in FALSY:
+        return False
+    raise NmoError(f"{var}: cannot parse boolean from {value!r}")
+
+
+def _parse_positive_int(value: str, var: str, allow_zero: bool = False) -> int:
+    try:
+        n = int(value.strip())
+    except ValueError:
+        raise NmoError(f"{var}: cannot parse integer from {value!r}") from None
+    if n < 0 or (n == 0 and not allow_zero):
+        raise NmoError(f"{var}: must be {'>= 0' if allow_zero else '> 0'}, got {n}")
+    return n
+
+
+@dataclass(frozen=True)
+class NmoSettings:
+    """Typed view of the Table I environment variables."""
+
+    enable: bool = False
+    name: str = "nmo"
+    mode: NmoMode = NmoMode.NONE
+    period: int = 0
+    track_rss: bool = False
+    bufsize_mib: int = 1
+    auxbufsize_mib: int = 1
+
+    def __post_init__(self) -> None:
+        if self.period < 0:
+            raise NmoError("sampling period must be >= 0")
+        if self.bufsize_mib <= 0 or self.auxbufsize_mib <= 0:
+            raise NmoError("buffer sizes must be positive MiB counts")
+        if self.enable and self.mode in (NmoMode.SAMPLING, NmoMode.FULL):
+            if self.period <= 0:
+                raise NmoError(
+                    "NMO_PERIOD must be set for sampling modes (Table I default "
+                    "0 means 'unset')"
+                )
+
+    # -- env round-trip ---------------------------------------------------------
+
+    @staticmethod
+    def from_env(env: dict[str, str]) -> "NmoSettings":
+        """Parse a process environment, applying Table I defaults."""
+        mode_s = env.get("NMO_MODE", "none").strip().lower()
+        try:
+            mode = NmoMode(mode_s)
+        except ValueError:
+            valid = ", ".join(m.value for m in NmoMode)
+            raise NmoError(f"NMO_MODE: unknown mode {mode_s!r} (valid: {valid})")
+        return NmoSettings(
+            enable=_parse_bool(env.get("NMO_ENABLE", "off"), "NMO_ENABLE"),
+            name=env.get("NMO_NAME", "nmo"),
+            mode=mode,
+            period=_parse_positive_int(
+                env.get("NMO_PERIOD", "0"), "NMO_PERIOD", allow_zero=True
+            ),
+            track_rss=_parse_bool(env.get("NMO_TRACK_RSS", "off"), "NMO_TRACK_RSS"),
+            bufsize_mib=_parse_positive_int(env.get("NMO_BUFSIZE", "1"), "NMO_BUFSIZE"),
+            auxbufsize_mib=_parse_positive_int(
+                env.get("NMO_AUXBUFSIZE", "1"), "NMO_AUXBUFSIZE"
+            ),
+        )
+
+    def to_env(self) -> dict[str, str]:
+        """Serialise back to environment variables."""
+        return {
+            "NMO_ENABLE": "on" if self.enable else "off",
+            "NMO_NAME": self.name,
+            "NMO_MODE": self.mode.value,
+            "NMO_PERIOD": str(self.period),
+            "NMO_TRACK_RSS": "on" if self.track_rss else "off",
+            "NMO_BUFSIZE": str(self.bufsize_mib),
+            "NMO_AUXBUFSIZE": str(self.auxbufsize_mib),
+        }
+
+    # -- derived buffer geometry -----------------------------------------------------
+
+    def ring_pages(self, page_size: int) -> int:
+        """Ring-buffer *data* pages implied by ``NMO_BUFSIZE``.
+
+        NMO mmaps (N+1) pages: the kernel requires N to be a power of
+        two; Table I sizes are MiB so this always holds for 64 KiB pages.
+        """
+        pages = max(1, (self.bufsize_mib * MiB) // page_size)
+        if pages & (pages - 1):
+            raise NmoError(
+                f"NMO_BUFSIZE={self.bufsize_mib} MiB is not a power-of-two "
+                f"page count at page size {page_size}"
+            )
+        return pages
+
+    def aux_pages(self, page_size: int) -> int:
+        """Aux-buffer pages implied by ``NMO_AUXBUFSIZE``."""
+        pages = max(1, (self.auxbufsize_mib * MiB) // page_size)
+        if pages & (pages - 1):
+            raise NmoError(
+                f"NMO_AUXBUFSIZE={self.auxbufsize_mib} MiB is not a "
+                f"power-of-two page count at page size {page_size}"
+            )
+        return pages
+
+
+#: The Table I defaults, for tests and documentation.
+TABLE_I_DEFAULTS = {
+    "NMO_ENABLE": "off",
+    "NMO_NAME": "nmo",
+    "NMO_MODE": "none",
+    "NMO_PERIOD": "0",
+    "NMO_TRACK_RSS": "off",
+    "NMO_BUFSIZE": "1",
+    "NMO_AUXBUFSIZE": "1",
+}

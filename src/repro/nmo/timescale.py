@@ -1,0 +1,56 @@
+"""Timescale conversion between SPE timestamps and perf time (§IV-A).
+
+"The timestamp timer from ARM SPE uses a different timescale than perf,
+so to maintain API compatibility between different architectures ...
+NMO also performs a timescale conversion using the ``time_zero``,
+``time_shift`` and ``time_mult`` fields from the ring buffer metadata
+page."
+
+The conversion is the kernel's documented algorithm::
+
+    perf_ns = time_zero + (counter * time_mult) >> time_shift
+
+:class:`TimescaleConverter` wraps the metadata page fields and converts
+tick arrays to perf nanoseconds and seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cpu.clock import ticks_to_ns
+from repro.errors import NmoError
+from repro.kernel.ring_buffer import MmapMetadataPage
+
+
+class TimescaleConverter:
+    """SPE generic-timer ticks -> perf nanoseconds, via mmap metadata."""
+
+    def __init__(self, meta: MmapMetadataPage) -> None:
+        if not meta.cap_user_time_zero:
+            raise NmoError(
+                "ring metadata does not advertise user-readable time_zero"
+            )
+        if meta.time_mult <= 0 or meta.time_shift < 0:
+            raise NmoError(
+                f"bad timescale parameters mult={meta.time_mult} "
+                f"shift={meta.time_shift}"
+            )
+        self.time_zero = meta.time_zero
+        self.time_mult = meta.time_mult
+        self.time_shift = meta.time_shift
+
+    def to_perf_ns(self, ticks: np.ndarray | int) -> np.ndarray | int:
+        """Apply ``zero + (ticks * mult) >> shift`` (exact integer math)."""
+        return ticks_to_ns(ticks, self.time_mult, self.time_shift, self.time_zero)
+
+    def to_seconds(self, ticks: np.ndarray | int) -> np.ndarray | float:
+        ns = self.to_perf_ns(ticks)
+        if np.isscalar(ns):
+            return float(ns) * 1e-9
+        return np.asarray(ns, dtype=np.float64) * 1e-9
+
+    def ticks_per_second(self) -> float:
+        """Inverse resolution implied by (mult, shift)."""
+        ns_per_tick = self.time_mult / (1 << self.time_shift)
+        return 1e9 / ns_per_tick

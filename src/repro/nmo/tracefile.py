@@ -1,0 +1,131 @@
+"""NMO output files.
+
+A profiled run produces a set of files sharing the ``NMO_NAME`` base
+name (Table I):
+
+* ``<name>.samples.npz`` — the decoded sample columns (address,
+  timestamp in perf seconds, memory level, op kind, latency, core),
+* ``<name>.rss.csv`` — the temporal capacity series,
+* ``<name>.bw.csv`` — the temporal bandwidth series,
+* ``<name>.meta.json`` — run configuration, aggregate statistics, and an
+  **MD5 digest** of the sample payload (NMO uses OpenSSL MD5 for its
+  trace hashes; we use :mod:`hashlib`, which is the same digest).
+
+:func:`write_trace` / :func:`read_trace` round-trip everything; the
+analysis layer consumes these files rather than in-memory objects, like
+NMO's post-processing scripts do.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import NmoError
+
+SAMPLE_COLUMNS = ("addr", "t_s", "level", "kind", "total_lat", "core")
+
+
+@dataclass
+class TraceData:
+    """Everything a profiled run writes to disk."""
+
+    name: str
+    samples: dict[str, np.ndarray]
+    meta: dict = field(default_factory=dict)
+    rss: tuple[np.ndarray, np.ndarray] | None = None
+    bandwidth: tuple[np.ndarray, np.ndarray] | None = None
+
+    def __post_init__(self) -> None:
+        missing = set(SAMPLE_COLUMNS) - set(self.samples)
+        if missing:
+            raise NmoError(f"sample columns missing: {sorted(missing)}")
+        n = {len(v) for v in self.samples.values()}
+        if len(n) > 1:
+            raise NmoError(f"sample columns have differing lengths: {n}")
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.samples["addr"])
+
+
+def samples_digest(samples: dict[str, np.ndarray]) -> str:
+    """MD5 of the sample payload (deterministic column order)."""
+    h = hashlib.md5()
+    for col in SAMPLE_COLUMNS:
+        h.update(col.encode())
+        h.update(np.ascontiguousarray(samples[col]).tobytes())
+    return h.hexdigest()
+
+
+def write_trace(trace: TraceData, directory: str | Path) -> dict[str, Path]:
+    """Write all trace files; returns the paths written."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+
+    sp = d / f"{trace.name}.samples.npz"
+    buf = io.BytesIO()
+    np.savez_compressed(buf, **trace.samples)
+    sp.write_bytes(buf.getvalue())
+    paths["samples"] = sp
+
+    meta = dict(trace.meta)
+    meta["md5"] = samples_digest(trace.samples)
+    meta["n_samples"] = trace.n_samples
+    mp = d / f"{trace.name}.meta.json"
+    mp.write_text(json.dumps(meta, indent=2, sort_keys=True, default=str))
+    paths["meta"] = mp
+
+    for kind, series in (("rss", trace.rss), ("bw", trace.bandwidth)):
+        if series is None:
+            continue
+        t, v = series
+        if len(t) != len(v):
+            raise NmoError(f"{kind} series has mismatched lengths")
+        p = d / f"{trace.name}.{kind}.csv"
+        with p.open("w") as f:
+            f.write("time_s,value\n")
+            for ti, vi in zip(np.asarray(t), np.asarray(v)):
+                f.write(f"{float(ti):.6f},{float(vi):.6f}\n")
+        paths[kind] = p
+    return paths
+
+
+def read_trace(name: str, directory: str | Path) -> TraceData:
+    """Load a trace written by :func:`write_trace`, verifying the MD5."""
+    d = Path(directory)
+    sp = d / f"{name}.samples.npz"
+    mp = d / f"{name}.meta.json"
+    if not sp.exists() or not mp.exists():
+        raise NmoError(f"trace {name!r} not found in {d}")
+    with np.load(sp) as z:
+        samples = {k: z[k] for k in z.files}
+    meta = json.loads(mp.read_text())
+    digest = samples_digest(samples)
+    if meta.get("md5") != digest:
+        raise NmoError(
+            f"trace {name!r} failed MD5 verification "
+            f"({meta.get('md5')} != {digest})"
+        )
+
+    def _read_csv(path: Path):
+        if not path.exists():
+            return None
+        rows = np.loadtxt(path, delimiter=",", skiprows=1, ndmin=2)
+        if rows.size == 0:
+            return np.zeros(0), np.zeros(0)
+        return rows[:, 0], rows[:, 1]
+
+    return TraceData(
+        name=name,
+        samples=samples,
+        meta=meta,
+        rss=_read_csv(d / f"{name}.rss.csv"),
+        bandwidth=_read_csv(d / f"{name}.bw.csv"),
+    )

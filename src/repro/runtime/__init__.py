@@ -1,0 +1,15 @@
+"""Process/thread runtime: the simulated application container."""
+
+from repro.runtime.openmp import chunk_of, interleaved_chunks, static_chunks
+from repro.runtime.process import ContainerSpec, SimProcess
+from repro.runtime.thread import SimThread, ThreadTeam
+
+__all__ = [
+    "ContainerSpec",
+    "SimProcess",
+    "SimThread",
+    "ThreadTeam",
+    "chunk_of",
+    "interleaved_chunks",
+    "static_chunks",
+]

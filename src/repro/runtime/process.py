@@ -1,0 +1,98 @@
+"""Simulated processes: address space + threads + perf + environment.
+
+A :class:`SimProcess` stands in for the profiled application process:
+it owns a :class:`~repro.machine.address_space.VirtualAddressSpace`
+(with an optional cgroup-style memory cap, as in the paper's Docker
+runs), a thread team, the per-process perf syscall surface, and the
+environment block NMO's preload-style configuration reads (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+from repro.kernel.perf_event import PerfSubsystem
+from repro.machine.address_space import VirtualAddressSpace
+from repro.machine.spec import MachineSpec
+from repro.runtime.thread import ThreadTeam
+
+
+@dataclass
+class SimProcess:
+    """One profiled application process on the simulated machine."""
+
+    machine: MachineSpec
+    n_threads: int = 1
+    mem_limit: int | None = None
+    pid: int = 1000
+    env: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise MachineError("process needs at least one thread")
+        if self.n_threads > self.machine.n_cores:
+            raise MachineError(
+                f"{self.n_threads} threads exceed {self.machine.n_cores} cores"
+            )
+        self.address_space = VirtualAddressSpace(
+            self.machine, mem_limit=self.mem_limit
+        )
+        self.team = ThreadTeam(self.n_threads)
+        self.perf = PerfSubsystem(self.machine)
+
+    # -- time ----------------------------------------------------------------------
+
+    @property
+    def wall_cycles(self) -> float:
+        """Process wall-clock in core cycles (slowest thread)."""
+        return self.team.max_cycles
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.wall_cycles / self.machine.frequency_hz
+
+    # -- memory -------------------------------------------------------------------
+
+    @property
+    def rss_bytes(self) -> int:
+        return self.address_space.rss_bytes
+
+    def getenv(self, key: str, default: str | None = None) -> str | None:
+        return self.env.get(key, default)
+
+
+@dataclass
+class ContainerSpec:
+    """Docker/cgroup resource limits for CloudSuite-style runs.
+
+    The paper runs CloudSuite in containers with "32 cores and 8 GiB
+    memory per core"; :meth:`make_process` applies both limits.
+    """
+
+    cores: int = 32
+    mem_per_core: int = 8 * 1024**3
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0 or self.mem_per_core <= 0:
+            raise MachineError("container limits must be positive")
+
+    @property
+    def mem_limit(self) -> int:
+        return self.cores * self.mem_per_core
+
+    def make_process(
+        self, machine: MachineSpec, n_threads: int | None = None,
+        env: dict[str, str] | None = None,
+    ) -> SimProcess:
+        threads = n_threads if n_threads is not None else self.cores
+        if threads > self.cores:
+            raise MachineError(
+                f"{threads} threads exceed container cpu limit {self.cores}"
+            )
+        return SimProcess(
+            machine=machine,
+            n_threads=threads,
+            mem_limit=self.mem_limit,
+            env=dict(env or {}),
+        )

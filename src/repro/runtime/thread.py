@@ -1,0 +1,98 @@
+"""Simulated threads.
+
+A :class:`SimThread` is the unit NMO profiles per-core: it is pinned to a
+core (OpenMP-style static binding, as the paper's experiments use), has a
+private cycle clock, and accumulates op counts that feed the PMU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MachineError
+
+
+@dataclass
+class SimThread:
+    """One application thread pinned to one core."""
+
+    tid: int
+    core: int
+    cycles: float = 0.0
+    ops_retired: int = 0
+    mem_ops_retired: int = 0
+    flops_retired: int = 0
+    #: extra cycles injected by profiling (interrupts, consumer work)
+    overhead_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.tid < 0 or self.core < 0:
+            raise MachineError("tid and core must be non-negative")
+
+    def advance(self, cycles: float) -> None:
+        if cycles < 0:
+            raise MachineError("thread clock cannot move backwards")
+        self.cycles += cycles
+
+    def charge_overhead(self, cycles: float) -> None:
+        """Record profiling-induced cycles (also advances the clock)."""
+        if cycles < 0:
+            raise MachineError("overhead must be >= 0")
+        self.overhead_cycles += cycles
+        self.cycles += cycles
+
+    def retire(self, n_ops: int, n_mem: int = 0, n_flops: int = 0) -> None:
+        if min(n_ops, n_mem, n_flops) < 0 or n_mem + n_flops > n_ops:
+            raise MachineError("inconsistent retire counts")
+        self.ops_retired += n_ops
+        self.mem_ops_retired += n_mem
+        self.flops_retired += n_flops
+
+
+@dataclass
+class ThreadTeam:
+    """An OpenMP-style team of threads pinned to consecutive cores."""
+
+    n_threads: int
+    threads: list[SimThread] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise MachineError("team needs at least one thread")
+        if not self.threads:
+            self.threads = [SimThread(tid=i, core=i) for i in range(self.n_threads)]
+        if len(self.threads) != self.n_threads:
+            raise MachineError("thread list does not match n_threads")
+
+    def __iter__(self):
+        return iter(self.threads)
+
+    def __getitem__(self, i: int) -> SimThread:
+        return self.threads[i]
+
+    @property
+    def max_cycles(self) -> float:
+        """Team wall-clock: the slowest thread (implicit barrier)."""
+        return max(t.cycles for t in self.threads)
+
+    def barrier(self) -> None:
+        """Align every thread's clock to the slowest (OpenMP join)."""
+        m = self.max_cycles
+        for t in self.threads:
+            t.cycles = m
+
+    @property
+    def total_overhead_cycles(self) -> float:
+        return sum(t.overhead_cycles for t in self.threads)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(t.ops_retired for t in self.threads)
+
+    @property
+    def total_mem_ops(self) -> int:
+        return sum(t.mem_ops_retired for t in self.threads)
+
+    @property
+    def total_flops(self) -> int:
+        return sum(t.flops_retired for t in self.threads)

@@ -1,0 +1,50 @@
+"""Simulated ARM Statistical Profiling Extension (SPE).
+
+Implements the full hardware flow of paper Fig. 1: interval-counter
+sampling with jitter, pipeline tracking with sample collisions, filter
+bitmasks, byte-exact 64-byte packet records, and the aux-buffer driver
+with its interrupt cost model.
+"""
+
+from repro.spe.config import (
+    CONFIG_LOADS_AND_STORES,
+    SpeConfig,
+)
+from repro.spe.driver import DriverResult, SpeCostModel, SpeDriver, ThrottleModel
+from repro.spe.packets import (
+    RECORD_SIZE,
+    DecodeStats,
+    corrupt_records,
+    decode_buffer,
+    encode_batch,
+)
+from repro.spe.records import SampleBatch
+from repro.spe.sampler import (
+    OpSource,
+    SamplerOutput,
+    SpeSampler,
+    TraceOpSource,
+    collision_scan,
+    sample_positions,
+)
+
+__all__ = [
+    "CONFIG_LOADS_AND_STORES",
+    "DecodeStats",
+    "DriverResult",
+    "OpSource",
+    "RECORD_SIZE",
+    "SampleBatch",
+    "SamplerOutput",
+    "SpeConfig",
+    "SpeCostModel",
+    "SpeDriver",
+    "SpeSampler",
+    "ThrottleModel",
+    "TraceOpSource",
+    "collision_scan",
+    "corrupt_records",
+    "decode_buffer",
+    "encode_batch",
+    "sample_positions",
+]

@@ -1,0 +1,86 @@
+"""Sample record batches (structure-of-arrays).
+
+One SPE sample record describes the full pipeline journey of one sampled
+operation: program counter, operation type, data virtual address, memory
+level that serviced it, total/issue latencies, and a generic-timer
+timestamp (paper §II-A Fig. 1).  Batches hold those columns as NumPy
+arrays so encode/decode/analysis are vectorised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SpeError
+
+
+@dataclass
+class SampleBatch:
+    """Columnar batch of SPE sample records."""
+
+    pc: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint64))
+    addr: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint64))
+    ts: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint64))
+    level: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+    kind: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint8))
+    total_lat: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint16))
+    issue_lat: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.uint16))
+
+    _COLUMNS = ("pc", "addr", "ts", "level", "kind", "total_lat", "issue_lat")
+    _DTYPES = {
+        "pc": np.uint64,
+        "addr": np.uint64,
+        "ts": np.uint64,
+        "level": np.uint8,
+        "kind": np.uint8,
+        "total_lat": np.uint16,
+        "issue_lat": np.uint16,
+    }
+
+    def __post_init__(self) -> None:
+        n = None
+        for c in self._COLUMNS:
+            arr = np.asarray(getattr(self, c), dtype=self._DTYPES[c])
+            setattr(self, c, arr)
+            if arr.ndim != 1:
+                raise SpeError(f"column {c} must be 1-D")
+            if n is None:
+                n = arr.shape[0]
+            elif arr.shape[0] != n:
+                raise SpeError(
+                    f"column {c} length {arr.shape[0]} != batch length {n}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.pc.shape[0])
+
+    def select(self, mask: np.ndarray) -> "SampleBatch":
+        """Row subset by boolean mask or index array."""
+        return SampleBatch(**{c: getattr(self, c)[mask] for c in self._COLUMNS})
+
+    @staticmethod
+    def concat(batches: list["SampleBatch"]) -> "SampleBatch":
+        if not batches:
+            return SampleBatch()
+        return SampleBatch(
+            **{
+                c: np.concatenate([getattr(b, c) for b in batches])
+                for c in SampleBatch._COLUMNS
+            }
+        )
+
+    def sorted_by_time(self) -> "SampleBatch":
+        order = np.argsort(self.ts, kind="stable")
+        return self.select(order)
+
+    def to_dict(self) -> dict[str, np.ndarray]:
+        return {c: getattr(self, c) for c in self._COLUMNS}
+
+    @staticmethod
+    def from_columns(**cols: np.ndarray) -> "SampleBatch":
+        missing = set(SampleBatch._COLUMNS) - set(cols)
+        if missing:
+            raise SpeError(f"missing columns: {sorted(missing)}")
+        return SampleBatch(**cols)

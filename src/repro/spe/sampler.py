@@ -1,0 +1,290 @@
+"""The SPE sampling engine.
+
+Implements the hardware flow of paper Fig. 1 for one core:
+
+1. the **sampling interval counter** is loaded with the period and
+   decremented per decoded operation; a random perturbation avoids
+   lock-step bias (``jitter`` config bit),
+2. the selected operation is **tracked** through the pipeline for its
+   full latency; if the interval counter fires again while the tracker is
+   busy, the *new* sample is discarded — a **sample collision** — before
+   filtering, so it costs no buffer space and no processing time
+   (paper §VII-A),
+3. surviving samples pass the **filter** (operation type, minimum
+   latency); NMO's memory profiling keeps loads and stores only,
+4. filtered-in samples become 64-byte records destined for the aux
+   buffer (handled by :mod:`repro.spe.driver`).
+
+The sampler never materialises the full op stream: it draws sample
+*positions* arithmetically and asks an :class:`OpSource` to describe just
+those operations, which is what lets the reproduction sample workloads
+with 10^10+ operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.cpu.clock import GenericTimer
+from repro.cpu.ops import OpKind
+from repro.cpu.pipeline import PipelineModel
+from repro.errors import SpeError
+from repro.spe.config import SpeConfig
+from repro.spe.records import SampleBatch
+
+
+class OpSource(Protocol):
+    """What the sampler needs to know about one core's op stream.
+
+    Implementations: closed-form workload phases
+    (:class:`repro.workloads.base.PhaseOpSource`) and the exact
+    trace-driven adapter (:class:`TraceOpSource`).
+    """
+
+    #: total decoded operations in this stream
+    n_ops: int
+    #: average cycles per decoded op (converts op index -> cycles)
+    cpi: float
+
+    def ops_at(
+        self, idx: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(kinds uint8, addrs uint64) of the ops at global indices."""
+        ...
+
+    def levels_at(
+        self, idx: np.ndarray, kinds: np.ndarray, addrs: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """MemLevel uint8 per op (0 where not a memory op)."""
+        ...
+
+    def pcs_at(self, idx: np.ndarray) -> np.ndarray:
+        """Program counter of each op (uint64)."""
+        ...
+
+
+class TraceOpSource:
+    """Exact :class:`OpSource` over a materialised execution result."""
+
+    def __init__(self, kinds: np.ndarray, addrs: np.ndarray,
+                 levels: np.ndarray, cpi: float, pc_base: int = 0x400000) -> None:
+        self._kinds = np.asarray(kinds, dtype=np.uint8)
+        self._addrs = np.asarray(addrs, dtype=np.uint64)
+        self._levels = np.asarray(levels, dtype=np.uint8)
+        if not (len(self._kinds) == len(self._addrs) == len(self._levels)):
+            raise SpeError("kinds/addrs/levels must be equal length")
+        if cpi <= 0:
+            raise SpeError("cpi must be positive")
+        self.n_ops = int(len(self._kinds))
+        self.cpi = float(cpi)
+        self.pc_base = pc_base
+
+    def ops_at(self, idx, rng):
+        return self._kinds[idx], self._addrs[idx]
+
+    def levels_at(self, idx, kinds, addrs, rng):
+        return self._levels[idx]
+
+    def pcs_at(self, idx):
+        return (self.pc_base + (np.asarray(idx, dtype=np.uint64) % 256) * 4).astype(
+            np.uint64
+        )
+
+
+def sample_positions(
+    n_ops: int,
+    period: int,
+    jitter: bool,
+    rng: np.random.Generator,
+    carry: int | None = None,
+) -> tuple[np.ndarray, int]:
+    """Indices selected by the interval counter, plus the carried counter.
+
+    SPE always perturbs the counter reload slightly — "when the counter
+    reaches zero, with some random perturbation added to avoid bias, an
+    operation is selected" (paper §II-A) — otherwise periodic code would
+    alias with the sampling interval.  The ``jitter`` config bit widens
+    that window from the inherent ``period/256`` to ``period/16``.
+
+    ``carry`` is the counter value left over from the previous op stream
+    (the hardware counter runs continuously across program phases);
+    the second return value is the residue to pass to the next stream.
+    """
+    if period <= 0:
+        raise SpeError(f"sampling period must be positive, got {period}")
+    if n_ops < 0:
+        raise SpeError("n_ops must be >= 0")
+    window = max(2, period // 16) if jitter else max(2, period // 256)
+
+    def draw(k: int) -> np.ndarray:
+        return period - rng.integers(0, window, size=k, dtype=np.int64)
+
+    first = int(carry) if carry is not None else int(draw(1)[0])
+    if first <= 0:
+        raise SpeError(f"carry must be positive, got {first}")
+    if n_ops == 0:
+        return np.zeros(0, dtype=np.int64), first
+    if first > n_ops:
+        return np.zeros(0, dtype=np.int64), first - n_ops
+    # draw enough intervals to exceed n_ops, then trim
+    n_est = int((n_ops - first) // max(1, period - window)) + 2
+    pos = first - 1 + np.concatenate([[0], np.cumsum(draw(n_est))])
+    while pos[-1] < n_ops - 1:
+        pos = np.concatenate([pos, pos[-1] + np.cumsum(draw(n_est))])
+    past = pos[pos >= n_ops]
+    residue = int(past[0]) - (n_ops - 1) if past.size else int(draw(1)[0])
+    return pos[pos < n_ops], residue
+
+
+def collision_scan(
+    select_cycles: np.ndarray, latencies: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Greedy in-flight tracking: drop samples that arrive while busy.
+
+    ``select_cycles`` are the (sorted) cycle times at which the interval
+    counter fired; ``latencies`` the pipeline lifetime of each selected
+    op.  Only a *kept* sample occupies the tracker.  Returns (keep mask,
+    number of collisions).
+    """
+    n = select_cycles.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool), 0
+    gaps = np.diff(select_cycles)
+    if gaps.size == 0 or gaps.min() >= latencies.max():
+        return np.ones(n, dtype=bool), 0  # fast path: no overlap possible
+    keep = np.ones(n, dtype=bool)
+    t = select_cycles.tolist()
+    lat = latencies.tolist()
+    busy_until = t[0] + lat[0]
+    collisions = 0
+    for j in range(1, n):
+        if t[j] < busy_until:
+            keep[j] = False
+            collisions += 1
+        else:
+            busy_until = t[j] + lat[j]
+    return keep, collisions
+
+
+@dataclass
+class SamplerOutput:
+    """Result of sampling one op stream on one core."""
+
+    batch: SampleBatch            #: samples that survived collisions + filter
+    arrival_cycles: np.ndarray    #: absolute cycle time each record completes
+    n_selected: int               #: interval-counter firings
+    n_collisions: int             #: dropped while tracker busy (pre-filter)
+    n_filtered: int               #: dropped by the event filter
+    duration_cycles: float        #: op-stream execution span covered
+
+    @property
+    def n_kept(self) -> int:
+        return len(self.batch)
+
+
+class SpeSampler:
+    """Per-core sampling pipeline (Fig. 1 stages 1-3)."""
+
+    def __init__(
+        self,
+        period: int,
+        config: SpeConfig,
+        pipeline: PipelineModel,
+        timer: GenericTimer,
+        rng: np.random.Generator,
+        track_collisions: bool = True,
+    ) -> None:
+        """``track_collisions=False`` disables the in-flight tracking
+        window (PEBS-style backends, which do not collide)."""
+        if period <= 0:
+            raise SpeError("sampling period must be positive")
+        self.period = period
+        self.config = config
+        self.pipeline = pipeline
+        self.timer = timer
+        self.rng = rng
+        self.track_collisions = track_collisions
+        #: interval-counter residue carried across op streams (phases);
+        #: the hardware counter never resets between code regions
+        self._carry: int | None = None
+
+    def _filter_mask(self, kinds: np.ndarray, total_lat: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        mask = np.zeros(kinds.shape, dtype=bool)
+        if cfg.loads:
+            mask |= kinds == OpKind.LOAD
+        if cfg.stores:
+            mask |= kinds == OpKind.STORE
+        if cfg.branches:
+            mask |= kinds == OpKind.BRANCH
+        if cfg.min_latency > 0:
+            mask &= total_lat >= cfg.min_latency
+        return mask
+
+    def sample_stream(
+        self, source: OpSource, start_cycle: float = 0.0
+    ) -> SamplerOutput:
+        """Sample one op stream starting at ``start_cycle`` (core clock)."""
+        pos, self._carry = sample_positions(
+            source.n_ops, self.period, self.config.jitter, self.rng, self._carry
+        )
+        n_selected = int(pos.size)
+        duration = source.n_ops * source.cpi
+        if n_selected == 0:
+            return SamplerOutput(
+                batch=SampleBatch(),
+                arrival_cycles=np.zeros(0),
+                n_selected=0,
+                n_collisions=0,
+                n_filtered=0,
+                duration_cycles=duration,
+            )
+        kinds, addrs = source.ops_at(pos, self.rng)
+        levels = source.levels_at(pos, kinds, addrs, self.rng)
+        dram_scale = float(getattr(source, "dram_latency_scale", 1.0))
+        lat = self.pipeline.op_latencies(
+            kinds, levels, rng=self.rng, dram_scale=dram_scale
+        )
+
+        select_cycles = start_cycle + pos.astype(np.float64) * source.cpi
+        if self.track_collisions:
+            keep, n_collisions = collision_scan(select_cycles, lat)
+        else:
+            keep = np.ones(n_selected, dtype=bool)
+            n_collisions = 0
+
+        kinds, addrs, levels, lat = kinds[keep], addrs[keep], levels[keep], lat[keep]
+        pos_kept = pos[keep]
+        retire_cycles = select_cycles[keep] + lat
+
+        total_lat = np.minimum(lat, 0xFFFF).astype(np.uint16)
+        fmask = self._filter_mask(kinds, total_lat)
+        n_filtered = int((~fmask).sum())
+
+        retire_cycles = retire_cycles[fmask]
+        ts = self.timer.cycles_to_ticks(retire_cycles)
+        ts = np.maximum(ts, 1).astype(np.uint64)  # 0 would be decode-skipped
+        issue_lat = np.minimum(
+            np.maximum(total_lat[fmask].astype(np.float64) * 0.25, 1), 0xFFFF
+        ).astype(np.uint16)
+        batch = SampleBatch(
+            pc=source.pcs_at(pos_kept[fmask]),
+            addr=addrs[fmask],
+            ts=ts,
+            level=levels[fmask],
+            kind=kinds[fmask],
+            total_lat=total_lat[fmask],
+            issue_lat=issue_lat,
+        )
+        return SamplerOutput(
+            batch=batch,
+            arrival_cycles=retire_cycles,
+            n_selected=n_selected,
+            n_collisions=n_collisions,
+            n_filtered=n_filtered,
+            duration_cycles=duration,
+        )

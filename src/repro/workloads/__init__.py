@@ -1,0 +1,53 @@
+"""The paper's five evaluation workloads as phase-structured models."""
+
+from repro.workloads.access_patterns import (
+    local_window,
+    random_in,
+    round_robin,
+    sequential,
+    strided,
+    weighted_mix,
+)
+from repro.workloads.base import (
+    AddrFn,
+    KindFn,
+    Phase,
+    PhaseOpSource,
+    Workload,
+    hash_uniform,
+)
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cfd import CfdWorkload
+from repro.workloads.inmem_analytics import InMemoryAnalyticsWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.registry import (
+    get_workload_class,
+    make_workload,
+    register_workload,
+    workload_names,
+)
+from repro.workloads.stream import StreamWorkload
+
+__all__ = [
+    "AddrFn",
+    "BfsWorkload",
+    "CfdWorkload",
+    "InMemoryAnalyticsWorkload",
+    "KindFn",
+    "PageRankWorkload",
+    "Phase",
+    "PhaseOpSource",
+    "StreamWorkload",
+    "Workload",
+    "get_workload_class",
+    "hash_uniform",
+    "local_window",
+    "make_workload",
+    "random_in",
+    "register_workload",
+    "round_robin",
+    "sequential",
+    "strided",
+    "weighted_mix",
+    "workload_names",
+]

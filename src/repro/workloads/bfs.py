@@ -1,0 +1,147 @@
+"""Rodinia BFS: level-synchronous breadth-first search.
+
+BFS is the paper's low-collision counterexample (Fig. 8c: collisions
+stay below 10 while STREAM/CFD reach hundreds-thousands): the graph is
+compact enough to live in the system-level cache, the kernel is
+dependency-bound rather than bandwidth-bound, so SPE's tracked samples
+complete quickly and never overlap the next sampling interval.  It is
+simultaneously the *highest overhead* workload at small periods
+(Fig. 8b) because its retire rate — and therefore its sample arrival
+rate per second — is the highest of the three.
+
+The model runs ``repeats`` multi-source traversals of a CSR graph whose
+per-level frontiers follow the usual small-world rise and fall.  The
+graph is shared read-mostly data: the SLC holds one copy for all
+threads (``slc_sharers=1``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.machine.statcache import AccessClass
+from repro.workloads.access_patterns import random_in, sequential, weighted_mix
+from repro.workloads.base import Phase, Workload
+
+#: Nodes at ``scale=1``; with the byte budget below the graph is ~11 MB,
+#: comfortably inside the 16 MB SLC (the cache-resident regime that keeps
+#: BFS collision-free).
+DEFAULT_NODES = 300_000
+DEFAULT_DEGREE = 6
+#: frontier share of the node set per BFS level (rise and fall)
+LEVEL_FRACTIONS = (0.002, 0.01, 0.05, 0.15, 0.30, 0.25, 0.12, 0.06, 0.03, 0.01)
+#: memory ops per frontier node: read offsets + per-edge (edge, cost,
+#: visited) + frontier bookkeeping
+OPS_PER_NODE = 2 + DEFAULT_DEGREE * 3
+
+
+class BfsWorkload(Workload):
+    """Multi-source level-synchronous BFS over a CSR graph."""
+
+    name = "bfs"
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int = 32,
+        scale: float = 1.0,
+        repeats: int = 50,
+        n_nodes: int | None = None,
+        degree: int = DEFAULT_DEGREE,
+        **kwargs,
+    ) -> None:
+        if repeats <= 0:
+            raise WorkloadError("repeats must be >= 1")
+        if degree <= 0:
+            raise WorkloadError("degree must be >= 1")
+        self.repeats = repeats
+        self.degree = degree
+        self.reference_locality = kwargs.pop("reference_locality", True)
+        self._n_nodes_arg = n_nodes
+        super().__init__(machine, n_threads=n_threads, scale=scale, **kwargs)
+
+    @property
+    def n_nodes(self) -> int:
+        return self._n_nodes
+
+    def _build(self) -> None:
+        n = (
+            self._n_nodes_arg
+            if self._n_nodes_arg is not None
+            else max(2048, int(self.scale * DEFAULT_NODES))
+        )
+        self._n_nodes = n
+        deg = self.degree
+        t = self.n_threads
+
+        nodes = self.alloc_object("nodes", n * 8)          # CSR offsets
+        edges = self.alloc_object("edges", n * deg * 4)    # edge targets
+        cost = self.alloc_object("cost", n * 4)
+        visited = self.alloc_object("visited", n)
+
+        loc_n = DEFAULT_NODES if self.reference_locality else n
+        graph_bytes = loc_n * 8 + loc_n * deg * 4 + loc_n * 4 + loc_n
+        classes = [
+            # random node-indexed state (cost / visited / frontier checks)
+            AccessClass(footprint=max(loc_n * 5, 64), stride=0, weight=0.5),
+            # edge-list scans: sequential within a node's adjacency run
+            AccessClass(footprint=max(loc_n * deg * 4, 64), stride=4, weight=0.5),
+        ]
+        addr = weighted_mix(
+            [
+                (sequential(nodes, n, 8, n_threads=t), 2.0),
+                (sequential(edges, n * deg, 4, n_threads=t), float(deg)),
+                (random_in(cost, n, 4, salt=3), float(deg)),
+                (random_in(visited, n, 1, salt=9), float(deg)),
+            ],
+            salt=13,
+        )
+
+        actual_graph_bytes = n * 8 + n * deg * 4 + n * 4 + n
+        self.add_phase(
+            Phase(
+                name="load_graph",
+                n_mem_ops=(actual_graph_bytes // 4 + t - 1) // t,
+                cpi=0.5,
+                addr_fn=weighted_mix(
+                    [
+                        (sequential(nodes, n, 8, n_threads=t), 2.0),
+                        (sequential(edges, n * deg, 4, n_threads=t), float(deg)),
+                    ],
+                    salt=21,
+                ),
+                store_fraction=1.0,
+                classes=[AccessClass(footprint=graph_bytes // t, stride=4)],
+                group=2,
+                tag="init",
+                touch={
+                    "nodes": n * 8,
+                    "edges": n * deg * 4,
+                    "cost": n * 4,
+                    "visited": n,
+                },
+                slc_sharers=1,
+                pc_base=0x421000,
+            )
+        )
+
+        for lvl, frac in enumerate(LEVEL_FRACTIONS):
+            frontier = max(1, int(frac * n))
+            n_mem = (frontier * (2 + deg * 3) * self.repeats + t - 1) // t
+            self.add_phase(
+                Phase(
+                    name=f"level#{lvl}",
+                    n_mem_ops=n_mem,
+                    cpi=0.3,
+                    addr_fn=addr,
+                    store_fraction=0.15,
+                    classes=classes,
+                    # BFS is almost pure memory traversal: every decoded op
+                    # is a load/store, which is why its per-second sample
+                    # rate (and profiling overhead, Fig. 8b) is the highest
+                    group=1,
+                    tag="bfs",
+                    slc_sharers=1,
+                    pc_base=0x422000,
+                )
+            )
+        self.finalise_dram_pressure()

@@ -1,0 +1,207 @@
+"""Rodinia CFD (euler3d): unstructured-grid finite-volume Euler solver.
+
+The solver sweeps an unstructured mesh every iteration.  Per element the
+flux kernel loads the four neighbour indices
+(``elements_surrounding_elements``), gathers the neighbours' conserved
+``variables`` (density, momentum, energy — *indirect*, mesh-ordered),
+reads the face ``normals`` (sequential), and stores ``fluxes``; a
+``time_step`` kernel then integrates sequentially.  The paper tags the
+whole iteration loop "computation loop" (Figs. 5-6); the indirect
+neighbour gathers are the irregular accesses its Fig. 6 high-resolution
+trace exposes at 32 threads, while ``normals`` remains cleanly split per
+thread.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.machine.statcache import AccessClass
+from repro.runtime.openmp import chunk_of
+from repro.workloads.access_patterns import (
+    local_window,
+    sequential,
+    weighted_mix,
+)
+from repro.workloads.base import Phase, Workload
+
+#: Mesh elements at ``scale=1`` (sized so the CFD op count is ~8x
+#: STREAM's, matching the sample-count ratio of paper Fig. 7).
+DEFAULT_ELEMS = 29_000_000
+
+# bytes per element of each array (float32 solver, 5 conserved variables)
+VAR_BYTES = 5 * 4
+ESE_BYTES = 4 * 4       # four neighbour indices
+NORMALS_BYTES = 4 * 3 * 4
+FLUX_BYTES = 5 * 4
+STEP_BYTES = 4
+
+#: accesses per element in the flux kernel, by array
+FLUX_ESE_ACC = 4
+FLUX_VAR_ACC = 16
+FLUX_NORMALS_ACC = 8
+FLUX_STORE_ACC = 5
+FLUX_ACC = FLUX_ESE_ACC + FLUX_VAR_ACC + FLUX_NORMALS_ACC + FLUX_STORE_ACC
+#: accesses per element in the time-step kernel
+STEP_ACC = 5
+
+
+class CfdWorkload(Workload):
+    """Rodinia ``euler3d``-style solver with an OpenMP element loop."""
+
+    name = "cfd"
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int = 32,
+        scale: float = 1.0,
+        iterations: int = 20,
+        n_elems: int | None = None,
+        **kwargs,
+    ) -> None:
+        if iterations <= 0:
+            raise WorkloadError("iterations must be >= 1")
+        self.iterations = iterations
+        self.reference_locality = kwargs.pop("reference_locality", True)
+        self._n_elems_arg = n_elems
+        super().__init__(machine, n_threads=n_threads, scale=scale, **kwargs)
+
+    @property
+    def n_elems(self) -> int:
+        return self._n_elems
+
+    def _build(self) -> None:
+        nel = (
+            self._n_elems_arg
+            if self._n_elems_arg is not None
+            else max(4096, int(self.scale * DEFAULT_ELEMS))
+        )
+        self._n_elems = nel
+        t = self.n_threads
+
+        variables = self.alloc_object("variables", nel * VAR_BYTES)
+        old_vars = self.alloc_object("old_variables", nel * VAR_BYTES)
+        ese = self.alloc_object("ese", nel * ESE_BYTES)
+        normals = self.alloc_object("normals", nel * NORMALS_BYTES)
+        fluxes = self.alloc_object("fluxes", nel * FLUX_BYTES)
+        step = self.alloc_object("step_factors", nel * STEP_BYTES)
+
+        # locality footprints at reference (paper) scale unless disabled
+        loc_nel = DEFAULT_ELEMS if self.reference_locality else nel
+        lo, hi = chunk_of(loc_nel, t, 0)
+        chunk_el = max(hi - lo, 1)
+        total_bytes = loc_nel * (
+            2 * VAR_BYTES + ESE_BYTES + NORMALS_BYTES + FLUX_BYTES + STEP_BYTES
+        )
+
+        # --- init: populate every array sequentially ----------------------
+        init_addr = weighted_mix(
+            [
+                (sequential(variables, nel * 5, 4, n_threads=t), 5.0),
+                (sequential(old_vars, nel * 5, 4, n_threads=t), 5.0),
+                (sequential(ese, nel * 4, 4, n_threads=t), 4.0),
+                (sequential(normals, nel * 12, 4, n_threads=t), 12.0),
+                (sequential(fluxes, nel * 5, 4, n_threads=t), 5.0),
+                (sequential(step, nel, 4, n_threads=t), 1.0),
+            ],
+            salt=5,
+        )
+        self.add_phase(
+            Phase(
+                name="init",
+                n_mem_ops=32 * ((nel + t - 1) // t),
+                cpi=0.5,
+                addr_fn=init_addr,
+                store_fraction=1.0,
+                classes=[
+                    AccessClass(footprint=total_bytes // t, stride=4)
+                ],
+                group=2,
+                tag="init",
+                touch={
+                    "variables": nel * VAR_BYTES,
+                    "old_variables": nel * VAR_BYTES,
+                    "ese": nel * ESE_BYTES,
+                    "normals": nel * NORMALS_BYTES,
+                    "fluxes": nel * FLUX_BYTES,
+                    "step_factors": nel * STEP_BYTES,
+                },
+                pc_base=0x411000,
+            )
+        )
+
+        # --- the tagged "computation loop" ---------------------------------
+        flux_addr = weighted_mix(
+            [
+                (sequential(ese, nel * 4, 4, n_threads=t), float(FLUX_ESE_ACC)),
+                (
+                    local_window(
+                        variables,
+                        nel * 5,
+                        4,
+                        window=5 * 1500,
+                        n_threads=t,
+                        salt=23,
+                        global_fraction=0.3,
+                    ),
+                    float(FLUX_VAR_ACC),
+                ),
+                (
+                    sequential(normals, nel * 12, 4, n_threads=t),
+                    float(FLUX_NORMALS_ACC),
+                ),
+                (sequential(fluxes, nel * 5, 4, n_threads=t), float(FLUX_STORE_ACC)),
+            ],
+            salt=7,
+        )
+        flux_classes = [
+            AccessClass(footprint=chunk_el * ESE_BYTES, stride=4,
+                        weight=float(FLUX_ESE_ACC)),
+            AccessClass(footprint=loc_nel * VAR_BYTES, stride=0,
+                        weight=float(FLUX_VAR_ACC)),
+            AccessClass(footprint=chunk_el * NORMALS_BYTES, stride=4,
+                        weight=float(FLUX_NORMALS_ACC)),
+            AccessClass(footprint=chunk_el * FLUX_BYTES, stride=4,
+                        weight=float(FLUX_STORE_ACC)),
+        ]
+        step_addr = weighted_mix(
+            [
+                (sequential(fluxes, nel * 5, 4, n_threads=t), 2.0),
+                (sequential(old_vars, nel * 5, 4, n_threads=t), 1.0),
+                (sequential(variables, nel * 5, 4, n_threads=t), 2.0),
+            ],
+            salt=11,
+        )
+        step_classes = [
+            AccessClass(footprint=chunk_el * (2 * VAR_BYTES + FLUX_BYTES), stride=4)
+        ]
+        for it in range(self.iterations):
+            self.add_phase(
+                Phase(
+                    name=f"compute_flux#{it}",
+                    n_mem_ops=FLUX_ACC * ((nel + t - 1) // t),
+                    cpi=0.55,
+                    addr_fn=flux_addr,
+                    store_fraction=FLUX_STORE_ACC / FLUX_ACC,
+                    classes=flux_classes,
+                    group=2,
+                    flops_per_group=1,
+                    tag="computation loop",
+                    pc_base=0x412000,
+                )
+            )
+            self.add_phase(
+                Phase(
+                    name=f"time_step#{it}",
+                    n_mem_ops=STEP_ACC * ((nel + t - 1) // t),
+                    cpi=0.5,
+                    addr_fn=step_addr,
+                    store_fraction=2.0 / STEP_ACC,
+                    classes=step_classes,
+                    group=2,
+                    flops_per_group=1,
+                    tag="computation loop",
+                    pc_base=0x413000,
+                )
+            )
+        self.finalise_dram_pressure()

@@ -1,0 +1,145 @@
+"""CloudSuite In-memory Analytics: ALS recommendation (simulated).
+
+The paper's second CloudSuite workload runs alternating least squares on
+a user-movie ratings dataset, in-memory under Spark.  Its signatures in
+the NMO views are:
+
+* **capacity** (Fig. 2): RSS saturates near 52.3 GiB — 20.4 % of the
+  256 GiB container — most of it the cached ratings RDD,
+* **bandwidth** (Fig. 3): clean ~15 s periodicity over the ~121 s run:
+  each ALS half-iteration alternates a ratings sweep (~100 GiB/s peaks)
+  with a factor-matrix solve (much lower traffic).
+
+As with PageRank, the JVM stack is replaced by its phase timeline (see
+DESIGN.md §1); the ALS structure itself — alternate user-side and
+item-side updates over a shared ratings structure — is modelled
+explicitly so the periodic bandwidth pattern *emerges from the phase
+sequence* rather than being painted onto a curve.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import GiB
+from repro.machine.statcache import AccessClass
+from repro.workloads.access_patterns import random_in, sequential, weighted_mix
+from repro.workloads.base import Phase, Workload
+
+#: ALS iteration count and per-half-iteration seconds at scale=1: the
+#: run is ~2.5 + 15 + 7 * (7.5 + 7.5) ~= 122 s, matching Fig. 2/3.
+N_ITERATIONS = 7
+USER_HALF_S = 7.5
+ITEM_HALF_S = 7.5
+STARTUP_S = 2.5
+LOAD_S = 15.0
+
+#: bandwidth targets (GiB/s)
+USER_HALF_BW = 97.0
+ITEM_HALF_BW = 34.0
+LOAD_BW = 58.0
+STARTUP_BW = 4.0
+
+#: per-phase newly-resident GiB; totals 52.3 GiB (paper's plateau)
+STARTUP_TOUCH = 4.0
+LOAD_TOUCH = 30.0
+ITER_TOUCH = (6.0, 5.0, 3.0, 2.0, 1.3, 0.7, 0.3)
+
+SATURATED_RSS_GIB = STARTUP_TOUCH + LOAD_TOUCH + sum(ITER_TOUCH)
+
+
+class InMemoryAnalyticsWorkload(Workload):
+    """Phase-timeline model of CloudSuite In-memory Analytics (ALS)."""
+
+    name = "inmem_analytics"
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int = 32,
+        scale: float = 1.0,
+        mem_limit: int | None = 256 * GiB,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            machine, n_threads=n_threads, scale=scale, mem_limit=mem_limit, **kwargs
+        )
+
+    def _timed_phase(
+        self, name: str, dur_s: float, bw_gibs: float, touch_gib: float,
+        addr_fn, classes, tag: str,
+    ) -> Phase:
+        cpi, group = 0.8, 2
+        dur = dur_s * self.scale
+        n_ops_thread = max(1, int(dur * self.machine.frequency_hz / cpi))
+        return Phase(
+            name=name,
+            n_mem_ops=max(1, n_ops_thread // group),
+            cpi=cpi,
+            group=group,
+            addr_fn=addr_fn,
+            store_fraction=0.3,
+            classes=classes,
+            touch={"spark_heap": int(touch_gib * GiB)} if touch_gib else {},
+            dram_bytes_override=bw_gibs * GiB * dur,
+            tag=tag,
+            flops_per_group=1,
+            pc_base=0x441000,
+        )
+
+    def _build(self) -> None:
+        heap_bytes = int(SATURATED_RSS_GIB * GiB) + 2 * GiB
+        heap = self.alloc_object("spark_heap", heap_bytes)
+        ratings = heap + 1 * GiB
+        factors = heap + int(40 * GiB)
+
+        ratings_sweep = weighted_mix(
+            [
+                (sequential(ratings, int(30 * GiB) // 8, 8,
+                            n_threads=self.n_threads), 0.7),
+                (random_in(factors, int(6 * GiB) // 8, 8, salt=51), 0.3),
+            ],
+            salt=53,
+        )
+        solve_mix = weighted_mix(
+            [
+                (random_in(factors, int(6 * GiB) // 8, 8, salt=57), 0.8),
+                (sequential(ratings, int(30 * GiB) // 8, 8,
+                            n_threads=self.n_threads), 0.2),
+            ],
+            salt=59,
+        )
+        sweep_classes = [
+            AccessClass(footprint=int(30 * GiB) // self.n_threads, stride=8,
+                        weight=0.7),
+            AccessClass(footprint=int(6 * GiB), stride=0, weight=0.3),
+        ]
+        solve_classes = [
+            AccessClass(footprint=int(6 * GiB), stride=0, weight=0.8),
+            AccessClass(footprint=int(30 * GiB) // self.n_threads, stride=8,
+                        weight=0.2),
+        ]
+
+        self.add_phase(
+            self._timed_phase(
+                "jvm_startup", STARTUP_S, STARTUP_BW, STARTUP_TOUCH,
+                solve_mix, solve_classes, tag="startup",
+            )
+        )
+        self.add_phase(
+            self._timed_phase(
+                "load_ratings", LOAD_S, LOAD_BW, LOAD_TOUCH,
+                ratings_sweep, sweep_classes, tag="load",
+            )
+        )
+        for it in range(N_ITERATIONS):
+            self.add_phase(
+                self._timed_phase(
+                    f"als_user#{it}", USER_HALF_S, USER_HALF_BW, ITER_TOUCH[it],
+                    ratings_sweep, sweep_classes, tag="als",
+                )
+            )
+            self.add_phase(
+                self._timed_phase(
+                    f"als_item#{it}", ITEM_HALF_S, ITEM_HALF_BW, 0.0,
+                    solve_mix, solve_classes, tag="als",
+                )
+            )

@@ -1,0 +1,100 @@
+"""CloudSuite Graph Analytics: PageRank on Spark/Hadoop (simulated).
+
+The paper runs CloudSuite's Graph Analytics benchmark (PageRank, Java +
+Hadoop) in a Docker container limited to 32 cores and 256 GiB, and uses
+it to demonstrate NMO's temporal capacity view (Fig. 2: RSS climbs to
+~123.8 GiB, 48.4 % of the container limit) and temporal bandwidth view
+(Fig. 3: a ~120 GiB/s spike near 5 s while the edge list loads, then a
+fluctuating decline through the rank iterations).
+
+Substitution note (DESIGN.md §1): we cannot run the JVM/Hadoop stack, so
+the workload is modelled as its phase timeline — JVM startup, dataset
+load, and rank iterations — with each phase's duration, DRAM traffic,
+and newly-resident bytes taken from the published curves.  The phases
+are real :class:`~repro.workloads.base.Phase` objects: they carry address
+functions and locality mixtures, so the SPE path can sample them too.
+"""
+
+from __future__ import annotations
+
+from repro.machine.spec import GiB
+from repro.machine.statcache import AccessClass
+from repro.workloads.access_patterns import random_in, sequential, weighted_mix
+from repro.workloads.base import Phase, Workload
+
+#: (name, duration_s, bandwidth GiB/s, newly-touched GiB) at scale=1
+PHASE_PLAN = (
+    ("jvm_startup", 1.5, 6.0, 6.0),
+    ("load_edges", 3.5, 118.0, 82.0),
+    ("rank_iter#0", 2.3, 74.0, 18.0),
+    ("rank_iter#1", 2.3, 58.0, 9.0),
+    ("rank_iter#2", 2.3, 49.0, 4.0),
+    ("rank_iter#3", 2.3, 42.0, 2.0),
+    ("rank_iter#4", 2.3, 35.0, 1.2),
+    ("rank_iter#5", 2.3, 30.0, 0.8),
+    ("rank_iter#6", 2.3, 26.0, 0.5),
+    ("rank_iter#7", 2.3, 23.0, 0.3),
+)
+
+#: Total resident set at saturation (paper: 123.8 GiB).
+SATURATED_RSS_GIB = sum(p[3] for p in PHASE_PLAN)
+
+
+class PageRankWorkload(Workload):
+    """Phase-timeline model of CloudSuite Graph Analytics (PageRank)."""
+
+    name = "pagerank"
+
+    def __init__(
+        self,
+        machine,
+        n_threads: int = 32,
+        scale: float = 1.0,
+        mem_limit: int | None = 256 * GiB,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            machine, n_threads=n_threads, scale=scale, mem_limit=mem_limit, **kwargs
+        )
+
+    def _build(self) -> None:
+        heap_bytes = int(SATURATED_RSS_GIB * GiB) + 2 * GiB
+        heap = self.alloc_object("jvm_heap", heap_bytes)
+        edges_view = heap + 8 * GiB  # edge partitions live inside the heap
+
+        freq = self.machine.frequency_hz
+        cpi, group = 0.8, 2
+        rank_classes = [
+            AccessClass(footprint=int(8 * GiB), stride=0, weight=0.6),
+            AccessClass(footprint=int(1 * GiB), stride=8, weight=0.4),
+        ]
+        addr = weighted_mix(
+            [
+                (random_in(heap, heap_bytes // 8, 8, salt=41), 0.6),
+                (
+                    sequential(edges_view, int(60 * GiB) // 8, 8,
+                               n_threads=self.n_threads),
+                    0.4,
+                ),
+            ],
+            salt=43,
+        )
+        for name, dur_s, bw_gibs, touch_gib in PHASE_PLAN:
+            dur = dur_s * self.scale
+            n_ops_thread = max(1, int(dur * freq / cpi))
+            self.add_phase(
+                Phase(
+                    name=name,
+                    n_mem_ops=max(1, n_ops_thread // group),
+                    cpi=cpi,
+                    group=group,
+                    addr_fn=addr,
+                    store_fraction=0.35,
+                    classes=rank_classes,
+                    touch={"jvm_heap": int(touch_gib * GiB)},
+                    dram_bytes_override=bw_gibs * GiB * dur,
+                    tag="pagerank",
+                    pc_base=0x431000,
+                )
+            )
+        # note: no finalise_dram_pressure — bandwidth comes from overrides

@@ -1,0 +1,51 @@
+"""Workload registry: name -> constructor, used by benches and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import WorkloadError
+from repro.machine.spec import MachineSpec
+from repro.workloads.base import Workload
+from repro.workloads.bfs import BfsWorkload
+from repro.workloads.cfd import CfdWorkload
+from repro.workloads.inmem_analytics import InMemoryAnalyticsWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.stream import StreamWorkload
+
+_REGISTRY: dict[str, type[Workload]] = {
+    StreamWorkload.name: StreamWorkload,
+    CfdWorkload.name: CfdWorkload,
+    BfsWorkload.name: BfsWorkload,
+    PageRankWorkload.name: PageRankWorkload,
+    InMemoryAnalyticsWorkload.name: InMemoryAnalyticsWorkload,
+}
+
+
+def workload_names() -> list[str]:
+    """Registered workload names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_workload_class(name: str) -> type[Workload]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown workload {name!r}; known: {', '.join(workload_names())}"
+        ) from None
+
+
+def make_workload(name: str, machine: MachineSpec, **kwargs) -> Workload:
+    """Instantiate a registered workload by name."""
+    return get_workload_class(name)(machine, **kwargs)
+
+
+def register_workload(cls: type[Workload]) -> type[Workload]:
+    """Register a user-defined workload class (decorator-friendly)."""
+    if not issubclass(cls, Workload):
+        raise WorkloadError("register_workload expects a Workload subclass")
+    if cls.name in _REGISTRY:
+        raise WorkloadError(f"workload name {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls

@@ -1,0 +1,87 @@
+"""Accuracy/overhead metric tests (Eq. 1 and trial aggregation)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import (
+    aggregate_trials,
+    estimated_total_accesses,
+    linearity_check,
+    sampling_accuracy,
+    time_overhead,
+)
+from repro.errors import ReproError
+
+
+class TestEq1:
+    def test_exact(self):
+        assert sampling_accuracy(1_000_000, 100, 10_000) == 1.0
+
+    def test_paper_interpretation(self):
+        """'if the sampling period is 10,000 then 1 of 10,000 operations
+        will be sampled' — samples x period estimates the total."""
+        assert estimated_total_accesses(100, 10_000) == 1_000_000
+
+    def test_absolute_value_symmetric(self):
+        lo = sampling_accuracy(1000, 9, 100)
+        hi = sampling_accuracy(1000, 11, 100)
+        assert lo == pytest.approx(hi)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            sampling_accuracy(0, 1, 1)
+        with pytest.raises(ReproError):
+            estimated_total_accesses(-1, 100)
+
+
+class TestOverhead:
+    def test_ten_percent(self):
+        assert time_overhead(10.0, 11.0) == pytest.approx(0.10)
+
+    def test_zero(self):
+        assert time_overhead(5.0, 5.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            time_overhead(0.0, 1.0)
+        with pytest.raises(ReproError):
+            time_overhead(1.0, -1.0)
+
+
+class TestTrials:
+    def test_mean_std(self):
+        s = aggregate_trials([1.0, 2.0, 3.0])
+        assert s.mean == 2.0
+        assert s.std == pytest.approx(1.0)
+        assert (s.minimum, s.maximum, s.n_trials) == (1.0, 3.0, 3)
+
+    def test_single_trial_zero_std(self):
+        assert aggregate_trials([5.0]).std == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            aggregate_trials([])
+
+
+class TestLinearity:
+    def test_ideal_scaling_slope_one(self):
+        periods = np.array([512, 1024, 2048, 4096, 8192])
+        counts = 1e9 / periods
+        slope, r2 = linearity_check(periods, counts)
+        assert slope == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_collision_losses_bend_the_line(self):
+        periods = np.array([512, 1024, 2048, 4096, 8192], dtype=float)
+        counts = 1e9 / periods
+        counts[0] *= 0.5  # heavy drops at the smallest period
+        slope, r2 = linearity_check(periods, counts)
+        assert r2 < 0.999
+
+    def test_needs_three_points(self):
+        with pytest.raises(ReproError):
+            linearity_check(np.array([1, 2]), np.array([1, 2]))
+
+    def test_positive_required(self):
+        with pytest.raises(ReproError):
+            linearity_check(np.array([1, 2, 3]), np.array([1, 0, 3]))

@@ -1,0 +1,71 @@
+"""ASCII plotting tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.plotting import line_plot, scatter_plot, table
+from repro.errors import ReproError
+
+
+class TestLinePlot:
+    def test_renders_all_series(self):
+        x = np.arange(10.0)
+        out = line_plot({"up": (x, x), "down": (x, 10 - x)}, title="T")
+        assert "T" in out
+        assert "*=up" in out and "+=down" in out
+        assert out.count("\n") > 10
+
+    def test_logx(self):
+        x = np.array([1e2, 1e3, 1e4])
+        out = line_plot({"s": (x, x)}, logx=True)
+        assert "(log)" in out
+
+    def test_logx_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            line_plot({"s": (np.array([0.0, 1.0]), np.zeros(2))}, logx=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_plot({})
+
+    def test_constant_series_ok(self):
+        out = line_plot({"c": (np.arange(3.0), np.full(3, 5.0))})
+        assert "y: [5, 6]" in out
+
+
+class TestScatterPlot:
+    def test_bands_labelled(self):
+        t = np.linspace(0, 1, 100)
+        a = np.linspace(0x1000, 0x2000, 100)
+        out = scatter_plot(t, a, bands=[("data_a", 0x1000, 0x2000)])
+        assert "<- data_a" in out
+        assert "100 samples" in out
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ReproError):
+            scatter_plot(np.zeros(3), np.zeros(2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            scatter_plot(np.zeros(0), np.zeros(0))
+
+
+class TestTable:
+    def test_alignment(self):
+        out = table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="X")
+        lines = out.splitlines()
+        assert lines[0] == "X"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_row_width_checked(self):
+        with pytest.raises(ReproError):
+            table(["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            table([], [])
+
+    def test_float_formatting(self):
+        out = table(["v"], [[1.23456e8]])
+        assert "1.23e+08" in out

@@ -1,0 +1,102 @@
+"""Temporal post-processing tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.temporal import (
+    bin_samples,
+    phase_segments,
+    rate_of,
+    resample,
+    saturation_point,
+)
+from repro.errors import ReproError
+
+
+class TestResample:
+    def test_step_interpolation(self):
+        t = np.array([0.0, 2.0, 4.0])
+        v = np.array([1.0, 5.0, 9.0])
+        g, gv = resample((t, v), dt=1.0)
+        assert gv.tolist() == [1.0, 1.0, 5.0, 5.0, 9.0]
+
+    def test_extends_to_t_end(self):
+        g, gv = resample((np.array([0.0]), np.array([7.0])), dt=1.0, t_end=3.0)
+        assert gv.tolist() == [7.0] * 4
+
+    def test_empty(self):
+        g, gv = resample((np.zeros(0), np.zeros(0)), dt=1.0)
+        assert g.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            resample((np.array([1.0, 0.0]), np.array([1.0, 2.0])), dt=1.0)
+        with pytest.raises(ReproError):
+            resample((np.zeros(1), np.zeros(1)), dt=0)
+
+
+class TestBinSamples:
+    def test_counts(self):
+        t, c = bin_samples(np.array([0.1, 0.2, 1.5]), dt=1.0)
+        assert c.tolist() == [2.0, 1.0]
+
+    def test_weights(self):
+        t, c = bin_samples(
+            np.array([0.1, 0.2]), dt=1.0, weights=np.array([3.0, 4.0])
+        )
+        assert c[0] == 7.0
+
+    def test_t_end_pads(self):
+        t, c = bin_samples(np.array([0.5]), dt=1.0, t_end=4.0)
+        assert c.size == 4
+
+    def test_empty(self):
+        t, c = bin_samples(np.zeros(0), dt=1.0)
+        assert c.size == 0
+
+
+class TestRateOf:
+    def test_derivative(self):
+        t = np.array([0.0, 1.0, 3.0])
+        v = np.array([0.0, 10.0, 14.0])
+        rt, rv = rate_of((t, v))
+        assert rv.tolist() == [10.0, 2.0]
+
+    def test_needs_increasing_times(self):
+        with pytest.raises(ReproError):
+            rate_of((np.array([0.0, 0.0]), np.array([1.0, 2.0])))
+
+
+class TestSegments:
+    def test_above_below(self):
+        t = np.arange(6.0)
+        v = np.array([0, 0, 10, 10, 0, 0], dtype=float)
+        segs = phase_segments((t, v), threshold=5.0)
+        assert segs == [(0.0, 2.0, False), (2.0, 4.0, True), (4.0, 5.0, False)]
+
+    def test_min_duration_filters(self):
+        t = np.arange(10.0)
+        v = np.array([0, 10, 0, 0, 0, 0, 0, 0, 0, 0], dtype=float)
+        segs = phase_segments((t, v), threshold=5.0, min_duration=2.0)
+        assert all(e - s >= 2.0 for s, e, _ in segs)
+
+    def test_constant_series_single_segment(self):
+        t = np.arange(5.0)
+        v = np.full(5, 7.0)
+        segs = phase_segments((t, v), threshold=5.0)
+        assert len(segs) == 1 and segs[0][2] is True
+
+
+class TestSaturation:
+    def test_point(self):
+        t = np.arange(5.0)
+        v = np.array([0.0, 50.0, 99.5, 100.0, 100.0])
+        assert saturation_point((t, v)) == 2.0
+
+    def test_fraction_validation(self):
+        with pytest.raises(ReproError):
+            saturation_point((np.zeros(1), np.zeros(1)), fraction=0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            saturation_point((np.zeros(0), np.zeros(0)))

@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import GenericTimer
+from repro.cpu.pipeline import PipelineModel
+from repro.machine.spec import ampere_altra_max, small_test_machine, x86_pebs_machine
+
+
+@pytest.fixture
+def ampere():
+    """The paper's testbed machine (Table II)."""
+    return ampere_altra_max()
+
+
+@pytest.fixture
+def tiny():
+    """A small machine for fast cache/address-space tests."""
+    return small_test_machine()
+
+
+@pytest.fixture
+def x86():
+    return x86_pebs_machine()
+
+
+@pytest.fixture
+def pipeline(ampere):
+    return PipelineModel(ampere)
+
+
+@pytest.fixture
+def timer(ampere):
+    return GenericTimer(ampere.frequency_hz)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

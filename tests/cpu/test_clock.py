@@ -1,0 +1,99 @@
+"""Clock / timescale tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import (
+    DEFAULT_CNTFRQ_HZ,
+    GenericTimer,
+    VirtualClock,
+    calc_mult_shift,
+    ticks_to_ns,
+)
+from repro.errors import MachineError
+
+
+class TestMultShift:
+    def test_conversion_accuracy(self):
+        mult, shift = calc_mult_shift(DEFAULT_CNTFRQ_HZ)
+        one_second_ticks = DEFAULT_CNTFRQ_HZ
+        ns = (one_second_ticks * mult) >> shift
+        assert ns == pytest.approx(1_000_000_000, rel=1e-6)
+
+    def test_various_frequencies(self):
+        for hz in (1e6, 25e6, 100e6, 1e9):
+            mult, shift = calc_mult_shift(hz)
+            ns = (int(hz) * mult) >> shift
+            assert ns == pytest.approx(1e9, rel=1e-5)
+
+    def test_mult_fits_32_bits_for_long_runs(self):
+        mult, _ = calc_mult_shift(25e6, maxsec=600)
+        assert mult < (1 << 32)
+
+    def test_bad_frequency(self):
+        with pytest.raises(MachineError):
+            calc_mult_shift(0)
+
+
+class TestTicksToNs:
+    def test_scalar(self):
+        assert ticks_to_ns(100, mult=40 << 8, shift=8) == 4000
+
+    def test_zero_offset(self):
+        assert ticks_to_ns(0, 123, 4, zero=77) == 77
+
+    def test_vector_matches_scalar(self):
+        mult, shift = calc_mult_shift(25e6)
+        ticks = np.array([0, 1, 25_000_000, 10**12], dtype=np.uint64)
+        vec = ticks_to_ns(ticks, mult, shift)
+        for t, v in zip(ticks.tolist(), np.asarray(vec).tolist()):
+            assert ticks_to_ns(int(t), mult, shift) == v
+
+    def test_no_uint64_overflow_on_large_counters(self):
+        mult, shift = calc_mult_shift(25e6)
+        # ~11 years of ticks: naive uint64 multiply would overflow
+        big = np.array([2**53], dtype=np.uint64)
+        out = np.asarray(ticks_to_ns(big, mult, shift))
+        assert out[0] == (2**53 * mult) >> shift
+
+
+class TestGenericTimer:
+    def test_cycles_to_ticks(self):
+        t = GenericTimer(core_hz=3e9, cnt_hz=25e6)
+        assert int(t.cycles_to_ticks(3e9)) == 25_000_000
+
+    def test_roundtrip(self):
+        t = GenericTimer(core_hz=3e9, cnt_hz=25e6)
+        cycles = 1.5e9
+        back = t.ticks_to_cycles(t.cycles_to_ticks(cycles))
+        assert back == pytest.approx(cycles, rel=1e-6)
+
+    def test_seconds(self):
+        t = GenericTimer(core_hz=3e9)
+        assert float(t.ticks_to_seconds(DEFAULT_CNTFRQ_HZ)) == pytest.approx(1.0)
+        assert int(t.seconds_to_ticks(2.0)) == 2 * DEFAULT_CNTFRQ_HZ
+
+    def test_monotone(self):
+        t = GenericTimer(core_hz=3e9)
+        c = np.linspace(0, 1e9, 1000)
+        ticks = t.cycles_to_ticks(c)
+        assert (np.diff(ticks.astype(np.int64)) >= 0).all()
+
+    def test_bad_frequency(self):
+        with pytest.raises(MachineError):
+            GenericTimer(core_hz=0)
+
+
+class TestVirtualClock:
+    def test_advance(self):
+        c = VirtualClock(1e9)
+        c.advance_cycles(5e8)
+        assert c.seconds == pytest.approx(0.5)
+        c.advance_seconds(0.5)
+        assert c.cycles == pytest.approx(1e9)
+        assert c.nanoseconds == pytest.approx(1e9)
+
+    def test_no_backwards(self):
+        c = VirtualClock(1e9)
+        with pytest.raises(MachineError):
+            c.advance_cycles(-1)

@@ -1,0 +1,75 @@
+"""Trace-driven core execution tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.core import Core
+from repro.cpu.ops import OpChunk, OpKind, interleave
+from repro.cpu.pipeline import PipelineModel
+from repro.errors import MachineError
+from repro.machine.hierarchy import MemoryHierarchy
+
+
+@pytest.fixture
+def core(tiny):
+    hier = MemoryHierarchy(tiny, n_cores=2)
+    return Core(0, hier, PipelineModel(tiny))
+
+
+class TestExecute:
+    def test_advances_clock(self, core):
+        chunk = interleave(np.arange(64, dtype=np.uint64) * 64, False, 1)
+        res = core.execute(chunk)
+        assert core.cycle > 0
+        assert res.total_cycles == pytest.approx(core.cycle)
+
+    def test_retire_counts(self, core):
+        chunk = interleave(np.arange(10, dtype=np.uint64) * 8, False, 1)
+        core.execute(chunk)
+        assert core.retired_ops == 20
+
+    def test_levels_populated_for_mem_only(self, core):
+        chunk = interleave(np.arange(8, dtype=np.uint64) * 64, False, 1)
+        res = core.execute(chunk)
+        mem = chunk.is_mem()
+        assert (res.levels[mem] > 0).all()
+        assert (res.levels[~mem] == 0).all()
+
+    def test_retire_after_issue(self, core):
+        chunk = interleave(np.arange(16, dtype=np.uint64) * 64, False, 1)
+        res = core.execute(chunk)
+        issue = np.arange(len(chunk)) / core.pipeline.dispatch_width
+        assert (res.retire_cycles >= issue - 1e-9).all()
+
+    def test_warm_rerun_is_faster(self, tiny):
+        hier = MemoryHierarchy(tiny, n_cores=1)
+        pipe = PipelineModel(tiny)
+        addrs = (np.arange(200, dtype=np.uint64) % 8) * 64  # tiny working set
+        chunk = interleave(addrs, False, 0)
+        cold = Core(0, hier, pipe)
+        r1 = cold.execute(chunk)
+        r2 = cold.execute(chunk)
+        assert r2.total_cycles < r1.total_cycles
+
+    def test_level_histogram(self, core):
+        chunk = interleave(np.arange(32, dtype=np.uint64) * 64, False, 0)
+        res = core.execute(chunk)
+        hist = res.level_histogram()
+        assert sum(hist.values()) == res.n_mem
+
+    def test_empty_chunk(self, core):
+        res = core.execute(
+            OpChunk(kinds=np.zeros(0, np.uint8), addrs=np.zeros(0, np.uint64))
+        )
+        assert res.n_ops == 0
+
+    def test_idle(self, core):
+        core.idle(100.0)
+        assert core.cycle == 100.0
+        with pytest.raises(MachineError):
+            core.idle(-1)
+
+    def test_bad_core_id(self, tiny):
+        hier = MemoryHierarchy(tiny, n_cores=1)
+        with pytest.raises(MachineError):
+            Core(5, hier, PipelineModel(tiny))

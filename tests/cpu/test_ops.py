@@ -1,0 +1,97 @@
+"""Op stream tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.ops import MEM_KINDS, OpChunk, OpKind, interleave
+from repro.errors import WorkloadError
+
+
+class TestOpChunk:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            OpChunk(kinds=np.zeros(3, np.uint8), addrs=np.zeros(2, np.uint64))
+
+    def test_mem_mask(self):
+        c = OpChunk(
+            kinds=np.array([0, 1, 2, 3, 4], np.uint8),
+            addrs=np.arange(5, dtype=np.uint64),
+        )
+        assert c.is_mem().tolist() == [False, True, True, False, False]
+        assert c.mem_addrs().tolist() == [1, 2]
+
+    def test_counts(self):
+        c = OpChunk(
+            kinds=np.array([1, 1, 2, 4], np.uint8), addrs=np.zeros(4, np.uint64)
+        )
+        assert c.count(OpKind.LOAD) == 2
+        assert c.counts()[OpKind.STORE] == 1
+        assert c.counts()[OpKind.FLOP] == 1
+
+    def test_slice_preserves_global_indices(self):
+        c = OpChunk(
+            kinds=np.zeros(10, np.uint8), addrs=np.zeros(10, np.uint64),
+            start_index=100,
+        )
+        s = c.slice(4, 7)
+        assert s.start_index == 104
+        assert len(s) == 3
+
+    def test_bad_slice(self):
+        c = OpChunk(kinds=np.zeros(5, np.uint8), addrs=np.zeros(5, np.uint64))
+        with pytest.raises(WorkloadError):
+            c.slice(3, 2)
+
+    def test_concat_contiguous(self):
+        a = OpChunk(kinds=np.zeros(3, np.uint8), addrs=np.zeros(3, np.uint64))
+        b = OpChunk(
+            kinds=np.ones(2, np.uint8), addrs=np.zeros(2, np.uint64), start_index=3
+        )
+        c = OpChunk.concat([a, b])
+        assert len(c) == 5
+        assert c.end_index == 5
+
+    def test_concat_gap_rejected(self):
+        a = OpChunk(kinds=np.zeros(3, np.uint8), addrs=np.zeros(3, np.uint64))
+        b = OpChunk(
+            kinds=np.zeros(2, np.uint8), addrs=np.zeros(2, np.uint64), start_index=5
+        )
+        with pytest.raises(WorkloadError):
+            OpChunk.concat([a, b])
+
+
+class TestInterleave:
+    def test_group_structure(self):
+        c = interleave(np.arange(4, dtype=np.uint64) * 8, False, ops_between=2)
+        assert len(c) == 12
+        assert c.count(OpKind.LOAD) == 4
+
+    def test_store_mask(self):
+        c = interleave(
+            np.arange(4, dtype=np.uint64),
+            np.array([True, False, True, False]),
+            ops_between=0,
+        )
+        assert c.count(OpKind.STORE) == 2
+        assert c.count(OpKind.LOAD) == 2
+
+    def test_flop_share(self):
+        c = interleave(
+            np.arange(100, dtype=np.uint64), False, ops_between=3, flop_share=0.5
+        )
+        flops = c.count(OpKind.FLOP)
+        assert flops == pytest.approx(150, abs=2)
+
+    def test_mem_addrs_preserved(self):
+        addrs = np.array([10, 20, 30], dtype=np.uint64)
+        c = interleave(addrs, False, ops_between=1)
+        assert (c.mem_addrs() == addrs).all()
+
+    def test_mem_kinds_constant(self):
+        assert OpKind.LOAD in MEM_KINDS and OpKind.STORE in MEM_KINDS
+
+    def test_bad_params(self):
+        with pytest.raises(WorkloadError):
+            interleave(np.zeros(1, np.uint64), False, ops_between=-1)
+        with pytest.raises(WorkloadError):
+            interleave(np.zeros(1, np.uint64), False, 1, flop_share=2.0)

@@ -1,0 +1,104 @@
+"""Pipeline timing model tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.ops import OpKind
+from repro.cpu.pipeline import PipelineModel, loaded_dram_scale
+from repro.errors import MachineError
+from repro.machine.hierarchy import MemLevel
+
+
+class TestOpLatencies:
+    def test_levels_required_for_mem(self, pipeline):
+        with pytest.raises(MachineError):
+            pipeline.op_latencies(np.array([OpKind.LOAD], np.uint8))
+
+    def test_dram_slower_than_l1(self, pipeline):
+        kinds = np.array([OpKind.LOAD, OpKind.LOAD], np.uint8)
+        levels = np.array([int(MemLevel.L1), int(MemLevel.DRAM)], np.uint8)
+        lat = pipeline.op_latencies(kinds, levels)
+        assert lat[1] > lat[0] * 10
+
+    def test_non_mem_cheap(self, pipeline):
+        kinds = np.array([OpKind.OTHER, OpKind.FLOP, OpKind.BRANCH], np.uint8)
+        lat = pipeline.op_latencies(kinds, np.zeros(3, np.uint8))
+        assert (lat <= 4).all()
+
+    def test_jitter_bounds(self, pipeline, rng):
+        kinds = np.full(1000, OpKind.LOAD, np.uint8)
+        levels = np.full(1000, int(MemLevel.DRAM), np.uint8)
+        base = pipeline.op_latencies(kinds, levels)[0]
+        lat = pipeline.op_latencies(kinds, levels, rng=rng)
+        assert (lat >= base * (1 - pipeline.jitter) - 1e-9).all()
+        assert (lat <= base * (1 + pipeline.jitter) + 1e-9).all()
+
+    def test_dram_scale(self, pipeline):
+        kinds = np.array([OpKind.LOAD], np.uint8)
+        levels = np.array([int(MemLevel.DRAM)], np.uint8)
+        l1 = pipeline.op_latencies(kinds, levels, dram_scale=1.0)[0]
+        l3 = pipeline.op_latencies(kinds, levels, dram_scale=3.0)[0]
+        assert l3 > 2 * l1
+
+    def test_dram_scale_does_not_affect_sram_levels(self, pipeline):
+        kinds = np.array([OpKind.LOAD], np.uint8)
+        levels = np.array([int(MemLevel.L2)], np.uint8)
+        a = pipeline.op_latencies(kinds, levels, dram_scale=1.0)[0]
+        b = pipeline.op_latencies(kinds, levels, dram_scale=5.0)[0]
+        assert a == b
+
+    def test_bad_dram_scale(self, pipeline):
+        with pytest.raises(MachineError):
+            pipeline.op_latencies(np.zeros(1, np.uint8), dram_scale=0.5)
+
+    def test_shape_mismatch(self, pipeline):
+        with pytest.raises(MachineError):
+            pipeline.op_latencies(
+                np.array([OpKind.LOAD], np.uint8), np.zeros(2, np.uint8)
+            )
+
+
+class TestAggregateTiming:
+    def test_frontend_bound(self, pipeline):
+        cyc = pipeline.chunk_cycles(1000, 0, 0.0)
+        assert cyc == pytest.approx(1000 / pipeline.dispatch_width)
+
+    def test_memory_stalls_add(self, pipeline):
+        base = pipeline.chunk_cycles(1000, 0, 0.0)
+        memy = pipeline.chunk_cycles(1000, 500, 100.0, mlp=4.0)
+        assert memy == pytest.approx(base + 500 * 100 / 4)
+
+    def test_ipc(self, pipeline):
+        assert pipeline.effective_ipc(1000, 0, 0.0) == pytest.approx(
+            pipeline.dispatch_width
+        )
+
+    def test_invalid_counts(self, pipeline):
+        with pytest.raises(MachineError):
+            pipeline.chunk_cycles(10, 20, 1.0)
+        with pytest.raises(MachineError):
+            pipeline.chunk_cycles(10, 5, 1.0, mlp=0)
+
+
+class TestLoadedDramScale:
+    def test_unloaded(self):
+        assert loaded_dram_scale(0.0) == 1.0
+
+    def test_monotone(self):
+        xs = [loaded_dram_scale(u) for u in (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert xs == sorted(xs)
+
+    def test_quadratic_under_roofline(self):
+        assert loaded_dram_scale(1.0, factor=2.0, over_factor=0.0) == pytest.approx(3.0)
+
+    def test_overload_linear(self):
+        s1 = loaded_dram_scale(1.0, factor=1.0, over_factor=0.5)
+        s3 = loaded_dram_scale(3.0, factor=1.0, over_factor=0.5)
+        assert s3 - s1 == pytest.approx(1.0)
+
+    def test_capped(self):
+        assert loaded_dram_scale(1e9) == loaded_dram_scale(16.0)
+
+    def test_negative_factor_rejected(self):
+        with pytest.raises(MachineError):
+            loaded_dram_scale(1.0, factor=-1)

@@ -1,0 +1,121 @@
+"""Experiment harness tests (small configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.evalharness.experiments import (
+    fig4_stream_regions,
+    fig5_cfd_single_thread,
+    fig6_cfd_32_threads,
+    fig7_samples_vs_period,
+    fig10_fig11_threads,
+    table1_env_defaults,
+    table2_machine_spec,
+)
+from repro.evalharness.report import (
+    render_fig7,
+    render_fig9,
+    render_fig10_fig11,
+    render_sweep_table,
+)
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        t = table1_env_defaults()
+        assert t == {
+            "NMO_ENABLE": "off",
+            "NMO_NAME": "nmo",
+            "NMO_MODE": "none",
+            "NMO_PERIOD": "0",
+            "NMO_TRACK_RSS": "off",
+            "NMO_BUFSIZE": "1",
+            "NMO_AUXBUFSIZE": "1",
+        }
+
+    def test_table2_rows(self):
+        t = table2_machine_spec()
+        assert t["Frequency"] == "3.0 GHz"
+        assert t["Mem. capacity"] == "256 GB"
+
+
+class TestRegionExperiments:
+    def test_fig4_has_tags_and_spans(self):
+        out = fig4_stream_regions(n_threads=4, n_elems=1 << 15, period=512)
+        assert {b[0] for b in out["bands"]} == {"a", "b", "c"}
+        assert out["triad_spans"]
+        assert out["times"].size > 100
+
+    def test_fig5_single_thread_continuous(self):
+        out = fig5_cfd_single_thread(n_elems=1 << 13, period=512)
+        # one thread: every object trivially "splits" across threads
+        assert out["result"].n_threads == 1
+        assert out["times"].size > 50
+
+    def test_fig6_split_scores(self):
+        out = fig6_cfd_32_threads(n_elems=1 << 14, period=256)
+        scores = out["split_scores"]
+        assert scores["normals"] > scores["variables"]
+        assert "hires" in out
+        hr = out["hires"]
+        assert hr["times"].size < out["times"].size
+
+    def test_fig6_hires_window_bounds(self):
+        out = fig6_cfd_32_threads(n_elems=1 << 14, period=256)
+        hr = out["hires"]
+        assert (hr["times"] >= hr["t0"]).all()
+        assert (hr["times"] < hr["t1"]).all()
+
+
+class TestSweepExperiments:
+    def test_fig7_small(self):
+        res = fig7_samples_vs_period(
+            periods=(2048, 8192), trials=2, workloads=("bfs",), scale=0.2
+        )
+        pts = res["bfs"]
+        assert len(pts) == 2
+        assert pts[0].samples_mean > pts[1].samples_mean
+        assert len(pts[0].samples_trials) == 2
+
+    def test_fig10_small(self):
+        rows = fig10_fig11_threads(thread_counts=(2, 8), scale=0.25)
+        assert [r["threads"] for r in rows] == [2, 8]
+        assert all(r["samples"] > 0 for r in rows)
+
+
+class TestRendering:
+    def test_render_sweep_table(self):
+        res = fig7_samples_vs_period(
+            periods=(4096,), trials=1, workloads=("bfs",), scale=0.1
+        )
+        txt = render_sweep_table(res["bfs"], "t")
+        assert "bfs" in txt and "4096" in txt
+
+    def test_render_fig7(self):
+        res = fig7_samples_vs_period(
+            periods=(2048, 8192), trials=1, workloads=("bfs",), scale=0.1
+        )
+        txt = render_fig7(res)
+        assert "log10(samples)" in txt
+
+    def test_render_fig9(self):
+        rows = [
+            {"aux_pages": 2, "accuracy": 0.0, "overhead": 0.0001,
+             "samples": 0, "wakeups": 0, "working": False},
+            {"aux_pages": 16, "accuracy": 0.93, "overhead": 0.002,
+             "samples": 100, "wakeups": 3, "working": True},
+        ]
+        txt = render_fig9(rows)
+        assert "aux buffer" in txt and "93.0%" in txt
+
+    def test_render_fig10(self):
+        rows = [
+            {"threads": 1, "accuracy": 0.9, "overhead": 0.003,
+             "collisions": 0, "throttle_events": 0, "samples": 10,
+             "throttled_samples": 0, "wakeups": 1},
+            {"threads": 128, "accuracy": 0.87, "overhead": 0.009,
+             "collisions": 50, "throttle_events": 4, "samples": 9,
+             "throttled_samples": 5, "wakeups": 128},
+        ]
+        txt = render_fig10_fig11(rows)
+        assert "thread sweep" in txt

@@ -1,0 +1,116 @@
+"""Cross-module integration tests: the full NMO pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import ampere_altra_max
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.nmo.regions import RegionProfile
+from repro.nmo.tracefile import read_trace, write_trace
+from repro.workloads.cfd import CfdWorkload
+from repro.workloads.stream import StreamWorkload
+
+
+class TestFullPipeline:
+    """Workload -> SPE sampling -> aux/ring bytes -> decode -> analysis."""
+
+    def test_sample_addresses_land_in_data_objects(self, ampere):
+        w = StreamWorkload(ampere, n_threads=4, n_elems=1 << 17, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+        r = NmoProfiler(w, s).run()
+        regions = w.process.address_space.classify(r.batch.addr)
+        assert (regions >= 0).all()  # every sample maps to a tagged object
+
+    def test_sample_timestamps_follow_phase_order(self, ampere):
+        w = StreamWorkload(ampere, n_threads=2, n_elems=1 << 17, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+        r = NmoProfiler(w, s).run()
+        spans = {name: (t0, t1) for name, _tag, t0, t1 in r.phase_spans}
+        init_t0, init_t1 = spans["init"]
+        triad0_t0, _ = spans["triad#0"]
+        assert init_t1 == pytest.approx(triad0_t0)
+        # samples in the init span should be stores to a/b/c
+        in_init = (r.sample_times_s >= init_t0) & (r.sample_times_s < init_t1)
+        assert in_init.any()
+
+    def test_mem_level_distribution_reasonable_for_stream(self, ampere):
+        from repro.machine.hierarchy import MemLevel
+
+        w = StreamWorkload(ampere, n_threads=32, scale=1 / 64)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=4096)
+        r = NmoProfiler(w, s).run()
+        frac_dram = (r.batch.level == int(MemLevel.DRAM)).mean()
+        # streaming doubles: ~1 DRAM access per 64B line = 1/8 of accesses
+        assert frac_dram == pytest.approx(0.125, abs=0.04)
+
+    def test_trace_file_to_region_analysis(self, ampere, tmp_path):
+        w = StreamWorkload(ampere, n_threads=4, n_elems=1 << 17, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048,
+                        name="e2e")
+        r = NmoProfiler(w, s).run()
+        write_trace(r.to_trace(), tmp_path)
+        back = read_trace("e2e", tmp_path)
+        assert back.n_samples == r.samples_processed
+        tags = {t[0] for t in back.meta["tags"]}
+        assert tags == {"a", "b", "c"}
+
+    def test_cfd_region_split_scores_match_paper(self, ampere):
+        """Fig. 6: normals splits cleanly per thread; the indirectly
+        accessed variables does not."""
+        w = CfdWorkload(ampere, n_threads=16, n_elems=1 << 15, iterations=4)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=512)
+        r = NmoProfiler(w, s).run()
+        prof = RegionProfile.build(r)
+        normals = prof.stats["normals"].split_score
+        variables = prof.stats["variables"].split_score
+        assert normals > 0.7
+        assert variables < normals - 0.2
+
+    def test_overhead_equals_charged_cycles(self, ampere):
+        w = StreamWorkload(ampere, n_threads=4, n_elems=1 << 18, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=1024)
+        r = NmoProfiler(w, s).run()
+        increase = r.profiled_cycles - r.baseline_cycles
+        # per-phase barriers align to the slowest thread, so the wall
+        # increase is at least the slowest thread's total overhead and at
+        # most the sum over threads (sum of per-phase maxima in between)
+        lo = max(st.overhead_cycles for st in r.per_thread)
+        hi = sum(st.overhead_cycles for st in r.per_thread)
+        assert lo <= increase + 1e-6
+        assert increase <= hi + 1e-6
+
+    def test_wakeups_match_watermark_arithmetic(self, ampere):
+        w = StreamWorkload(ampere, n_threads=1, n_elems=1 << 21, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=256)
+        r = NmoProfiler(w, s).run()
+        wm_records = (1 << 20) // 2 // 64  # 1 MiB aux, half watermark, 64B
+        expected = r.per_thread[0].n_written // wm_records
+        assert abs(r.per_thread[0].n_wakeups - expected) <= 2
+
+    def test_decode_skips_zero(self, ampere):
+        """No corruption is injected in a clean run: nothing skipped."""
+        w = StreamWorkload(ampere, n_threads=2, n_elems=1 << 17, iterations=2)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=1024)
+        r = NmoProfiler(w, s).run()
+        assert r.decode_skipped == 0
+
+
+class TestScaleInvariance:
+    """Rates/ratios must be stable across simulation scales."""
+
+    def test_accuracy_scale_free(self, ampere):
+        accs = []
+        for scale in (1 / 64, 1 / 16):
+            w = StreamWorkload(ampere, n_threads=32, scale=scale)
+            s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2000)
+            accs.append(NmoProfiler(w, s).run().accuracy)
+        assert accs[0] == pytest.approx(accs[1], abs=0.05)
+
+    def test_sample_counts_scale_linearly(self, ampere):
+        counts = []
+        for scale in (1 / 64, 1 / 16):
+            w = StreamWorkload(ampere, n_threads=32, scale=scale)
+            s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=4000)
+            counts.append(NmoProfiler(w, s).run().samples_processed)
+        assert counts[1] / counts[0] == pytest.approx(4.0, rel=0.1)

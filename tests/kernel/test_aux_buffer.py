@@ -1,0 +1,103 @@
+"""Aux buffer tests."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.kernel.aux_buffer import AuxBuffer
+
+
+def aux(pages=4, page=4096, wm=None):
+    return AuxBuffer(n_pages=pages, page_size=page, watermark=wm)
+
+
+class TestWrite:
+    def test_write_and_read_back(self):
+        a = aux()
+        data = bytes(range(256))
+        assert a.write(data) == 256
+        assert a.read(0, 256) == data
+
+    def test_default_watermark_half(self):
+        a = aux(pages=4, page=4096)
+        assert a.watermark == 8192
+
+    def test_overflow_drops_excess(self):
+        a = aux(pages=1, page=4096)
+        accepted = a.write(b"x" * 5000)
+        assert accepted == 4096
+        assert a.bytes_dropped == 904
+
+    def test_free_after_consume(self):
+        a = aux(pages=1, page=4096)
+        a.write(b"x" * 4096)
+        a.advance_tail(4096)
+        assert a.free == 4096
+        assert a.write(b"y" * 100) == 100
+
+    def test_wrapping_write_read(self):
+        a = aux(pages=1, page=4096)
+        a.write(b"a" * 3000)
+        a.advance_tail(3000)
+        payload = b"b" * 2000  # spans the wrap point
+        assert a.write(payload) == 2000
+        assert a.read(3000, 2000) == payload
+
+
+class TestSignals:
+    def test_signal_at_watermark(self):
+        a = aux(pages=1, page=4096, wm=1024)
+        a.write(b"x" * 1000)
+        assert not a.should_signal()
+        a.write(b"x" * 100)
+        assert a.should_signal()
+
+    def test_take_signal_returns_span(self):
+        a = aux(pages=1, page=4096, wm=512)
+        a.write(b"x" * 600)
+        off, size = a.take_signal()
+        assert (off, size) == (0, 600)
+        a.write(b"y" * 512)
+        off, size = a.take_signal()
+        assert (off, size) == (600, 512)
+
+    def test_take_signal_empty_rejected(self):
+        with pytest.raises(BufferError_):
+            aux().take_signal()
+
+    def test_bad_watermark(self):
+        with pytest.raises(BufferError_):
+            aux(wm=0)
+        with pytest.raises(BufferError_):
+            aux(pages=1, page=4096, wm=5000)
+
+
+class TestConsumerProtocol:
+    def test_read_outside_live_data_rejected(self):
+        a = aux()
+        a.write(b"x" * 100)
+        with pytest.raises(BufferError_):
+            a.read(0, 200)
+        with pytest.raises(BufferError_):
+            a.read(50, -1)
+
+    def test_tail_monotone(self):
+        a = aux()
+        a.write(b"x" * 100)
+        a.advance_tail(50)
+        with pytest.raises(BufferError_):
+            a.advance_tail(20)
+        with pytest.raises(BufferError_):
+            a.advance_tail(200)
+
+    def test_read_before_tail_rejected(self):
+        a = aux()
+        a.write(b"x" * 100)
+        a.advance_tail(60)
+        with pytest.raises(BufferError_):
+            a.read(0, 10)
+
+    def test_geometry_validation(self):
+        with pytest.raises(BufferError_):
+            AuxBuffer(n_pages=0, page_size=4096)
+        with pytest.raises(BufferError_):
+            AuxBuffer(n_pages=1, page_size=1000)

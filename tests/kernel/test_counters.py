@@ -1,0 +1,110 @@
+"""PMU counter / interval series tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PerfError
+from repro.kernel.counters import (
+    CounterEvent,
+    CounterGroup,
+    IntervalSeries,
+    PmuCounter,
+)
+
+
+class TestPmuCounter:
+    def test_accumulate(self):
+        c = PmuCounter(CounterEvent.MEM_ACCESS)
+        c.add(5)
+        c.add(7)
+        assert c.value == 12
+
+    def test_negative_rejected(self):
+        with pytest.raises(PerfError):
+            PmuCounter(CounterEvent.CYCLES).add(-1)
+
+    def test_disabled(self):
+        c = PmuCounter(CounterEvent.CYCLES, enabled=False)
+        c.add(10)
+        assert c.value == 0
+
+
+class TestCounterGroup:
+    def test_read_all(self):
+        g = CounterGroup([CounterEvent.MEM_ACCESS, CounterEvent.FP_OPS])
+        g.add(CounterEvent.MEM_ACCESS, 3)
+        assert g.read()[CounterEvent.MEM_ACCESS] == 3
+        assert g[CounterEvent.FP_OPS] == 0
+
+    def test_unknown_event(self):
+        g = CounterGroup([CounterEvent.MEM_ACCESS])
+        with pytest.raises(PerfError):
+            g.add(CounterEvent.CYCLES, 1)
+        with pytest.raises(PerfError):
+            g[CounterEvent.CYCLES]
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(PerfError):
+            CounterGroup([CounterEvent.CYCLES, CounterEvent.CYCLES])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PerfError):
+            CounterGroup([])
+
+    def test_reset_and_enable(self):
+        g = CounterGroup([CounterEvent.CYCLES])
+        g.add(CounterEvent.CYCLES, 5)
+        g.reset()
+        assert g[CounterEvent.CYCLES] == 0
+        g.enable(False)
+        g.add(CounterEvent.CYCLES, 5)
+        assert g[CounterEvent.CYCLES] == 0
+
+
+class TestIntervalSeries:
+    def test_binning(self):
+        s = IntervalSeries(interval_s=1.0)
+        s.add(0.5, 10)
+        s.add(0.9, 5)
+        s.add(2.1, 7)
+        t, v = s.series()
+        assert v.tolist() == [15.0, 0.0, 7.0]
+        assert t.tolist() == [0.0, 1.0, 2.0]
+
+    def test_rate(self):
+        s = IntervalSeries(interval_s=0.5)
+        s.add(0.1, 100)
+        _, r = s.rate_series()
+        assert r[0] == pytest.approx(200.0)
+
+    def test_add_many_matches_scalar(self):
+        s1, s2 = IntervalSeries(), IntervalSeries()
+        ts = np.array([0.1, 0.2, 1.5, 3.9])
+        amts = np.array([1.0, 2.0, 3.0, 4.0])
+        s1.add_many(ts, amts)
+        for t, a in zip(ts, amts):
+            s2.add(float(t), float(a))
+        assert s1.series()[1].tolist() == s2.series()[1].tolist()
+
+    def test_until_extends_zero_bins(self):
+        s = IntervalSeries()
+        s.add(0.5, 1)
+        t, v = s.series(until_s=5.0)
+        assert len(v) == 6
+        assert v[5] == 0.0
+
+    def test_negative_rejected(self):
+        s = IntervalSeries()
+        with pytest.raises(PerfError):
+            s.add(-1.0, 1)
+        with pytest.raises(PerfError):
+            s.add(1.0, -1)
+
+    def test_total(self):
+        s = IntervalSeries()
+        s.add_many(np.array([0.0, 1.0]), 2.5)
+        assert s.total == pytest.approx(5.0)
+
+    def test_empty(self):
+        t, v = IntervalSeries().series()
+        assert t.size == 0 and v.size == 0

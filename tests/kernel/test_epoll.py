@@ -1,0 +1,71 @@
+"""epoll readiness tests."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.kernel.epoll import EPOLLIN, Epoll
+from repro.kernel.perf_event import PerfEventAttr, PerfSubsystem, ARM_SPE_PMU_TYPE
+from repro.kernel.records import AuxRecord
+from repro.spe.config import SpeConfig
+
+
+@pytest.fixture
+def event(ampere):
+    ps = PerfSubsystem(ampere)
+    ev = ps.perf_event_open(
+        PerfEventAttr(
+            type=ARM_SPE_PMU_TYPE,
+            config=SpeConfig.loads_and_stores().encode(),
+            sample_period=4096,
+        ),
+        cpu=0,
+    )
+    ev.mmap_ring(8)
+    return ev
+
+
+class TestEpoll:
+    def test_register_and_wait_empty(self, event):
+        ep = Epoll()
+        ep.register(event)
+        assert ep.wait() == []
+
+    def test_ready_after_record(self, event):
+        ep = Epoll()
+        ep.register(event, EPOLLIN)
+        event.ring.write_record(AuxRecord(0, 64, 0))
+        assert ep.wait() == [event]
+
+    def test_level_triggered_until_drained(self, event):
+        ep = Epoll()
+        ep.register(event)
+        event.ring.write_record(AuxRecord(0, 64, 0))
+        assert ep.wait() == [event]
+        assert ep.wait() == [event]  # still readable
+        event.ring.read_records()
+        assert ep.wait() == []
+
+    def test_double_register_rejected(self, event):
+        ep = Epoll()
+        ep.register(event)
+        with pytest.raises(PerfError):
+            ep.register(event)
+
+    def test_unregister(self, event):
+        ep = Epoll()
+        ep.register(event)
+        ep.unregister(event)
+        assert event not in ep
+        with pytest.raises(PerfError):
+            ep.unregister(event)
+
+    def test_non_epollin_rejected(self, event):
+        ep = Epoll()
+        with pytest.raises(PerfError):
+            ep.register(event, events=0x4)
+
+    def test_n_registered(self, event):
+        ep = Epoll()
+        assert ep.n_registered == 0
+        ep.register(event)
+        assert ep.n_registered == 1

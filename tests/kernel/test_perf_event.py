@@ -1,0 +1,175 @@
+"""perf_event_open syscall surface tests."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.kernel.counters import CounterEvent
+from repro.kernel.perf_event import (
+    ARM_SPE_PMU_TYPE,
+    PERF_EVENT_IOC_DISABLE,
+    PERF_EVENT_IOC_ENABLE,
+    PERF_EVENT_IOC_RESET,
+    PERF_TYPE_HARDWARE,
+    PerfEventAttr,
+    PerfSubsystem,
+)
+from repro.spe.config import SpeConfig
+
+
+def spe_attr(period=4096):
+    return PerfEventAttr(
+        type=ARM_SPE_PMU_TYPE,
+        config=SpeConfig.loads_and_stores().encode(),
+        sample_period=period,
+    )
+
+
+class TestOpen:
+    def test_spe_type_value_matches_paper(self):
+        assert ARM_SPE_PMU_TYPE == 0x2C
+
+    def test_open_spe(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        assert ev.is_spe
+        assert ev.fd >= 3
+
+    def test_fds_unique(self, ampere):
+        ps = PerfSubsystem(ampere)
+        fds = {ps.perf_event_open(spe_attr(), cpu=i).fd for i in range(8)}
+        assert len(fds) == 8
+
+    def test_spe_requires_cpu(self, ampere):
+        ps = PerfSubsystem(ampere)
+        with pytest.raises(PerfError) as e:
+            ps.perf_event_open(spe_attr(), cpu=-1)
+        assert e.value.code == "EINVAL"
+
+    def test_spe_requires_period(self, ampere):
+        ps = PerfSubsystem(ampere)
+        with pytest.raises(PerfError):
+            ps.perf_event_open(spe_attr(period=0), cpu=0)
+
+    def test_no_spe_on_x86(self, x86):
+        ps = PerfSubsystem(x86)
+        with pytest.raises(PerfError) as e:
+            ps.perf_event_open(spe_attr(), cpu=0)
+        assert e.value.code == "ENOENT"
+
+    def test_cpu_out_of_range(self, ampere):
+        ps = PerfSubsystem(ampere)
+        with pytest.raises(PerfError):
+            ps.perf_event_open(spe_attr(), cpu=ampere.n_cores)
+
+    def test_unknown_pmu_type(self, ampere):
+        ps = PerfSubsystem(ampere)
+        with pytest.raises(PerfError) as e:
+            ps.perf_event_open(PerfEventAttr(type=0x99), cpu=0)
+        assert e.value.code == "ENOENT"
+
+    def test_counting_event_needs_selector(self, ampere):
+        ps = PerfSubsystem(ampere)
+        with pytest.raises(PerfError):
+            ps.perf_event_open(PerfEventAttr(type=PERF_TYPE_HARDWARE))
+
+    def test_close(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        ps.close(ev)
+        with pytest.raises(PerfError):
+            ps.close(ev)
+
+    def test_spe_events_listing(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ps.perf_event_open(spe_attr(), cpu=0)
+        ps.perf_event_open(
+            PerfEventAttr(
+                type=PERF_TYPE_HARDWARE, counter_event=CounterEvent.MEM_ACCESS
+            )
+        )
+        assert len(ps.spe_events()) == 1
+
+
+class TestMmap:
+    def test_ring_pages_power_of_two(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        with pytest.raises(PerfError):
+            ev.mmap_ring(3)
+
+    def test_ring_then_aux(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        ring = ev.mmap_ring(8)
+        aux = ev.mmap_aux(16)
+        assert ring.meta.aux_offset == 9 * ampere.page_size
+        assert ring.meta.aux_size == aux.size
+
+    def test_aux_without_ring_rejected(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        with pytest.raises(PerfError):
+            ev.mmap_aux(16)
+
+    def test_double_mmap_rejected(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        ev.mmap_ring(8)
+        with pytest.raises(PerfError) as e:
+            ev.mmap_ring(8)
+        assert e.value.code == "EBUSY"
+
+    def test_timescale_published(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        ring = ev.mmap_ring(8)
+        assert ring.meta.time_mult > 0
+        assert ring.meta.time_shift > 0
+        assert ring.meta.cap_user_time_zero == 1
+
+
+class TestIoctlAndCounters:
+    def test_enable_disable(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        assert not ev.enabled
+        ev.ioctl(PERF_EVENT_IOC_ENABLE)
+        assert ev.enabled
+        ev.ioctl(PERF_EVENT_IOC_DISABLE)
+        assert not ev.enabled
+
+    def test_unknown_ioctl(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        with pytest.raises(PerfError):
+            ev.ioctl(0x9999)
+
+    def test_counter_read_and_reset(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(
+            PerfEventAttr(
+                type=PERF_TYPE_HARDWARE,
+                counter_event=CounterEvent.MEM_ACCESS,
+                disabled=False,
+            )
+        )
+        ev.count(100)
+        assert ev.read() == 100
+        ev.ioctl(PERF_EVENT_IOC_RESET)
+        assert ev.read() == 0
+
+    def test_read_on_sampling_event_rejected(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(spe_attr(), cpu=0)
+        with pytest.raises(PerfError):
+            ev.read()
+
+    def test_disabled_counter_ignores_counts(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(
+            PerfEventAttr(
+                type=PERF_TYPE_HARDWARE, counter_event=CounterEvent.MEM_ACCESS
+            )
+        )
+        ev.count(100)  # disabled by default
+        assert ev.read() == 0

@@ -1,0 +1,79 @@
+"""perf record serialisation tests."""
+
+import pytest
+
+from repro.errors import PerfError
+from repro.kernel.records import (
+    HEADER_SIZE,
+    PERF_AUX_FLAG_COLLISION,
+    PERF_AUX_FLAG_TRUNCATED,
+    AuxRecord,
+    ItraceStartRecord,
+    LostRecord,
+    RecordHeader,
+    ThrottleRecord,
+    parse_record,
+)
+
+
+class TestHeader:
+    def test_roundtrip(self):
+        h = RecordHeader(type=11, misc=0, size=32)
+        assert RecordHeader.unpack(h.pack()) == h
+
+    def test_size_validation(self):
+        bad = RecordHeader(type=1, misc=0, size=4).pack()
+        with pytest.raises(PerfError):
+            RecordHeader.unpack(bad)
+
+    def test_header_is_8_bytes(self):
+        assert HEADER_SIZE == 8
+        assert len(RecordHeader(1, 0, 8).pack()) == 8
+
+
+class TestAuxRecord:
+    def test_roundtrip(self):
+        r = AuxRecord(aux_offset=1 << 40, aux_size=4096, flags=PERF_AUX_FLAG_TRUNCATED)
+        rec, size = parse_record(r.pack())
+        assert rec == r
+        assert size == len(r.pack())
+
+    def test_flag_properties(self):
+        r = AuxRecord(0, 0, PERF_AUX_FLAG_TRUNCATED | PERF_AUX_FLAG_COLLISION)
+        assert r.truncated and r.collision and not r.partial
+
+    def test_flag_values_match_uapi(self):
+        assert PERF_AUX_FLAG_TRUNCATED == 0x01
+        assert PERF_AUX_FLAG_COLLISION == 0x08
+
+
+class TestOtherRecords:
+    def test_lost_roundtrip(self):
+        r = LostRecord(event_id=7, lost=123)
+        rec, _ = parse_record(r.pack())
+        assert rec == r
+
+    def test_throttle_roundtrip(self):
+        r = ThrottleRecord(time=999, event_id=1, stream_id=2, throttled=True)
+        rec, _ = parse_record(r.pack())
+        assert rec == r
+
+    def test_unthrottle_roundtrip(self):
+        r = ThrottleRecord(time=999, event_id=1, stream_id=2, throttled=False)
+        rec, _ = parse_record(r.pack())
+        assert rec.throttled is False
+
+    def test_itrace_roundtrip(self):
+        r = ItraceStartRecord(pid=100, tid=101)
+        rec, _ = parse_record(r.pack())
+        assert rec == r
+
+    def test_unknown_type_rejected(self):
+        hdr = RecordHeader(type=200, misc=0, size=8).pack()
+        with pytest.raises(PerfError):
+            parse_record(hdr)
+
+    def test_parse_at_offset(self):
+        buf = b"\x00" * 16 + AuxRecord(1, 2, 0).pack()
+        rec, _ = parse_record(buf, offset=16)
+        assert rec == AuxRecord(1, 2, 0)

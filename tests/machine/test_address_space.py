@@ -1,0 +1,135 @@
+"""Virtual address space / RSS accounting tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressSpaceError, OutOfMemoryError, SegmentationFault
+from repro.machine.address_space import VirtualAddressSpace
+
+
+@pytest.fixture
+def vas(tiny):
+    return VirtualAddressSpace(tiny)
+
+
+class TestMmap:
+    def test_rounds_to_pages(self, vas, tiny):
+        m = vas.mmap(1)
+        assert m.length == tiny.page_size
+
+    def test_named_lookup(self, vas):
+        m = vas.mmap(100, name="data")
+        assert vas.region("data") is m
+
+    def test_duplicate_name_rejected(self, vas):
+        vas.mmap(100, name="x")
+        with pytest.raises(AddressSpaceError):
+            vas.mmap(100, name="x")
+
+    def test_zero_length_rejected(self, vas):
+        with pytest.raises(AddressSpaceError):
+            vas.mmap(0)
+
+    def test_mappings_do_not_overlap(self, vas):
+        ms = [vas.mmap(10_000) for _ in range(10)]
+        spans = sorted((m.start, m.end) for m in ms)
+        for (s0, e0), (s1, _e1) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+    def test_guard_gap_between_mappings(self, vas, tiny):
+        a = vas.mmap(tiny.page_size)
+        b = vas.mmap(tiny.page_size)
+        assert b.start - a.end >= tiny.page_size
+
+    def test_unmap_then_name_reusable(self, vas):
+        m = vas.mmap(100, name="tmp")
+        vas.munmap(m)
+        m2 = vas.mmap(100, name="tmp")
+        assert not m2.freed
+
+    def test_double_unmap_rejected(self, vas):
+        m = vas.mmap(100)
+        vas.munmap(m)
+        with pytest.raises(AddressSpaceError):
+            vas.munmap(m)
+
+    def test_freed_region_lookup_fails(self, vas):
+        m = vas.mmap(100, name="gone")
+        vas.munmap(m)
+        with pytest.raises(AddressSpaceError):
+            vas.region("gone")
+
+
+class TestResidency:
+    def test_rss_starts_zero(self, vas):
+        vas.mmap(100_000)
+        assert vas.rss_bytes == 0
+
+    def test_touch_makes_pages_resident(self, vas, tiny):
+        m = vas.mmap(tiny.page_size * 4)
+        new = vas.touch(np.array([m.start, m.start + tiny.page_size]))
+        assert new == 2
+        assert vas.rss_bytes == 2 * tiny.page_size
+
+    def test_touch_same_page_once(self, vas):
+        m = vas.mmap(100_000)
+        vas.touch(np.array([m.start, m.start + 1, m.start + 7]))
+        assert vas.rss_pages == 1
+
+    def test_touch_unmapped_faults(self, vas):
+        with pytest.raises(SegmentationFault):
+            vas.touch(np.array([0x10]))
+
+    def test_fault_reports_address(self, vas):
+        try:
+            vas.touch(np.array([0x1234]))
+        except SegmentationFault as e:
+            assert e.addr == 0x1234
+
+    def test_populate(self, vas, tiny):
+        vas.mmap(tiny.page_size * 8, name="big")
+        vas.populate("big")
+        assert vas.rss_bytes == tiny.page_size * 8
+
+    def test_munmap_releases_rss(self, vas):
+        m = vas.mmap(100_000, name="tmp")
+        vas.populate("tmp")
+        vas.munmap(m)
+        assert vas.rss_bytes == 0
+
+    def test_mem_limit_enforced(self, tiny):
+        vas = VirtualAddressSpace(tiny, mem_limit=tiny.page_size * 2)
+        vas.mmap(tiny.page_size * 8, name="big")
+        with pytest.raises(OutOfMemoryError):
+            vas.populate("big")
+
+    def test_empty_touch_noop(self, vas):
+        assert vas.touch(np.array([], dtype=np.uint64)) == 0
+
+
+class TestLookup:
+    def test_find(self, vas):
+        m = vas.mmap(100, name="a")
+        assert vas.find(m.start) is m
+        assert vas.find(m.end) is not m
+
+    def test_classify_vectorised(self, vas):
+        a = vas.mmap(10_000, name="a")
+        b = vas.mmap(10_000, name="b")
+        addrs = np.array([a.start, b.start, 0x10, a.start + 5], dtype=np.uint64)
+        out = vas.classify(addrs)
+        assert out[0] == out[3]
+        assert out[1] != out[0]
+        assert out[2] == -1
+
+    def test_layout_sorted(self, vas):
+        vas.mmap(100, name="a")
+        vas.mmap(100, name="b")
+        layout = vas.layout()
+        assert [r[0] for r in layout] == ["a", "b"]
+        assert layout[0][1] < layout[1][1]
+
+    def test_mapped_bytes(self, vas, tiny):
+        vas.mmap(tiny.page_size)
+        vas.mmap(tiny.page_size * 2)
+        assert vas.mapped_bytes == 3 * tiny.page_size

@@ -1,0 +1,117 @@
+"""Set-associative cache simulator tests."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.spec import CacheSpec
+
+
+def make(size=1024, ways=2, line=64):
+    return SetAssociativeCache(CacheSpec(size, ways, line_size=line), "t")
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make()
+        assert not c.access(0)
+        assert c.access(0)
+
+    def test_same_line_hits(self):
+        c = make()
+        c.access(0)
+        assert c.access(63)
+        assert not c.access(64)
+
+    def test_hit_ratio(self):
+        c = make()
+        c.access(0)
+        c.access(0)
+        c.access(0)
+        assert c.hit_ratio == pytest.approx(2 / 3)
+
+    def test_probe_does_not_mutate(self):
+        c = make()
+        c.access(0)
+        h, m = c.hits, c.misses
+        assert c.probe(0)
+        assert not c.probe(4096)
+        assert (c.hits, c.misses) == (h, m)
+
+    def test_occupancy(self):
+        c = make(size=1024, ways=2)  # 16 lines
+        for i in range(8):
+            c.access(i * 64)
+        assert c.occupancy == 8
+
+    def test_invalidate_all(self):
+        c = make()
+        c.access(0)
+        c.invalidate_all()
+        assert c.occupancy == 0
+        assert not c.access(0)
+
+    def test_reset_stats_keeps_contents(self):
+        c = make()
+        c.access(0)
+        c.reset_stats()
+        assert c.accesses == 0
+        assert c.probe(0)
+
+
+class TestLru:
+    def test_lru_eviction_order(self):
+        # direct-set cache: 1 set, 2 ways, 64B lines
+        c = make(size=128, ways=2)
+        c.access(0)      # A
+        c.access(64)     # B
+        c.access(0)      # touch A (B is now LRU)
+        c.access(128)    # C evicts B
+        assert c.probe(0)
+        assert not c.probe(64)
+        assert c.probe(128)
+
+    def test_eviction_counted(self):
+        c = make(size=128, ways=2)
+        for i in range(3):
+            c.access(i * 64)
+        assert c.evictions == 1
+
+    def test_working_set_within_capacity_all_hits_after_warmup(self):
+        c = make(size=2048, ways=4)
+        addrs = np.arange(0, 2048, 64, dtype=np.uint64)
+        c.access_many(addrs)
+        hits = c.access_many(addrs)
+        assert hits.all()
+
+    def test_streaming_larger_than_cache_never_rehits(self):
+        c = make(size=1024, ways=2)
+        addrs = np.arange(0, 1024 * 64, 64, dtype=np.uint64)
+        first = c.access_many(addrs)
+        assert not first.any()
+        second = c.access_many(addrs)  # stream evicted itself
+        assert not second.any()
+
+
+class TestVectorised:
+    def test_access_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        addrs = rng.integers(0, 1 << 16, size=500, dtype=np.uint64)
+        c1, c2 = make(), make()
+        vec = c1.access_many(addrs)
+        scl = np.array([c2.access(int(a)) for a in addrs])
+        assert (vec == scl).all()
+
+    def test_resident_lines_sorted_unique(self):
+        c = make()
+        c.access_many(np.array([0, 64, 0, 128], dtype=np.uint64))
+        lines = c.resident_lines()
+        assert (np.diff(lines) > 0).all()
+        assert lines.size == 3
+
+    def test_stats_dict(self):
+        c = make()
+        c.access(0)
+        s = c.stats()
+        assert s["accesses"] == 1.0
+        assert s["misses"] == 1.0

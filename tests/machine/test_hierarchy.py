@@ -1,0 +1,84 @@
+"""Memory hierarchy (L1 -> L2 -> SLC -> DRAM) tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.hierarchy import MemLevel, MemoryHierarchy
+
+
+@pytest.fixture
+def hier(tiny):
+    return MemoryHierarchy(tiny, n_cores=2)
+
+
+class TestAccessPath:
+    def test_cold_access_reaches_dram(self, hier):
+        assert hier.access(0, 0x1000) == MemLevel.DRAM
+
+    def test_second_access_hits_l1(self, hier):
+        hier.access(0, 0x1000)
+        assert hier.access(0, 0x1000) == MemLevel.L1
+
+    def test_other_core_hits_slc(self, hier):
+        hier.access(0, 0x1000)
+        # core 1's private L1/L2 are cold but the shared SLC has the line
+        assert hier.access(1, 0x1000) == MemLevel.SLC
+
+    def test_l2_hit_after_l1_eviction(self, hier, tiny):
+        # fill L1 (1 KiB, 64B lines -> 16 lines) well past capacity
+        base = 0x100000
+        for i in range(64):
+            hier.access(0, base + i * 64)
+        # the first line left L1 but should still be in L2 (8 KiB)
+        lvl = hier.access(0, base)
+        assert lvl in (MemLevel.L2, MemLevel.SLC)
+        assert lvl != MemLevel.DRAM
+
+    def test_bad_core_rejected(self, hier):
+        with pytest.raises(MachineError):
+            hier.access(99, 0)
+
+    def test_too_many_cores_rejected(self, tiny):
+        with pytest.raises(MachineError):
+            MemoryHierarchy(tiny, n_cores=tiny.n_cores + 1)
+
+
+class TestCounting:
+    def test_level_counts_sum_to_accesses(self, hier, rng):
+        addrs = rng.integers(0, 1 << 20, size=400, dtype=np.uint64)
+        hier.access_many(0, addrs)
+        counts = hier.level_counts()
+        assert sum(counts.values()) == 400
+
+    def test_dram_bytes(self, hier, tiny):
+        hier.access(0, 0)
+        assert hier.dram_bytes() == tiny.line_size
+
+    def test_flush_forces_dram(self, hier):
+        hier.access(0, 0)
+        hier.flush()
+        assert hier.access(0, 0) == MemLevel.DRAM
+
+    def test_reset_stats(self, hier):
+        hier.access(0, 0)
+        hier.reset_stats()
+        assert hier.dram_accesses == 0
+        assert sum(hier.level_counts().values()) == 0
+
+
+class TestLatency:
+    def test_latency_ordering(self, hier):
+        lats = [hier.latency_cycles(lv) for lv in MemLevel]
+        assert lats == sorted(lats)
+        assert lats[0] < lats[-1]
+
+    def test_latencies_for_vectorised(self, hier):
+        levels = np.array([1, 2, 3, 4], dtype=np.uint8)
+        lat = hier.latencies_for(levels)
+        assert lat[0] == hier.latency_cycles(MemLevel.L1)
+        assert lat[3] == hier.latency_cycles(MemLevel.DRAM)
+
+    def test_memlevel_pretty(self):
+        assert MemLevel.DRAM.pretty == "DRAM"
+        assert MemLevel.L1.pretty == "L1"

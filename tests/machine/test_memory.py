@@ -1,0 +1,48 @@
+"""DRAM bandwidth model tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.memory import DramModel
+from repro.machine.spec import DramSpec, GiB
+
+
+@pytest.fixture
+def dram():
+    return DramModel(DramSpec(capacity=GiB, peak_bandwidth=100e9), efficiency=0.8)
+
+
+class TestDramModel:
+    def test_usable_bandwidth(self, dram):
+        assert dram.usable_bandwidth == pytest.approx(80e9)
+
+    def test_effective_bandwidth_caps_at_usable(self, dram):
+        assert dram.effective_bandwidth(10e9) == 10e9
+        assert dram.effective_bandwidth(500e9) == pytest.approx(80e9)
+
+    def test_negative_demand_rejected(self, dram):
+        with pytest.raises(MachineError):
+            dram.effective_bandwidth(-1)
+
+    def test_service_time(self, dram):
+        assert dram.service_time(80e9) == pytest.approx(1.0)
+        assert dram.bytes_moved == 80e9
+
+    def test_slowdown_below_roofline(self, dram):
+        assert dram.slowdown(10e9) == 1.0
+
+    def test_slowdown_above_roofline_proportional(self, dram):
+        assert dram.slowdown(160e9) == pytest.approx(2.0)
+
+    def test_utilisation_vectorised(self, dram):
+        import numpy as np
+
+        u = dram.utilisation(np.array([50e9, 100e9]))
+        assert u[0] == pytest.approx(0.5)
+        assert u[1] == pytest.approx(1.0)
+
+    def test_bad_efficiency(self):
+        with pytest.raises(MachineError):
+            DramModel(DramSpec(GiB, 1e9), efficiency=0.0)
+        with pytest.raises(MachineError):
+            DramModel(DramSpec(GiB, 1e9), efficiency=1.5)

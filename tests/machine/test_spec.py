@@ -1,0 +1,127 @@
+"""MachineSpec / Table II tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.spec import (
+    CACHE_LINE,
+    CacheSpec,
+    DramSpec,
+    GiB,
+    KiB,
+    MachineSpec,
+    MiB,
+    ampere_altra_max,
+    small_test_machine,
+    x86_pebs_machine,
+)
+
+
+class TestCacheSpec:
+    def test_sets_and_lines(self):
+        c = CacheSpec(64 * KiB, 4)
+        assert c.n_lines == 1024
+        assert c.n_sets == 256
+
+    def test_rejects_non_divisible_geometry(self):
+        with pytest.raises(MachineError):
+            CacheSpec(1000, 3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(MachineError):
+            CacheSpec(0, 4)
+        with pytest.raises(MachineError):
+            CacheSpec(64 * KiB, 0)
+
+
+class TestDramSpec:
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(MachineError):
+            DramSpec(0, 1e9)
+        with pytest.raises(MachineError):
+            DramSpec(GiB, 0)
+
+
+class TestTable2:
+    """The Ampere preset must match the paper's Table II exactly."""
+
+    def test_cores(self):
+        assert ampere_altra_max().n_cores == 128
+
+    def test_frequency(self):
+        assert ampere_altra_max().frequency_hz == 3.0e9
+
+    def test_memory_capacity(self):
+        assert ampere_altra_max().dram.capacity == 256 * GiB
+
+    def test_peak_bandwidth(self):
+        assert ampere_altra_max().dram.peak_bandwidth == 200e9
+
+    def test_l1_sizes(self):
+        m = ampere_altra_max()
+        assert m.l1d.size == 64 * KiB
+        assert m.l1i.size == 64 * KiB
+
+    def test_l2_size(self):
+        assert ampere_altra_max().l2.size == 1 * MiB
+
+    def test_slc_size_and_sharing(self):
+        m = ampere_altra_max()
+        assert m.slc.size == 16 * MiB
+        assert m.slc.shared
+
+    def test_page_size_is_64k(self):
+        assert ampere_altra_max().page_size == 64 * KiB
+
+    def test_has_spe(self):
+        assert ampere_altra_max().has_spe
+        assert ampere_altra_max().arch == "aarch64"
+
+    def test_describe_rows(self):
+        rows = ampere_altra_max().describe()
+        assert rows["Cores"].startswith("128")
+        assert rows["Frequency"] == "3.0 GHz"
+        assert rows["Mem. capacity"] == "256 GB"
+        assert rows["Peak bandwidth"] == "200 GB/s"
+        assert rows["System Level Cache"] == "16 MB"
+
+
+class TestMachineSpec:
+    def test_line_size_uniform(self):
+        assert ampere_altra_max().line_size == CACHE_LINE
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(MachineError):
+            MachineSpec(l2=CacheSpec(1 * MiB, 8, line_size=128))
+
+    def test_page_size_power_of_two(self):
+        with pytest.raises(MachineError):
+            MachineSpec(page_size=3000)
+
+    def test_cycle_conversions_roundtrip(self):
+        m = ampere_altra_max()
+        assert m.cycles_to_seconds(m.seconds_to_cycles(1.5)) == pytest.approx(1.5)
+
+    def test_pages_rounds_up(self):
+        m = ampere_altra_max()
+        assert m.pages(1) == 1
+        assert m.pages(m.page_size) == 1
+        assert m.pages(m.page_size + 1) == 2
+
+    def test_with_cores(self):
+        m = ampere_altra_max().with_cores(8)
+        assert m.n_cores == 8
+        assert m.l2.size == ampere_altra_max().l2.size
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(MachineError):
+            MachineSpec(n_cores=0)
+
+    def test_x86_machine_has_no_spe(self):
+        m = x86_pebs_machine()
+        assert not m.has_spe
+        assert m.arch == "x86_64"
+
+    def test_small_machine_hierarchy_ordering(self):
+        m = small_test_machine()
+        assert m.l1d.size < m.l2.size < m.slc.size < m.dram.capacity

@@ -1,0 +1,141 @@
+"""Analytic cache model tests, including cross-validation vs the exact
+simulator on tractable patterns."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.hierarchy import MemLevel, MemoryHierarchy
+from repro.machine.spec import KiB, MiB
+from repro.machine.statcache import AccessClass, StatCacheModel
+
+
+@pytest.fixture
+def model(ampere):
+    return StatCacheModel(ampere)
+
+
+class TestAccessClass:
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            AccessClass(footprint=0)
+        with pytest.raises(MachineError):
+            AccessClass(footprint=1, stride=-1)
+        with pytest.raises(MachineError):
+            AccessClass(footprint=1, reuse=1.0)
+        with pytest.raises(MachineError):
+            AccessClass(footprint=1, weight=0)
+
+
+class TestSingleClass:
+    def test_probabilities_sum_to_one(self, model):
+        for cls in (
+            AccessClass(footprint=1 * KiB, stride=8),
+            AccessClass(footprint=1 << 30, stride=0),
+            AccessClass(footprint=64 * MiB, stride=8, reuse=0.3),
+        ):
+            p = model.level_probabilities(cls)
+            assert sum(p.values()) == pytest.approx(1.0)
+            assert all(v >= 0 for v in p.values())
+
+    def test_tiny_footprint_all_l1(self, model):
+        p = model.level_probabilities(AccessClass(footprint=4 * KiB, stride=8))
+        assert p[MemLevel.L1] > 0.99
+
+    def test_streaming_dram_share_is_one_per_line(self, model, ampere):
+        # sequential 8B stride over a huge footprint: one miss per line
+        cls = AccessClass(footprint=8 << 30, stride=8)
+        p = model.level_probabilities(cls)
+        assert p[MemLevel.DRAM] == pytest.approx(8 / ampere.line_size, rel=0.05)
+
+    def test_random_huge_footprint_mostly_dram(self, model):
+        p = model.level_probabilities(AccessClass(footprint=8 << 30, stride=0))
+        assert p[MemLevel.DRAM] > 0.95
+
+    def test_reuse_boosts_l1(self, model):
+        base = AccessClass(footprint=1 << 30, stride=0)
+        hot = AccessClass(footprint=1 << 30, stride=0, reuse=0.5)
+        p0 = model.level_probabilities(base)[MemLevel.L1]
+        p1 = model.level_probabilities(hot)[MemLevel.L1]
+        assert p1 > p0 + 0.4
+
+    def test_slc_sharers_shift_to_dram(self, model):
+        cls = AccessClass(footprint=8 * MiB, stride=0)
+        solo = model.level_probabilities(cls, sharers=1)
+        shared = model.level_probabilities(cls, sharers=32)
+        assert shared[MemLevel.DRAM] > solo[MemLevel.DRAM]
+
+    def test_bad_sharers(self, model):
+        with pytest.raises(MachineError):
+            model.level_probabilities(AccessClass(footprint=1024), sharers=0)
+
+
+class TestMixture:
+    def test_weights_average(self, model):
+        a = AccessClass(footprint=4 * KiB, stride=8, weight=1.0)
+        b = AccessClass(footprint=8 << 30, stride=0, weight=1.0)
+        p = model.mixture_probabilities([a, b])
+        pa = model.level_probabilities(a)
+        pb = model.level_probabilities(b)
+        for lv in MemLevel:
+            assert p[lv] == pytest.approx(0.5 * (pa[lv] + pb[lv]))
+
+    def test_empty_mixture_rejected(self, model):
+        with pytest.raises(MachineError):
+            model.mixture_probabilities([])
+
+    def test_expected_latency_monotone_in_footprint(self, model):
+        lat = [
+            model.expected_latency([AccessClass(footprint=f, stride=0)])
+            for f in (16 * KiB, 4 * MiB, 1 << 30)
+        ]
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_draw_levels_matches_distribution(self, model, rng):
+        cls = [AccessClass(footprint=64 * MiB, stride=0)]
+        levels = model.draw_levels(cls, 40_000, rng)
+        p = model.mixture_probabilities(cls)
+        frac_dram = (levels == int(MemLevel.DRAM)).mean()
+        assert frac_dram == pytest.approx(p[MemLevel.DRAM], abs=0.02)
+
+    def test_draw_levels_zero(self, model, rng):
+        assert model.draw_levels([AccessClass(footprint=1024)], 0, rng).size == 0
+
+    def test_draw_levels_negative_rejected(self, model, rng):
+        with pytest.raises(MachineError):
+            model.draw_levels([AccessClass(footprint=1024)], -1, rng)
+
+
+class TestCrossValidation:
+    """The analytic model should agree with the exact simulator on
+    patterns where both are tractable (small test machine)."""
+
+    def test_sequential_stream(self, tiny, rng):
+        model = StatCacheModel(tiny)
+        hier = MemoryHierarchy(tiny, n_cores=1)
+        footprint = tiny.slc.size * 4  # far larger than every level
+        stride = 8
+        addrs = (np.arange(0, footprint, stride) % footprint).astype(np.uint64)
+        levels = hier.access_many(0, addrs)
+        exact_dram = (levels == int(MemLevel.DRAM)).mean()
+        p = model.level_probabilities(
+            AccessClass(footprint=footprint, stride=stride)
+        )
+        assert exact_dram == pytest.approx(p[MemLevel.DRAM], rel=0.15)
+
+    def test_random_within_l2(self, tiny, rng):
+        model = StatCacheModel(tiny)
+        hier = MemoryHierarchy(tiny, n_cores=1)
+        footprint = tiny.l2.size // 2
+        addrs = rng.integers(0, footprint, size=30_000, dtype=np.uint64)
+        hier.access_many(0, addrs[:10_000])  # warmup
+        levels = hier.access_many(0, addrs[10_000:])
+        exact_dram = (levels == int(MemLevel.DRAM)).mean()
+        p = model.level_probabilities(AccessClass(footprint=footprint, stride=0))
+        # both should see (almost) no DRAM traffic once warm
+        assert exact_dram < 0.02
+        assert p[MemLevel.DRAM] < 0.02
+
+    def test_dram_fraction_helper(self, model):
+        frac = model.dram_fraction([AccessClass(footprint=8 << 30, stride=8)])
+        assert 0.0 < frac < 0.2

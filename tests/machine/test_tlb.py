@@ -1,0 +1,51 @@
+"""TLB model tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.tlb import Tlb
+
+
+class TestTlb:
+    def test_miss_then_hit(self):
+        t = Tlb(entries=4, page_size=4096)
+        assert not t.access(0)
+        assert t.access(100)
+
+    def test_lru_eviction(self):
+        t = Tlb(entries=2, page_size=4096)
+        t.access(0)
+        t.access(4096)
+        t.access(0)          # page 0 recently used
+        t.access(2 * 4096)   # evicts page 1
+        assert t.access(0)
+        assert not t.access(4096)
+
+    def test_occupancy_bounded(self):
+        t = Tlb(entries=3, page_size=4096)
+        for i in range(10):
+            t.access(i * 4096)
+        assert t.occupancy == 3
+
+    def test_hit_ratio_sequential_pages(self):
+        t = Tlb(entries=48, page_size=65536)
+        addrs = np.arange(0, 65536 * 4, 64, dtype=np.uint64)
+        t.access_many(addrs)
+        assert t.hit_ratio > 0.99
+
+    def test_flush(self):
+        t = Tlb(entries=4, page_size=4096)
+        t.access(0)
+        t.flush()
+        assert t.occupancy == 0
+        assert not t.access(0)
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            Tlb(entries=0)
+        with pytest.raises(MachineError):
+            Tlb(page_size=3000)
+
+    def test_hit_ratio_empty(self):
+        assert Tlb().hit_ratio == 0.0

@@ -1,0 +1,76 @@
+"""Annotation API tests (nmo_tag_addr / nmo_start / nmo_stop)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AnnotationError
+from repro.nmo.annotations import AddressTag, AnnotationRegistry
+
+
+class TestAddressTags:
+    def test_listing_1_style_usage(self):
+        """The paper's Listing 1: tag two objects, bracket a kernel."""
+        reg = AnnotationRegistry()
+        reg.nmo_tag_addr("data_a", 0x1000, 0x2000)
+        reg.nmo_tag_addr("data_b", 0x3000, 0x4000)
+        reg.nmo_start("kernel0", 1.0)
+        reg.nmo_stop(2.5)
+        assert reg.tag_names() == ["data_a", "data_b"]
+        spans = reg.spans_for("kernel0")
+        assert spans[0].start_s == 1.0 and spans[0].end_s == 2.5
+
+    def test_duplicate_tag_rejected(self):
+        reg = AnnotationRegistry()
+        reg.nmo_tag_addr("x", 0, 10)
+        with pytest.raises(AnnotationError):
+            reg.nmo_tag_addr("x", 20, 30)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(AnnotationError):
+            AddressTag("x", 10, 10)
+
+    def test_contains_vectorised(self):
+        t = AddressTag("x", 100, 200)
+        hits = t.contains(np.array([50, 100, 199, 200], dtype=np.uint64))
+        assert hits.tolist() == [False, True, True, False]
+
+    def test_tag_of_first_match(self):
+        reg = AnnotationRegistry()
+        reg.nmo_tag_addr("a", 0, 100)
+        reg.nmo_tag_addr("b", 50, 150)  # overlapping; 'a' wins below 100
+        out = reg.tag_of(np.array([10, 60, 120, 500], dtype=np.uint64))
+        assert out.tolist() == [0, 0, 1, -1]
+
+
+class TestRegions:
+    def test_nested_regions(self):
+        reg = AnnotationRegistry()
+        reg.nmo_start("outer", 0.0)
+        reg.nmo_start("inner", 1.0)
+        reg.nmo_stop(2.0)
+        reg.nmo_stop(3.0)
+        assert reg.spans_for("inner")[0].end_s == 2.0
+        assert reg.spans_for("outer")[0].end_s == 3.0
+        assert not reg.has_open_regions
+
+    def test_stop_without_start(self):
+        with pytest.raises(AnnotationError):
+            AnnotationRegistry().nmo_stop(1.0)
+
+    def test_open_region_flag(self):
+        reg = AnnotationRegistry()
+        reg.nmo_start("x", 0.0)
+        assert reg.has_open_regions
+
+    def test_backwards_region_rejected(self):
+        reg = AnnotationRegistry()
+        reg.nmo_start("x", 5.0)
+        with pytest.raises(AnnotationError):
+            reg.nmo_stop(1.0)
+
+    def test_repeated_region_spans_accumulate(self):
+        reg = AnnotationRegistry()
+        for i in range(3):
+            reg.nmo_start("triad", float(i))
+            reg.nmo_stop(float(i) + 0.5)
+        assert len(reg.spans_for("triad")) == 3

@@ -1,0 +1,74 @@
+"""Backend selection tests (SPE on ARM, PEBS on x86 — paper §III)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import GenericTimer
+from repro.cpu.pipeline import PipelineModel
+from repro.errors import NmoError
+from repro.kernel.perf_event import PerfSubsystem
+from repro.nmo.backends import ArmSpeBackend, X86PebsBackend, select_backend
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.spe.driver import SpeCostModel
+
+
+def settings(period=4096):
+    return NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=period)
+
+
+class TestSelection:
+    def test_arm_gets_spe(self, ampere):
+        assert isinstance(select_backend(ampere), ArmSpeBackend)
+
+    def test_x86_gets_pebs(self, x86):
+        assert isinstance(select_backend(x86), X86PebsBackend)
+
+    def test_unknown_arch_rejected(self, ampere):
+        from dataclasses import replace
+
+        weird = replace(ampere, arch="riscv64", has_spe=False)
+        with pytest.raises(NmoError):
+            select_backend(weird)
+
+    def test_spe_backend_refuses_x86(self, x86):
+        ps = PerfSubsystem(x86)
+        with pytest.raises(NmoError):
+            ArmSpeBackend().open_session(
+                ps, 0, settings(), PipelineModel(x86),
+                GenericTimer(x86.frequency_hz), np.random.default_rng(0),
+                SpeCostModel(),
+            )
+
+
+class TestSessions:
+    def test_spe_session_wiring(self, ampere):
+        ps = PerfSubsystem(ampere)
+        sess = ArmSpeBackend().open_session(
+            ps, 3, settings(), PipelineModel(ampere),
+            GenericTimer(ampere.frequency_hz), np.random.default_rng(0),
+            SpeCostModel(),
+        )
+        assert sess.core == 3
+        assert sess.event.is_spe
+        assert sess.event.enabled
+        assert sess.event.ring is not None and sess.event.aux is not None
+        assert sess.sampler.track_collisions
+
+    def test_pebs_session_no_collisions(self, x86):
+        ps = PerfSubsystem(x86)
+        sess = X86PebsBackend().open_session(
+            ps, 0, settings(), PipelineModel(x86),
+            GenericTimer(x86.frequency_hz), np.random.default_rng(0),
+            SpeCostModel(),
+        )
+        assert not sess.sampler.track_collisions
+        assert sess.driver.cost.min_working_pages == 1
+
+    def test_pebs_smaller_loss_window(self, x86):
+        ps = PerfSubsystem(x86)
+        base = SpeCostModel()
+        sess = X86PebsBackend().open_session(
+            ps, 0, settings(), PipelineModel(x86),
+            GenericTimer(x86.frequency_hz), np.random.default_rng(0), base,
+        )
+        assert sess.driver.cost.service_loss_records < base.service_loss_records

@@ -1,0 +1,81 @@
+"""Bandwidth profiling / roofline tests (Fig. 3 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NmoError
+from repro.machine.spec import GiB
+from repro.nmo.bandwidth import (
+    arithmetic_intensity,
+    dominant_period_s,
+    roofline,
+    summarise_bandwidth,
+)
+from repro.workloads.stream import StreamWorkload
+
+
+class TestSummary:
+    def test_peak_location(self, ampere):
+        t = np.arange(10.0)
+        v = np.zeros(10)
+        v[3] = 120 * GiB
+        s = summarise_bandwidth((t, v), ampere)
+        assert s.peak_gibs == pytest.approx(120.0)
+        assert s.time_of_peak_s == 3.0
+
+    def test_utilisation(self, ampere):
+        t = np.arange(2.0)
+        v = np.array([0.0, 100e9])
+        s = summarise_bandwidth((t, v), ampere)
+        assert s.peak_utilisation == pytest.approx(0.5)
+
+    def test_empty_rejected(self, ampere):
+        with pytest.raises(NmoError):
+            summarise_bandwidth((np.zeros(0), np.zeros(0)), ampere)
+
+
+class TestPeriodicity:
+    def test_sine_period_recovered(self):
+        t = np.arange(0.0, 120.0, 0.5)
+        v = 50 + 40 * np.sin(2 * np.pi * t / 15.0)
+        assert dominant_period_s((t, v)) == pytest.approx(15.0, rel=0.1)
+
+    def test_square_wave(self):
+        t = np.arange(0.0, 128.0, 1.0)
+        v = (t % 16 < 8).astype(float)
+        assert dominant_period_s((t, v)) == pytest.approx(16.0, rel=0.1)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(NmoError):
+            dominant_period_s((np.arange(4.0), np.arange(4.0)))
+
+
+class TestRoofline:
+    def test_stream_is_memory_bound(self, ampere):
+        w = StreamWorkload(ampere, n_threads=8, n_elems=1 << 18, iterations=2)
+        points = roofline(w)
+        triad = [p for p in points if p.phase.startswith("triad")]
+        assert triad and all(p.memory_bound for p in triad)
+
+    def test_arithmetic_intensity_low_for_triad(self, ampere):
+        w = StreamWorkload(ampere, n_threads=8, n_elems=1 << 18, iterations=2)
+        ai = arithmetic_intensity(w, w.phases[1])
+        assert 0 < ai < 1.0  # far below any ridge point
+
+    def test_zero_traffic_infinite_intensity(self, ampere):
+        from repro.machine.statcache import AccessClass
+        from repro.workloads.base import Phase
+
+        w = StreamWorkload(ampere, n_threads=8, n_elems=1 << 18)
+        p = Phase(
+            "hot", 100, 1.0, lambda m, t: np.zeros(len(np.atleast_1d(m)),
+                                                   dtype=np.uint64),
+            [AccessClass(footprint=64, stride=8)],
+            group=2, flops_per_group=1, dram_bytes_override=0.0,
+        )
+        assert arithmetic_intensity(w, p) == float("inf")
+
+    def test_bad_peak_flops(self, ampere):
+        w = StreamWorkload(ampere, n_threads=8, n_elems=1 << 18)
+        with pytest.raises(NmoError):
+            roofline(w, peak_flops=0)

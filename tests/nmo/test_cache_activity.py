@@ -1,0 +1,81 @@
+"""Cache-activity tracing tests (the §IX future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NmoError
+from repro.machine.hierarchy import MemLevel
+from repro.machine.spec import ampere_altra_max
+from repro.nmo.cache_activity import (
+    cache_mix_over_time,
+    dram_pressure_windows,
+    level_breakdown_by_object,
+    miss_latency_profile,
+)
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.workloads.stream import StreamWorkload
+
+
+@pytest.fixture(scope="module")
+def result():
+    w = StreamWorkload(
+        ampere_altra_max(), n_threads=32, scale=1 / 64
+    )
+    s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+    return NmoProfiler(w, s, seed=0).run()
+
+
+class TestCacheMix:
+    def test_shares_sum_to_one_where_sampled(self, result):
+        mix = cache_mix_over_time(result, n_bins=20)
+        total = sum(mix.shares[lv] for lv in mix.shares)
+        sampled = mix.counts > 0
+        assert np.allclose(total[sampled], 1.0)
+
+    def test_counts_conserved(self, result):
+        mix = cache_mix_over_time(result, n_bins=20)
+        assert int(mix.counts.sum()) == result.n_samples
+
+    def test_stream_dominated_by_l1(self, result):
+        """Streaming doubles: ~7/8 of accesses hit the line in L1."""
+        mix = cache_mix_over_time(result, n_bins=10)
+        dominant = mix.dominant_level()
+        assert dominant.count(MemLevel.L1) >= 8
+
+    def test_dram_share_near_one_eighth(self, result):
+        mix = cache_mix_over_time(result, n_bins=5)
+        w = mix.counts > 0
+        dram = np.average(mix.shares[MemLevel.DRAM][w], weights=mix.counts[w])
+        assert dram == pytest.approx(0.125, abs=0.05)
+
+    def test_bad_bins(self, result):
+        with pytest.raises(NmoError):
+            cache_mix_over_time(result, n_bins=0)
+
+
+class TestBreakdowns:
+    def test_per_object_shares_valid(self, result):
+        bd = level_breakdown_by_object(result)
+        assert set(bd) == {"a", "b", "c"}
+        for shares in bd.values():
+            assert sum(shares.values()) == pytest.approx(1.0, abs=1e-9)
+
+    def test_latency_profile_ordering(self, result):
+        profiles = {p.level: p for p in miss_latency_profile(result)}
+        assert MemLevel.L1 in profiles and MemLevel.DRAM in profiles
+        assert profiles[MemLevel.DRAM].mean > profiles[MemLevel.L1].mean * 10
+        for p in profiles.values():
+            assert p.p50 <= p.p95 <= p.maximum
+
+    def test_dram_pressure_windows(self, result):
+        # STREAM's DRAM share (~1/8) never crosses a 50% threshold ...
+        assert dram_pressure_windows(result, threshold=0.5) == []
+        # ... but a 5% threshold flags essentially the whole run
+        windows = dram_pressure_windows(result, threshold=0.05)
+        covered = sum(e - s for s, e in windows)
+        assert covered > 0.8 * result.sample_times_s.max()
+
+    def test_threshold_validation(self, result):
+        with pytest.raises(NmoError):
+            dram_pressure_windows(result, threshold=1.5)

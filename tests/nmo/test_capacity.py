@@ -1,0 +1,58 @@
+"""Capacity profiling tests (Fig. 2 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NmoError
+from repro.machine.spec import GiB
+from repro.nmo.capacity import (
+    overprovisioned_bytes,
+    summarise_capacity,
+)
+
+
+def series(values, dt=1.0):
+    v = np.asarray(values, dtype=float)
+    return np.arange(v.size) * dt, v
+
+
+class TestSummary:
+    def test_peak_and_mean(self):
+        s = summarise_capacity(series([0, 10, 20, 20]))
+        assert s.peak_bytes == 20
+        assert s.mean_bytes == pytest.approx(12.5)
+
+    def test_saturation_time(self):
+        # 99% of the peak (100) is first reached at t=3 (value 99)
+        s = summarise_capacity(series([0, 5, 50, 99, 100, 100]))
+        assert s.saturation_time_s == 3.0
+
+    def test_utilisation_against_limit(self):
+        s = summarise_capacity(series([0, 128 * GiB]), limit_bytes=256 * GiB)
+        assert s.peak_utilisation == pytest.approx(0.5)
+        assert s.peak_gib == pytest.approx(128.0)
+
+    def test_no_limit_zero_utilisation(self):
+        s = summarise_capacity(series([1.0]))
+        assert s.peak_utilisation == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(NmoError):
+            summarise_capacity((np.zeros(0), np.zeros(0)))
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(NmoError):
+            summarise_capacity((np.zeros(3), np.zeros(2)))
+
+
+class TestOverprovisioning:
+    def test_waste_computed(self):
+        waste = overprovisioned_bytes(series([0, 52.3 * GiB]), 256 * GiB)
+        assert waste / GiB == pytest.approx(256 - 52.3, rel=1e-6)
+
+    def test_no_negative_waste(self):
+        assert overprovisioned_bytes(series([0, 300.0]), 100) == 0.0
+
+    def test_bad_limit(self):
+        with pytest.raises(NmoError):
+            overprovisioned_bytes(series([1.0]), 0)

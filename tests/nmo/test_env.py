@@ -1,0 +1,89 @@
+"""NMO environment configuration tests (Table I)."""
+
+import pytest
+
+from repro.errors import NmoError
+from repro.machine.spec import KiB
+from repro.nmo.env import TABLE_I_DEFAULTS, NmoMode, NmoSettings
+
+
+class TestTableIDefaults:
+    def test_defaults_match_table1(self):
+        s = NmoSettings.from_env({})
+        assert not s.enable          # NMO_ENABLE: off
+        assert s.name == "nmo"       # NMO_NAME: "nmo"
+        assert s.mode is NmoMode.NONE  # NMO_MODE: none
+        assert s.period == 0         # NMO_PERIOD: 0
+        assert not s.track_rss       # NMO_TRACK_RSS: off
+        assert s.bufsize_mib == 1    # NMO_BUFSIZE: 1 MiB
+        assert s.auxbufsize_mib == 1  # NMO_AUXBUFSIZE: 1 MiB
+
+    def test_defaults_dict_round_trips(self):
+        s = NmoSettings.from_env(TABLE_I_DEFAULTS)
+        assert s == NmoSettings.from_env({})
+
+    def test_to_env_round_trip(self):
+        s = NmoSettings(
+            enable=True, name="run1", mode=NmoMode.SAMPLING, period=4096,
+            track_rss=True, bufsize_mib=2, auxbufsize_mib=4,
+        )
+        assert NmoSettings.from_env(s.to_env()) == s
+
+
+class TestParsing:
+    @pytest.mark.parametrize("v", ["1", "on", "yes", "true", "ON", "True"])
+    def test_truthy(self, v):
+        assert NmoSettings.from_env({"NMO_ENABLE": v}).enable
+
+    @pytest.mark.parametrize("v", ["0", "off", "no", "false", ""])
+    def test_falsy(self, v):
+        assert not NmoSettings.from_env({"NMO_ENABLE": v}).enable
+
+    def test_bad_bool(self):
+        with pytest.raises(NmoError):
+            NmoSettings.from_env({"NMO_ENABLE": "maybe"})
+
+    def test_bad_period(self):
+        with pytest.raises(NmoError):
+            NmoSettings.from_env({"NMO_PERIOD": "abc"})
+        with pytest.raises(NmoError):
+            NmoSettings.from_env({"NMO_PERIOD": "-5"})
+
+    def test_bad_mode_lists_valid(self):
+        with pytest.raises(NmoError) as e:
+            NmoSettings.from_env({"NMO_MODE": "bogus"})
+        assert "sampling" in str(e.value)
+
+    def test_zero_bufsize_rejected(self):
+        with pytest.raises(NmoError):
+            NmoSettings.from_env({"NMO_BUFSIZE": "0"})
+
+    def test_sampling_requires_period(self):
+        with pytest.raises(NmoError):
+            NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=0)
+
+    def test_sampling_mode_parse(self):
+        s = NmoSettings.from_env(
+            {"NMO_ENABLE": "on", "NMO_MODE": "sampling", "NMO_PERIOD": "4096"}
+        )
+        assert s.mode is NmoMode.SAMPLING
+        assert s.period == 4096
+
+
+class TestBufferGeometry:
+    def test_ring_pages_64k(self):
+        s = NmoSettings(bufsize_mib=1)
+        assert s.ring_pages(64 * KiB) == 16
+
+    def test_aux_pages_64k(self):
+        s = NmoSettings(auxbufsize_mib=2)
+        assert s.aux_pages(64 * KiB) == 32
+
+    def test_4k_pages(self):
+        s = NmoSettings(bufsize_mib=1)
+        assert s.ring_pages(4 * KiB) == 256
+
+    def test_non_pow2_rejected(self):
+        s = NmoSettings(bufsize_mib=3)
+        with pytest.raises(NmoError):
+            s.ring_pages(64 * KiB)

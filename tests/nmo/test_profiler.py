@@ -1,0 +1,180 @@
+"""End-to-end NMO profiler tests."""
+
+import numpy as np
+import pytest
+
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler, sampling_accuracy
+from repro.errors import NmoError
+from repro.workloads.stream import StreamWorkload
+from repro.workloads.bfs import BfsWorkload
+
+
+def stream(machine, threads=8, elems=1 << 18):
+    return StreamWorkload(machine, n_threads=threads, n_elems=elems, iterations=3)
+
+
+def run(machine, w=None, period=2048, mode=NmoMode.SAMPLING, **kw):
+    w = w or stream(machine)
+    settings = NmoSettings(enable=True, mode=mode, period=period, **kw)
+    return NmoProfiler(w, settings, seed=0).run()
+
+
+class TestSamplingAccuracyFn:
+    def test_perfect(self):
+        assert sampling_accuracy(10_000, 10, 1000) == 1.0
+
+    def test_undershoot(self):
+        assert sampling_accuracy(10_000, 5, 1000) == pytest.approx(0.5)
+
+    def test_overshoot_symmetric(self):
+        assert sampling_accuracy(10_000, 15, 1000) == pytest.approx(0.5)
+
+    def test_clamped_at_zero(self):
+        assert sampling_accuracy(100, 1000, 1000) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(NmoError):
+            sampling_accuracy(0, 1, 1)
+        with pytest.raises(NmoError):
+            sampling_accuracy(10, -1, 1)
+        with pytest.raises(NmoError):
+            sampling_accuracy(10, 1, 0)
+
+
+class TestBaseline:
+    def test_mem_counted_exact(self, ampere):
+        w = stream(ampere)
+        base = NmoProfiler(w, NmoSettings()).run_baseline()
+        assert base.mem_counted == w.total_mem_ops()
+
+    def test_wall_time_matches_phases(self, ampere):
+        w = stream(ampere)
+        base = NmoProfiler(w, NmoSettings()).run_baseline()
+        assert base.wall_cycles == pytest.approx(w.baseline_cycles())
+
+    def test_flops_counted(self, ampere):
+        w = stream(ampere)
+        base = NmoProfiler(w, NmoSettings()).run_baseline()
+        assert base.total_flops == w.total_flops()
+
+
+class TestSamplingRun:
+    def test_samples_estimate_mem_ops(self, ampere):
+        r = run(ampere)
+        est = r.samples_processed * r.settings.period
+        assert est == pytest.approx(r.mem_counted, rel=0.15)
+
+    def test_accuracy_reasonable(self, ampere):
+        r = run(ampere)
+        assert 0.8 < r.accuracy <= 1.0
+
+    def test_overhead_positive_and_small(self, ampere):
+        r = run(ampere)
+        assert 0.0 < r.time_overhead < 0.2
+
+    def test_profiled_slower_than_baseline(self, ampere):
+        r = run(ampere)
+        assert r.profiled_cycles > r.baseline_cycles
+
+    def test_smaller_period_more_samples(self, ampere):
+        r1 = run(ampere, period=1024)
+        r2 = run(ampere, w=stream(ampere), period=8192)
+        assert r1.samples_processed > 4 * r2.samples_processed
+
+    def test_per_thread_stats_populated(self, ampere):
+        r = run(ampere)
+        assert len(r.per_thread) == 8
+        assert all(s.n_selected > 0 for s in r.per_thread)
+
+    def test_sample_arrays_aligned(self, ampere):
+        r = run(ampere)
+        assert len(r.batch) == r.sample_cores.shape[0] == r.sample_times_s.shape[0]
+
+    def test_sample_times_within_run(self, ampere):
+        r = run(ampere)
+        dur = r.profiled_cycles / r.settings.period  # loose upper bound
+        assert (r.sample_times_s >= 0).all()
+        assert r.sample_times_s.max() <= r.profiled_cycles / 3e9 * 1.01
+
+    def test_address_tags_registered(self, ampere):
+        r = run(ampere)
+        assert r.annotations.tag_names() == ["a", "b", "c"]
+
+    def test_region_spans_cover_phases(self, ampere):
+        r = run(ampere)
+        tags = {s.tag for s in r.annotations.spans}
+        assert {"init", "triad"} <= tags
+
+    def test_phase_spans_recorded(self, ampere):
+        r = run(ampere)
+        assert len(r.phase_spans) == 4  # init + 3 triads
+
+    def test_deterministic_given_seed(self, ampere):
+        r1 = run(ampere)
+        r2 = run(ampere)
+        assert r1.samples_processed == r2.samples_processed
+        assert r1.accuracy == r2.accuracy
+
+    def test_different_seeds_differ(self, ampere):
+        w1, w2 = stream(ampere), stream(ampere)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+        r1 = NmoProfiler(w1, s, seed=0).run()
+        r2 = NmoProfiler(w2, s, seed=1).run()
+        assert r1.samples_processed != r2.samples_processed
+
+
+class TestModes:
+    def test_disabled_collects_nothing(self, ampere):
+        r = run(ampere, mode=NmoMode.NONE, period=0)
+        assert r.samples_processed == 0
+        assert r.time_overhead == 0.0
+
+    def test_track_rss_produces_series(self, ampere):
+        w = stream(ampere)
+        settings = NmoSettings(enable=False, track_rss=True)
+        r = NmoProfiler(w, settings).run()
+        assert r.rss_series is not None
+        t, v = r.rss_series
+        assert v[-1] > 0
+
+    def test_bandwidth_mode_produces_series(self, ampere):
+        r = run(ampere, mode=NmoMode.BANDWIDTH, period=0)
+        assert r.bw_series is not None
+        _, v = r.bw_series
+        assert v.max() > 0
+
+    def test_full_mode_has_everything(self, ampere):
+        w = stream(ampere)
+        settings = NmoSettings(
+            enable=True, mode=NmoMode.FULL, period=2048, track_rss=True
+        )
+        r = NmoProfiler(w, settings).run()
+        assert r.samples_processed > 0
+        assert r.bw_series is not None
+        assert r.rss_series is not None
+
+
+class TestTraceExport:
+    def test_to_trace_round_trip(self, ampere, tmp_path):
+        from repro.nmo.tracefile import read_trace, write_trace
+
+        r = run(ampere)
+        trace = r.to_trace()
+        write_trace(trace, tmp_path)
+        back = read_trace("nmo", tmp_path)
+        assert back.n_samples == r.samples_processed
+        assert back.meta["workload"] == "stream"
+        assert back.meta["accuracy"] == pytest.approx(r.accuracy)
+
+
+class TestPebsPortability:
+    """The same profiler runs against the x86 PEBS backend (§III)."""
+
+    def test_x86_run(self, x86):
+        w = StreamWorkload(x86, n_threads=4, n_elems=1 << 16, iterations=2)
+        settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+        r = NmoProfiler(w, settings).run()
+        assert r.samples_processed > 0
+        assert r.collisions == 0  # PEBS backend does not collide
+        assert r.accuracy > 0.8

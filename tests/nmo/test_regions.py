@@ -1,0 +1,112 @@
+"""Region profiling tests (Figs. 4-6 metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NmoError
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.nmo.regions import RegionProfile, split_score
+from repro.workloads.stream import StreamWorkload
+
+
+@pytest.fixture(scope="module")
+def stream_profile():
+    from repro.machine.spec import ampere_altra_max
+
+    w = StreamWorkload(
+        ampere_altra_max(), n_threads=8, n_elems=1 << 18, iterations=3
+    )
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=1024)
+    result = NmoProfiler(w, settings, seed=0).run()
+    return RegionProfile.build(result)
+
+
+class TestSplitScore:
+    def test_disjoint_chunks_score_high(self):
+        addrs = np.concatenate(
+            [np.arange(i * 1000, i * 1000 + 900) for i in range(4)]
+        ).astype(np.uint64)
+        cores = np.repeat(np.arange(4), 900)
+        assert split_score(addrs, cores) > 0.9
+
+    def test_fully_overlapping_score_low(self, rng):
+        addrs = rng.integers(0, 10_000, size=4000, dtype=np.uint64)
+        cores = np.repeat(np.arange(4), 1000)
+        assert split_score(addrs, cores) < 0.3
+
+    def test_single_core_is_one(self):
+        assert split_score(np.arange(10, dtype=np.uint64), np.zeros(10)) == 1.0
+
+    def test_empty_nan(self):
+        out = split_score(np.zeros(0, np.uint64), np.zeros(0))
+        assert np.isnan(out)
+
+    def test_uneven_chunks_penalised(self):
+        a1 = np.concatenate(
+            [np.arange(0, 1000), np.arange(2000, 3000)]
+        ).astype(np.uint64)
+        c1 = np.repeat([0, 1], 1000)
+        even = split_score(a1, c1)
+        a2 = np.concatenate(
+            [np.arange(0, 1900), np.arange(2000, 2100)]
+        ).astype(np.uint64)
+        c2 = np.repeat([0, 1], [1900, 100])
+        uneven = split_score(a2, c2)
+        assert even > uneven
+
+
+class TestStreamRegions:
+    def test_all_three_arrays_sampled(self, stream_profile):
+        for name in ("a", "b", "c"):
+            assert stream_profile.stats[name].n_samples > 0
+
+    def test_a_is_store_target(self, stream_profile):
+        sa = stream_profile.stats["a"]
+        assert sa.n_stores > sa.n_loads
+
+    def test_b_c_are_load_sources(self, stream_profile):
+        for name in ("b", "c"):
+            s = stream_profile.stats[name]
+            assert s.n_loads > s.n_stores
+
+    def test_chunked_arrays_split_cleanly(self, stream_profile):
+        """The paper's 'regular incremental small line segments'."""
+        for name in ("a", "b", "c"):
+            assert stream_profile.stats[name].split_score > 0.8
+
+    def test_hottest_ordering(self, stream_profile):
+        hot = stream_profile.hottest(3)
+        assert len(hot) == 3
+        assert hot[0].n_samples >= hot[1].n_samples >= hot[2].n_samples
+
+    def test_no_cold_objects_in_stream(self, stream_profile):
+        assert stream_profile.cold_objects() == []
+
+    def test_scatter_full(self, stream_profile):
+        t, a = stream_profile.scatter()
+        assert t.size == a.size > 0
+
+    def test_scatter_by_tag(self, stream_profile):
+        t, a = stream_profile.scatter(tag="b")
+        sb = stream_profile.stats["b"]
+        assert t.size == sb.n_samples
+        assert (a >= sb.start).all() and (a < sb.end).all()
+
+    def test_scatter_time_window(self, stream_profile):
+        tall, _ = stream_profile.scatter()
+        mid = float(np.median(tall))
+        t, _ = stream_profile.scatter(t0=mid)
+        assert 0 < t.size < tall.size
+        assert (t >= mid).all()
+
+    def test_unknown_tag_rejected(self, stream_profile):
+        with pytest.raises(NmoError):
+            stream_profile.scatter(tag="nope")
+
+    def test_line_coverage_positive(self, stream_profile):
+        assert stream_profile.stats["b"].line_coverage > 0
+
+    def test_access_times_ordered(self, stream_profile):
+        s = stream_profile.stats["a"]
+        assert s.first_access_s <= s.last_access_s

@@ -1,0 +1,58 @@
+"""Timescale conversion tests (time_zero/shift/mult, §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import DEFAULT_CNTFRQ_HZ, calc_mult_shift
+from repro.errors import NmoError
+from repro.kernel.ring_buffer import MmapMetadataPage
+from repro.nmo.timescale import TimescaleConverter
+
+
+def meta(zero=0):
+    mult, shift = calc_mult_shift(DEFAULT_CNTFRQ_HZ)
+    return MmapMetadataPage(time_zero=zero, time_mult=mult, time_shift=shift)
+
+
+class TestConverter:
+    def test_one_second_of_ticks(self):
+        c = TimescaleConverter(meta())
+        ns = c.to_perf_ns(DEFAULT_CNTFRQ_HZ)
+        assert ns == pytest.approx(1e9, rel=1e-6)
+
+    def test_time_zero_offset(self):
+        c = TimescaleConverter(meta(zero=500))
+        assert c.to_perf_ns(0) == 500
+
+    def test_seconds_vectorised(self):
+        c = TimescaleConverter(meta())
+        ticks = np.array([0, DEFAULT_CNTFRQ_HZ, 2 * DEFAULT_CNTFRQ_HZ],
+                         dtype=np.uint64)
+        s = c.to_seconds(ticks)
+        assert np.allclose(s, [0.0, 1.0, 2.0], rtol=1e-6)
+
+    def test_scalar_seconds(self):
+        c = TimescaleConverter(meta())
+        assert c.to_seconds(DEFAULT_CNTFRQ_HZ) == pytest.approx(1.0, rel=1e-6)
+
+    def test_monotone(self):
+        c = TimescaleConverter(meta())
+        ticks = np.arange(0, 10**7, 9973, dtype=np.uint64)
+        ns = np.asarray(c.to_perf_ns(ticks), dtype=np.uint64)
+        assert (np.diff(ns.astype(np.int64)) >= 0).all()
+
+    def test_ticks_per_second(self):
+        c = TimescaleConverter(meta())
+        assert c.ticks_per_second() == pytest.approx(DEFAULT_CNTFRQ_HZ, rel=1e-4)
+
+    def test_requires_cap_bit(self):
+        m = meta()
+        m.cap_user_time_zero = 0
+        with pytest.raises(NmoError):
+            TimescaleConverter(m)
+
+    def test_bad_mult(self):
+        m = meta()
+        m.time_mult = 0
+        with pytest.raises(NmoError):
+            TimescaleConverter(m)

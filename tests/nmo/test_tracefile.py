@@ -1,0 +1,98 @@
+"""Trace file round-trip and MD5 verification tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NmoError
+from repro.nmo.tracefile import (
+    SAMPLE_COLUMNS,
+    TraceData,
+    read_trace,
+    samples_digest,
+    write_trace,
+)
+
+
+def samples(n=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "addr": rng.integers(1, 1 << 40, n, dtype=np.uint64),
+        "t_s": rng.random(n),
+        "level": rng.integers(1, 5, n, dtype=np.uint8),
+        "kind": rng.integers(1, 3, n, dtype=np.uint8),
+        "total_lat": rng.integers(1, 500, n, dtype=np.uint16),
+        "core": rng.integers(0, 8, n, dtype=np.int32),
+    }
+
+
+class TestTraceData:
+    def test_missing_column_rejected(self):
+        s = samples()
+        del s["core"]
+        with pytest.raises(NmoError):
+            TraceData(name="x", samples=s)
+
+    def test_ragged_columns_rejected(self):
+        s = samples()
+        s["addr"] = s["addr"][:-1]
+        with pytest.raises(NmoError):
+            TraceData(name="x", samples=s)
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, tmp_path):
+        t = TraceData(
+            name="run1",
+            samples=samples(100),
+            meta={"period": 4096, "workload": "stream"},
+            rss=(np.array([0.0, 1.0]), np.array([10.0, 20.0])),
+            bandwidth=(np.array([0.0, 1.0]), np.array([5.0, 9.0])),
+        )
+        paths = write_trace(t, tmp_path)
+        assert set(paths) == {"samples", "meta", "rss", "bw"}
+        back = read_trace("run1", tmp_path)
+        assert back.n_samples == 100
+        assert back.meta["period"] == 4096
+        for col in SAMPLE_COLUMNS:
+            assert (back.samples[col] == t.samples[col]).all()
+        assert np.allclose(back.rss[1], [10.0, 20.0])
+        assert np.allclose(back.bandwidth[1], [5.0, 9.0])
+
+    def test_md5_recorded(self, tmp_path):
+        t = TraceData(name="r", samples=samples())
+        write_trace(t, tmp_path)
+        back = read_trace("r", tmp_path)
+        assert back.meta["md5"] == samples_digest(t.samples)
+
+    def test_md5_detects_tampering(self, tmp_path):
+        t = TraceData(name="r", samples=samples())
+        paths = write_trace(t, tmp_path)
+        # rewrite samples with different data but keep the old meta
+        t2 = TraceData(name="r", samples=samples(seed=99))
+        import io
+
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **t2.samples)
+        paths["samples"].write_bytes(buf.getvalue())
+        with pytest.raises(NmoError):
+            read_trace("r", tmp_path)
+
+    def test_missing_trace(self, tmp_path):
+        with pytest.raises(NmoError):
+            read_trace("ghost", tmp_path)
+
+    def test_digest_sensitive_to_each_column(self):
+        base = samples()
+        d0 = samples_digest(base)
+        for col in SAMPLE_COLUMNS:
+            mod = {k: v.copy() for k, v in base.items()}
+            mod[col] = mod[col].copy()
+            mod[col][0] += 1
+            assert samples_digest(mod) != d0, col
+
+    def test_optional_series_absent(self, tmp_path):
+        t = TraceData(name="bare", samples=samples())
+        write_trace(t, tmp_path)
+        back = read_trace("bare", tmp_path)
+        assert back.rss is None
+        assert back.bandwidth is None

@@ -1,0 +1,116 @@
+"""Property-based tests: caches, address spaces, timescale."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu.clock import calc_mult_shift, ticks_to_ns
+from repro.machine.cache import SetAssociativeCache
+from repro.machine.spec import CacheSpec, small_test_machine
+from repro.machine.address_space import VirtualAddressSpace
+from repro.machine.statcache import AccessClass, StatCacheModel
+from repro.machine.hierarchy import MemLevel
+
+
+class TestCacheProperties:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_bounded_and_stats_consistent(self, addrs):
+        c = SetAssociativeCache(CacheSpec(1024, 2), "p")
+        for a in addrs:
+            c.access(a)
+        assert c.occupancy <= c.spec.n_lines
+        assert c.hits + c.misses == len(addrs)
+        assert c.evictions <= c.misses
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_rereference_always_hits(self, addrs):
+        c = SetAssociativeCache(CacheSpec(2048, 4), "p")
+        for a in addrs:
+            c.access(a)
+            assert c.access(a)  # same line immediately after: LRU hit
+
+
+class TestAddressSpaceProperties:
+    @given(st.lists(st.integers(1, 200_000), min_size=1, max_size=25))
+    @settings(max_examples=40, deadline=None)
+    def test_mappings_never_overlap(self, sizes):
+        vas = VirtualAddressSpace(small_test_machine())
+        maps = [vas.mmap(s) for s in sizes]
+        spans = sorted((m.start, m.end) for m in maps)
+        for (s0, e0), (s1, _) in zip(spans, spans[1:]):
+            assert e0 <= s1
+
+    @given(
+        st.lists(st.integers(1, 100_000), min_size=1, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rss_never_exceeds_mapped(self, sizes, data):
+        vas = VirtualAddressSpace(small_test_machine())
+        maps = [vas.mmap(s) for s in sizes]
+        for m in maps:
+            k = data.draw(st.integers(0, 20))
+            if k:
+                offs = data.draw(
+                    st.lists(st.integers(0, m.length - 1), min_size=1,
+                             max_size=k)
+                )
+                vas.touch(np.array([m.start + o for o in offs],
+                                   dtype=np.uint64))
+        assert 0 <= vas.rss_bytes <= vas.mapped_bytes
+
+
+class TestStatCacheProperties:
+    @given(
+        st.integers(64, 1 << 32),
+        st.integers(0, 256),
+        st.floats(0.0, 0.99),
+        st.integers(1, 128),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_distribution_valid(self, footprint, stride, reuse, sharers):
+        model = StatCacheModel(small_test_machine())
+        cls = AccessClass(footprint=footprint, stride=stride, reuse=reuse)
+        p = model.level_probabilities(cls, sharers=sharers)
+        assert abs(sum(p.values()) - 1.0) < 1e-9
+        assert all(0.0 <= v <= 1.0 for v in p.values())
+
+    @given(st.integers(64, 1 << 30))
+    @settings(max_examples=40, deadline=None)
+    def test_dram_share_monotone_in_footprint(self, footprint):
+        model = StatCacheModel(small_test_machine())
+        small = model.level_probabilities(
+            AccessClass(footprint=footprint, stride=0)
+        )[MemLevel.DRAM]
+        large = model.level_probabilities(
+            AccessClass(footprint=footprint * 4, stride=0)
+        )[MemLevel.DRAM]
+        assert large >= small - 1e-12
+
+
+class TestTimescaleProperties:
+    @given(
+        st.floats(1e5, 1e9),
+        st.integers(0, 2**50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_conversion_relative_error_bounded(self, hz, ticks):
+        mult, shift = calc_mult_shift(hz)
+        ns = ticks_to_ns(ticks, mult, shift)
+        # mult is derived from the integer frequency (as in the kernel)
+        exact = ticks * 1e9 / int(hz)
+        # precision is limited by the mult quantum: half an ulp per tick
+        if exact > 0:
+            tolerance = ticks * 0.5 / (1 << shift) + 1
+            assert abs(ns - exact) <= tolerance
+
+    @given(st.floats(1e5, 1e9), st.lists(st.integers(0, 2**40), min_size=2,
+                                          max_size=20))
+    @settings(max_examples=40, deadline=None)
+    def test_monotonicity(self, hz, ticks):
+        mult, shift = calc_mult_shift(hz)
+        ticks = sorted(ticks)
+        ns = [ticks_to_ns(t, mult, shift) for t in ticks]
+        assert ns == sorted(ns)

@@ -1,0 +1,65 @@
+"""Property-based tests: packet encode/decode."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.spe.packets import RECORD_SIZE, decode_buffer, encode_batch
+from repro.spe.records import SampleBatch
+
+
+def batches(min_n=0, max_n=64):
+    n = st.integers(min_n, max_n)
+
+    def build(k):
+        return st.builds(
+            SampleBatch,
+            pc=arrays(np.uint64, k, elements=st.integers(0, 2**64 - 1)),
+            addr=arrays(np.uint64, k, elements=st.integers(1, 2**64 - 1)),
+            ts=arrays(np.uint64, k, elements=st.integers(1, 2**64 - 1)),
+            level=arrays(np.uint8, k, elements=st.integers(0, 4)),
+            kind=arrays(np.uint8, k, elements=st.integers(0, 4)),
+            total_lat=arrays(np.uint16, k, elements=st.integers(0, 2**16 - 1)),
+            issue_lat=arrays(np.uint16, k, elements=st.integers(0, 2**16 - 1)),
+        )
+
+    return n.flatmap(build)
+
+
+class TestRoundTripProperties:
+    @given(batches())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, batch):
+        """Any batch with nonzero addr/ts survives the byte round trip."""
+        got, stats = decode_buffer(encode_batch(batch))
+        assert stats.n_skipped == 0
+        assert len(got) == len(batch)
+        for col in SampleBatch._COLUMNS:
+            assert (getattr(got, col) == getattr(batch, col)).all()
+
+    @given(batches(min_n=1))
+    @settings(max_examples=40, deadline=None)
+    def test_encoded_size_exact(self, batch):
+        assert len(encode_batch(batch)) == len(batch) * RECORD_SIZE
+
+    @given(batches(min_n=1), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_single_byte_corruption_never_crashes(self, batch, data):
+        """Arbitrary single-byte corruption either passes validation or
+        is skipped — decode never raises in lenient mode."""
+        raw = bytearray(encode_batch(batch))
+        pos = data.draw(st.integers(0, len(raw) - 1))
+        val = data.draw(st.integers(0, 255))
+        raw[pos] = val
+        got, stats = decode_buffer(bytes(raw))
+        assert stats.n_valid + stats.n_skipped == len(batch)
+        assert len(got) == stats.n_valid
+
+    @given(st.binary(max_size=RECORD_SIZE * 8))
+    @settings(max_examples=60, deadline=None)
+    def test_garbage_never_crashes(self, blob):
+        got, stats = decode_buffer(blob)
+        assert stats.n_records == len(blob) // RECORD_SIZE
+        assert stats.trailing_bytes == len(blob) % RECORD_SIZE
+        assert len(got) <= stats.n_records

@@ -1,0 +1,57 @@
+"""Simulated process / container tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.machine.spec import GiB
+from repro.runtime.process import ContainerSpec, SimProcess
+
+
+class TestSimProcess:
+    def test_construction(self, ampere):
+        p = SimProcess(ampere, n_threads=4)
+        assert p.team.n_threads == 4
+        assert p.rss_bytes == 0
+
+    def test_wall_time(self, ampere):
+        p = SimProcess(ampere, n_threads=2)
+        p.team[0].advance(3e9)
+        assert p.wall_seconds == pytest.approx(1.0)
+
+    def test_too_many_threads(self, tiny):
+        with pytest.raises(MachineError):
+            SimProcess(tiny, n_threads=tiny.n_cores + 1)
+
+    def test_zero_threads(self, ampere):
+        with pytest.raises(MachineError):
+            SimProcess(ampere, n_threads=0)
+
+    def test_env(self, ampere):
+        p = SimProcess(ampere, env={"NMO_ENABLE": "on"})
+        assert p.getenv("NMO_ENABLE") == "on"
+        assert p.getenv("MISSING", "x") == "x"
+
+    def test_mem_limit_applied_to_address_space(self, ampere):
+        p = SimProcess(ampere, mem_limit=1 * GiB)
+        assert p.address_space.mem_limit == 1 * GiB
+
+
+class TestContainerSpec:
+    def test_paper_container(self, ampere):
+        """32 cores x 8 GiB per core = 256 GiB (paper §VI-A)."""
+        c = ContainerSpec()
+        assert c.cores == 32
+        assert c.mem_limit == 256 * GiB
+
+    def test_make_process(self, ampere):
+        p = ContainerSpec().make_process(ampere)
+        assert p.n_threads == 32
+        assert p.mem_limit == 256 * GiB
+
+    def test_thread_limit_enforced(self, ampere):
+        with pytest.raises(MachineError):
+            ContainerSpec(cores=4).make_process(ampere, n_threads=8)
+
+    def test_validation(self):
+        with pytest.raises(MachineError):
+            ContainerSpec(cores=0)

@@ -1,0 +1,73 @@
+"""Thread / team tests."""
+
+import pytest
+
+from repro.errors import MachineError
+from repro.runtime.thread import SimThread, ThreadTeam
+
+
+class TestSimThread:
+    def test_advance(self):
+        t = SimThread(0, 0)
+        t.advance(100.0)
+        assert t.cycles == 100.0
+
+    def test_no_backwards(self):
+        with pytest.raises(MachineError):
+            SimThread(0, 0).advance(-1)
+
+    def test_overhead_charged_to_clock(self):
+        t = SimThread(0, 0)
+        t.advance(100)
+        t.charge_overhead(10)
+        assert t.cycles == 110
+        assert t.overhead_cycles == 10
+
+    def test_retire_counts(self):
+        t = SimThread(0, 0)
+        t.retire(100, n_mem=40, n_flops=10)
+        assert (t.ops_retired, t.mem_ops_retired, t.flops_retired) == (100, 40, 10)
+
+    def test_retire_validation(self):
+        with pytest.raises(MachineError):
+            SimThread(0, 0).retire(10, n_mem=8, n_flops=5)
+
+    def test_negative_ids(self):
+        with pytest.raises(MachineError):
+            SimThread(-1, 0)
+
+
+class TestThreadTeam:
+    def test_pinned_to_consecutive_cores(self):
+        team = ThreadTeam(4)
+        assert [t.core for t in team] == [0, 1, 2, 3]
+
+    def test_barrier_aligns_to_slowest(self):
+        team = ThreadTeam(3)
+        team[0].advance(10)
+        team[2].advance(50)
+        team.barrier()
+        assert all(t.cycles == 50 for t in team)
+
+    def test_max_cycles(self):
+        team = ThreadTeam(2)
+        team[1].advance(33)
+        assert team.max_cycles == 33
+
+    def test_totals(self):
+        team = ThreadTeam(2)
+        team[0].retire(10, 5)
+        team[1].retire(20, 8, 2)
+        assert team.total_ops == 30
+        assert team.total_mem_ops == 13
+        assert team.total_flops == 2
+
+    def test_total_overhead(self):
+        team = ThreadTeam(2)
+        team[0].charge_overhead(5)
+        team[1].charge_overhead(7)
+        assert team.total_overhead_cycles == 12
+
+    def test_empty_team_rejected(self):
+        with pytest.raises(MachineError):
+            ThreadTeam(0)

@@ -1,0 +1,66 @@
+"""SPE config encode/decode tests, anchored to the paper's values."""
+
+import pytest
+
+from repro.errors import SpeError
+from repro.spe.config import (
+    CONFIG_LOADS_AND_STORES,
+    SpeConfig,
+)
+
+
+class TestPaperValues:
+    def test_loads_and_stores_is_0x600000001(self):
+        """§IV-A: '0x600000001 corresponds to sampling all loads and
+        stores'."""
+        assert SpeConfig.loads_and_stores().encode() == 0x6_0000_0001
+        assert CONFIG_LOADS_AND_STORES == 0x6_0000_0001
+
+    def test_decode_paper_value(self):
+        cfg = SpeConfig.decode(0x6_0000_0001)
+        assert cfg.loads and cfg.stores
+        assert not cfg.branches
+        assert cfg.timestamps
+        assert not cfg.jitter
+
+    def test_branches_excluded_by_default(self):
+        """NMO excludes branch sampling (Neoverse N1 bias errata)."""
+        assert not SpeConfig.loads_and_stores().branches
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            SpeConfig.loads_only(),
+            SpeConfig.stores_only(),
+            SpeConfig(loads=True, stores=True, branches=True),
+            SpeConfig(loads=True, stores=False, jitter=True, min_latency=100),
+            SpeConfig(loads=True, stores=True, physical_addresses=True),
+            SpeConfig(loads=True, stores=True, timestamps=False),
+        ],
+    )
+    def test_encode_decode_identity(self, cfg):
+        assert SpeConfig.decode(cfg.encode()) == cfg
+
+    def test_min_latency_field_bits(self):
+        cfg = SpeConfig(loads=True, min_latency=0xABC)
+        assert SpeConfig.decode(cfg.encode()).min_latency == 0xABC
+
+    def test_min_latency_overflow_rejected(self):
+        with pytest.raises(SpeError):
+            SpeConfig(loads=True, min_latency=1 << 12)
+
+    def test_no_op_types_rejected(self):
+        with pytest.raises(SpeError):
+            SpeConfig(loads=False, stores=False, branches=False)
+
+    def test_negative_config_rejected(self):
+        with pytest.raises(SpeError):
+            SpeConfig.decode(-1)
+
+    def test_jitter_bit_is_16(self):
+        cfg = SpeConfig(loads=True, jitter=True)
+        assert cfg.encode() >> 16 & 1
+        quiet = SpeConfig(loads=True, jitter=False)
+        assert not quiet.encode() >> 16 & 1

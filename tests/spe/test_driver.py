@@ -1,0 +1,213 @@
+"""SPE driver tests: aux routing, losses, costs, throttling."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import GenericTimer
+from repro.cpu.pipeline import PipelineModel
+from repro.errors import SpeError
+from repro.kernel.perf_event import ARM_SPE_PMU_TYPE, PerfEventAttr, PerfSubsystem
+from repro.kernel.records import PERF_AUX_FLAG_COLLISION, PERF_AUX_FLAG_TRUNCATED
+from repro.spe.config import SpeConfig
+from repro.spe.driver import SpeCostModel, SpeDriver, ThrottleModel
+from repro.spe.sampler import SpeSampler, TraceOpSource
+from repro.cpu.ops import OpKind
+from repro.machine.hierarchy import MemLevel
+
+
+def open_event(machine, aux_pages=16, ring_pages=8, period=1000):
+    ps = PerfSubsystem(machine)
+    ev = ps.perf_event_open(
+        PerfEventAttr(
+            type=ARM_SPE_PMU_TYPE,
+            config=SpeConfig.loads_and_stores().encode(),
+            sample_period=period,
+            disabled=False,
+        ),
+        cpu=0,
+    )
+    ev.mmap_ring(ring_pages)
+    ev.mmap_aux(aux_pages)
+    return ev
+
+
+def sampled_output(machine, n=300_000, period=100, cpi=1.0, seed=0):
+    rng = np.random.default_rng(seed)
+    kinds = np.full(n, OpKind.LOAD, np.uint8)
+    addrs = rng.integers(1, 1 << 40, n, dtype=np.uint64)
+    levels = np.full(n, int(MemLevel.L1), np.uint8)
+    src = TraceOpSource(kinds, addrs, levels, cpi=cpi)
+    sampler = SpeSampler(
+        period, SpeConfig.loads_and_stores(), PipelineModel(machine),
+        GenericTimer(machine.frequency_hz), rng,
+    )
+    return sampler.sample_stream(src)
+
+
+class TestFeedFlush:
+    def test_all_samples_delivered_small_stream(self, ampere):
+        ev = open_event(ampere)
+        drv = SpeDriver(ev, SpeCostModel(service_loss_records=0))
+        out = sampled_output(ampere, n=50_000)
+        res = drv.process(out)
+        assert len(res.batch) == out.n_kept
+        assert res.n_lost_stall == 0
+
+    def test_bytes_round_trip_through_aux(self, ampere):
+        ev = open_event(ampere)
+        drv = SpeDriver(ev, SpeCostModel(service_loss_records=0))
+        out = sampled_output(ampere, n=50_000)
+        res = drv.process(out)
+        got = res.batch.sorted_by_time()
+        ref = out.batch.sorted_by_time()
+        assert (got.addr == ref.addr).all()
+        assert (got.ts == ref.ts).all()
+
+    def test_service_loss_per_wakeup(self, ampere):
+        ev = open_event(ampere, aux_pages=4)  # wm = 2048 records
+        cost = SpeCostModel(service_loss_records=100, service_loss_scale=1.0)
+        drv = SpeDriver(ev, cost)
+        out = sampled_output(ampere, n=3_000_000, period=100)
+        res = drv.process(out)
+        assert res.n_wakeups > 2
+        assert res.n_lost_stall == pytest.approx(res.n_wakeups * 100, rel=0.2)
+
+    def test_truncated_flag_follows_loss(self, ampere):
+        ev = open_event(ampere, aux_pages=4)
+        drv = SpeDriver(ev, SpeCostModel(service_loss_records=50))
+        out = sampled_output(ampere, n=2_000_000, period=100)
+        res = drv.process(out)
+        truncated = [r for r in res.aux_records if r.flags & PERF_AUX_FLAG_TRUNCATED]
+        assert truncated
+
+    def test_collision_flag_announced(self, ampere):
+        ev = open_event(ampere)
+        drv = SpeDriver(ev)
+        out = sampled_output(ampere, n=100_000)
+        out.n_collisions = 5  # simulate collisions reported by hardware
+        res = drv.process(out)
+        assert any(r.flags & PERF_AUX_FLAG_COLLISION for r in res.aux_records)
+
+    def test_flush_uncharged(self, ampere):
+        ev = open_event(ampere)
+        drv = SpeDriver(ev)
+        out = sampled_output(ampere, n=10_000, period=100)  # < watermark
+        fed = drv.feed(out)
+        assert fed.n_wakeups == 0
+        tail = drv.flush()
+        assert tail.overhead_cycles == 0.0
+        assert len(tail.batch) == out.n_kept
+
+    def test_pending_carries_across_feeds(self, ampere):
+        ev = open_event(ampere)  # wm 8192 records
+        drv = SpeDriver(ev, SpeCostModel(service_loss_records=0))
+        total = 0
+        delivered = 0
+        for seed in range(4):
+            out = sampled_output(ampere, n=300_000, period=100, seed=seed)
+            total += out.n_kept
+            delivered += len(drv.feed(out).batch)
+        tail = drv.flush()
+        delivered += len(tail.batch)
+        assert drv.total_written == total  # zero-loss cost model
+        assert delivered == total
+        # watermark crossings plus the final (uncharged) flush wakeup
+        assert drv.total_wakeups == total // 8192 + 1
+
+    def test_overhead_scales_with_records(self, ampere):
+        cost = SpeCostModel(irq_cycles=0, user_record_cycles=10,
+                            service_loss_records=0)
+        ev = open_event(ampere)
+        drv = SpeDriver(ev, cost)
+        out = sampled_output(ampere, n=100_000, period=100)
+        res = drv.process(out)
+        assert res.overhead_cycles == pytest.approx(out.n_kept * 10)
+
+    def test_irq_cost_per_wakeup(self, ampere):
+        cost = SpeCostModel(irq_cycles=1000, user_record_cycles=0,
+                            service_loss_records=0)
+        ev = open_event(ampere, aux_pages=4)
+        drv = SpeDriver(ev, cost)
+        out = sampled_output(ampere, n=1_000_000, period=100)
+        fed = drv.feed(out)  # flush wakeup is free by design
+        assert fed.overhead_cycles == pytest.approx(fed.n_wakeups * 1000)
+
+    def test_requires_mmaps(self, ampere):
+        ps = PerfSubsystem(ampere)
+        ev = ps.perf_event_open(
+            PerfEventAttr(
+                type=ARM_SPE_PMU_TYPE,
+                config=SpeConfig.loads_and_stores().encode(),
+                sample_period=100,
+            ),
+            cpu=0,
+        )
+        with pytest.raises(SpeError):
+            SpeDriver(ev)
+
+
+class TestMinWorkingPages:
+    """Paper Fig. 9: SPE needs >= 4 aux pages to produce samples."""
+
+    def test_small_aux_loses_everything(self, ampere):
+        ev = open_event(ampere, aux_pages=2)
+        drv = SpeDriver(ev)
+        out = sampled_output(ampere, n=100_000, period=100)
+        res = drv.process(out)
+        assert not drv.working
+        assert res.n_written == 0
+        assert res.n_lost_stall == out.n_kept
+
+    def test_four_pages_works(self, ampere):
+        ev = open_event(ampere, aux_pages=4)
+        drv = SpeDriver(ev)
+        assert drv.working
+        out = sampled_output(ampere, n=100_000, period=100)
+        res = drv.process(out)
+        assert res.n_written > 0
+
+    def test_inert_session_costs_once(self, ampere):
+        ev = open_event(ampere, aux_pages=2)
+        drv = SpeDriver(ev)
+        r1 = drv.feed(sampled_output(ampere, n=10_000, period=100))
+        r2 = drv.feed(sampled_output(ampere, n=10_000, period=100, seed=1))
+        assert r1.overhead_cycles > 0
+        assert r2.overhead_cycles == 0.0
+
+    def test_disabled_event_inert(self, ampere):
+        ev = open_event(ampere)
+        ev.enabled = False
+        drv = SpeDriver(ev)
+        res = drv.process(sampled_output(ampere, n=10_000, period=100))
+        assert res.n_written == 0
+
+
+class TestThrottleModel:
+    def test_no_throttle_below_onset(self):
+        t = ThrottleModel(onset_threads=48)
+        assert t.throttled_fraction(1000.0, 32) == 0.0
+
+    def test_peak_fraction_at_peak_threads(self):
+        t = ThrottleModel(onset_threads=48, peak_threads=128, peak_fraction=0.04)
+        assert t.throttled_fraction(1000.0, 128) == pytest.approx(0.04)
+
+    def test_monotone_in_threads(self):
+        t = ThrottleModel()
+        fr = [t.throttled_fraction(1000.0, n) for n in (48, 64, 96, 128)]
+        assert fr == sorted(fr)
+
+    def test_zero_rate_gates(self):
+        t = ThrottleModel()
+        assert t.throttled_fraction(0.0, 128) == 0.0
+
+    def test_events_positive_when_throttling(self):
+        t = ThrottleModel()
+        assert t.throttle_events(1000.0, 128, 10.0) >= 1
+        assert t.throttle_events(1000.0, 8, 10.0) == 0
+
+    def test_invalid_inputs(self):
+        t = ThrottleModel()
+        with pytest.raises(SpeError):
+            t.throttled_fraction(-1.0, 8)
+        with pytest.raises(SpeError):
+            t.throttled_fraction(1.0, 0)

@@ -1,0 +1,123 @@
+"""Byte-exact packet layout tests (paper §IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PacketDecodeError
+from repro.spe.packets import (
+    HDR_TIMESTAMP,
+    HDR_VADDR,
+    OFF_TS,
+    OFF_TS_HDR,
+    OFF_VADDR,
+    OFF_VADDR_HDR,
+    RECORD_SIZE,
+    corrupt_records,
+    decode_buffer,
+    encode_batch,
+)
+from repro.spe.records import SampleBatch
+
+
+def batch(n=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return SampleBatch(
+        pc=rng.integers(1, 1 << 48, n, dtype=np.uint64),
+        addr=rng.integers(1, 1 << 48, n, dtype=np.uint64),
+        ts=rng.integers(1, 1 << 40, n, dtype=np.uint64),
+        level=rng.integers(1, 5, n, dtype=np.uint8),
+        kind=rng.integers(1, 3, n, dtype=np.uint8),
+        total_lat=rng.integers(1, 1000, n, dtype=np.uint16),
+        issue_lat=rng.integers(1, 100, n, dtype=np.uint16),
+    )
+
+
+class TestPaperLayout:
+    def test_record_is_64_bytes(self):
+        data = encode_batch(batch(3))
+        assert len(data) == 3 * 64
+        assert RECORD_SIZE == 64
+
+    def test_vaddr_at_offset_31_prefaced_0xb2(self):
+        """'the virtual address is stored as a 64-bit value at an offset
+        of 31 bytes from the base of the packet' prefaced by 0xb2."""
+        b = batch(1)
+        raw = encode_batch(b)
+        assert OFF_VADDR == 31 and OFF_VADDR_HDR == 30
+        assert raw[30] == 0xB2 == HDR_VADDR
+        addr = int.from_bytes(raw[31:39], "little")
+        assert addr == int(b.addr[0])
+
+    def test_timestamp_at_offset_56_prefaced_0x71(self):
+        """'the timestamp is stored as a 64-bit value at the end of the
+        packet at a 56-byte offset' prefaced by 0x71."""
+        b = batch(1)
+        raw = encode_batch(b)
+        assert OFF_TS == 56 and OFF_TS_HDR == 55
+        assert raw[55] == 0x71 == HDR_TIMESTAMP
+        ts = int.from_bytes(raw[56:64], "little")
+        assert ts == int(b.ts[0])
+
+    def test_timestamp_ends_record(self):
+        assert OFF_TS + 8 == RECORD_SIZE
+
+
+class TestRoundTrip:
+    def test_identity(self):
+        b = batch(100)
+        got, stats = decode_buffer(encode_batch(b))
+        assert stats.n_valid == 100
+        assert stats.n_skipped == 0
+        for col in SampleBatch._COLUMNS:
+            assert (getattr(got, col) == getattr(b, col)).all(), col
+
+    def test_empty(self):
+        got, stats = decode_buffer(b"")
+        assert len(got) == 0
+        assert stats.n_records == 0
+
+    def test_trailing_partial_record_counted(self):
+        raw = encode_batch(batch(2)) + b"\x00" * 10
+        got, stats = decode_buffer(raw)
+        assert stats.trailing_bytes == 10
+        assert len(got) == 2
+
+
+class TestSkipInvalid:
+    """NMO skips packets with bad prefaces or zero addr/ts (§IV-A)."""
+
+    def test_corrupted_preface_skipped(self):
+        raw = corrupt_records(encode_batch(batch(10)), [3, 7])
+        got, stats = decode_buffer(raw)
+        assert stats.n_skipped == 2
+        assert len(got) == 8
+
+    def test_zero_address_skipped(self):
+        b = batch(4)
+        b.addr[1] = 0
+        got, stats = decode_buffer(encode_batch(b))
+        assert stats.n_skipped == 1
+        assert len(got) == 3
+
+    def test_zero_timestamp_skipped(self):
+        b = batch(4)
+        b.ts[2] = 0
+        got, stats = decode_buffer(encode_batch(b))
+        assert stats.n_skipped == 1
+
+    def test_strict_mode_raises_with_detail(self):
+        raw = corrupt_records(encode_batch(batch(5)), [2])
+        with pytest.raises(PacketDecodeError) as e:
+            decode_buffer(raw, strict=True)
+        assert "record 2" in str(e.value)
+
+    def test_corrupt_out_of_range(self):
+        with pytest.raises(PacketDecodeError):
+            corrupt_records(encode_batch(batch(2)), [5])
+
+    def test_garbage_buffer_fully_skipped(self):
+        raw = bytes(range(256))  # 4 records of garbage
+        got, stats = decode_buffer(raw)
+        assert stats.n_valid == 0
+        assert stats.n_skipped == 4
+        assert len(got) == 0

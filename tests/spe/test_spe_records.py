@@ -1,0 +1,77 @@
+"""SampleBatch column-store tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpeError
+from repro.spe.records import SampleBatch
+
+
+def mk(n=5):
+    return SampleBatch(
+        pc=np.arange(n, dtype=np.uint64),
+        addr=np.arange(n, dtype=np.uint64) + 100,
+        ts=np.arange(n, dtype=np.uint64)[::-1].copy() + 1,
+        level=np.ones(n, np.uint8),
+        kind=np.ones(n, np.uint8),
+        total_lat=np.full(n, 7, np.uint16),
+        issue_lat=np.full(n, 2, np.uint16),
+    )
+
+
+class TestSampleBatch:
+    def test_empty_default(self):
+        assert len(SampleBatch()) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(SpeError):
+            SampleBatch(pc=np.zeros(2, np.uint64))
+
+    def test_select_mask(self):
+        b = mk(6)
+        sel = b.select(b.addr % 2 == 0)
+        assert len(sel) == 3
+
+    def test_select_indices(self):
+        b = mk(5)
+        sel = b.select(np.array([4, 0]))
+        assert sel.pc.tolist() == [4, 0]
+
+    def test_concat(self):
+        c = SampleBatch.concat([mk(2), mk(3)])
+        assert len(c) == 5
+
+    def test_concat_empty_list(self):
+        assert len(SampleBatch.concat([])) == 0
+
+    def test_sorted_by_time(self):
+        b = mk(5).sorted_by_time()
+        assert (np.diff(b.ts.astype(np.int64)) >= 0).all()
+
+    def test_to_dict_columns(self):
+        d = mk(3).to_dict()
+        assert set(d) == set(SampleBatch._COLUMNS)
+
+    def test_from_columns_missing_rejected(self):
+        with pytest.raises(SpeError):
+            SampleBatch.from_columns(pc=np.zeros(1, np.uint64))
+
+    def test_dtype_coercion(self):
+        b = SampleBatch(
+            pc=[1, 2], addr=[3, 4], ts=[5, 6], level=[1, 1], kind=[1, 2],
+            total_lat=[9, 9], issue_lat=[1, 1],
+        )
+        assert b.pc.dtype == np.uint64
+        assert b.level.dtype == np.uint8
+
+    def test_multidim_rejected(self):
+        with pytest.raises(SpeError):
+            SampleBatch(
+                pc=np.zeros((2, 2), np.uint64),
+                addr=np.zeros((2, 2), np.uint64),
+                ts=np.zeros((2, 2), np.uint64),
+                level=np.zeros((2, 2), np.uint8),
+                kind=np.zeros((2, 2), np.uint8),
+                total_lat=np.zeros((2, 2), np.uint16),
+                issue_lat=np.zeros((2, 2), np.uint16),
+            )

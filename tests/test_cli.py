@@ -1,0 +1,35 @@
+"""CLI runner tests (python -m repro)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig2", "fig8", "fig9", "table1", "table2"):
+            assert name in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NMO_PERIOD" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "3.0 GHz" in out
+
+    def test_fig2_scaled(self, capsys):
+        assert main(["fig2", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig.2" in out and "GiB" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nope"])
+
+    def test_every_registered_experiment_has_callable(self):
+        assert all(callable(fn) for fn in EXPERIMENTS.values())

@@ -1,0 +1,72 @@
+"""Public API surface tests: imports, __all__, version, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.machine",
+    "repro.cpu",
+    "repro.kernel",
+    "repro.spe",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.nmo",
+    "repro.analysis",
+    "repro.evalharness",
+]
+
+
+class TestApiSurface:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__, f"{name} needs a module docstring"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        mod = importlib.import_module(name)
+        for sym in getattr(mod, "__all__", []):
+            assert hasattr(mod, sym), f"{name}.{sym} in __all__ but missing"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_classes_documented(self):
+        from repro.nmo import NmoProfiler, NmoSettings, ProfileResult
+        from repro.spe import SpeDriver, SpeSampler
+        from repro.workloads import Workload
+
+        for cls in (NmoProfiler, NmoSettings, ProfileResult, SpeDriver,
+                    SpeSampler, Workload):
+            assert cls.__doc__, cls.__name__
+
+    def test_error_hierarchy(self):
+        from repro.errors import (
+            AnnotationError,
+            NmoError,
+            PerfError,
+            ReproError,
+            SpeError,
+            WorkloadError,
+        )
+
+        for exc in (NmoError, PerfError, SpeError, WorkloadError):
+            assert issubclass(exc, ReproError)
+        assert issubclass(AnnotationError, NmoError)
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The README/package-docstring quickstart must actually run."""
+        from repro.machine import ampere_altra_max
+        from repro.nmo import NmoMode, NmoProfiler, NmoSettings
+        from repro.workloads import StreamWorkload
+
+        machine = ampere_altra_max()
+        workload = StreamWorkload(machine, n_threads=4, n_elems=1 << 16,
+                                  iterations=1)
+        settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=4096)
+        result = NmoProfiler(workload, settings).run()
+        assert 0.0 <= result.accuracy <= 1.0

@@ -1,0 +1,135 @@
+"""Address-pattern builder tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.access_patterns import (
+    local_window,
+    random_in,
+    round_robin,
+    sequential,
+    strided,
+    weighted_mix,
+)
+
+
+class TestSequential:
+    def test_thread_chunks_disjoint(self):
+        fn = sequential(0x1000, 1000, 8, n_threads=4)
+        idx = np.arange(100)
+        ranges = []
+        for t in range(4):
+            a = fn(idx, t)
+            ranges.append((a.min(), a.max()))
+        ranges.sort()
+        for (lo0, hi0), (lo1, _) in zip(ranges, ranges[1:]):
+            assert hi0 < lo1
+
+    def test_monotone_within_chunk(self):
+        fn = sequential(0, 1000, 8, n_threads=2)
+        a = fn(np.arange(50), 0)
+        assert (np.diff(a.astype(np.int64)) == 8).all()
+
+    def test_wraps_for_multiple_passes(self):
+        fn = sequential(0, 10, 4, n_threads=1)
+        a = fn(np.arange(25), 0)
+        assert a[0] == a[10] == a[20]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            sequential(0, 0, 8)
+
+
+class TestStrided:
+    def test_stride_applied(self):
+        fn = strided(0, 1024, 8, stride_elems=16, n_threads=1)
+        a = fn(np.arange(4), 0)
+        assert (np.diff(a.astype(np.int64)) == 16 * 8).all()
+
+    def test_bad_stride(self):
+        with pytest.raises(WorkloadError):
+            strided(0, 10, 8, stride_elems=0)
+
+
+class TestRandomIn:
+    def test_within_bounds(self):
+        fn = random_in(0x1000, 100, 8)
+        a = fn(np.arange(10_000), 0)
+        assert (a >= 0x1000).all()
+        assert (a < 0x1000 + 800).all()
+
+    def test_covers_object(self):
+        fn = random_in(0, 64, 1)
+        a = fn(np.arange(5000), 0)
+        assert np.unique(a).size > 60
+
+    def test_thread_salted(self):
+        fn = random_in(0, 1000, 8)
+        a0 = fn(np.arange(100), 0)
+        a1 = fn(np.arange(100), 1)
+        assert (a0 != a1).any()
+
+
+class TestLocalWindow:
+    def test_stays_near_sweep_position(self):
+        fn = local_window(0, 100_000, 4, window=50, n_threads=1)
+        idx = np.arange(1000, 2000)
+        a = fn(idx, 0)
+        elems = a // 4
+        assert (np.abs(elems.astype(np.int64) - idx) <= 50).all()
+
+    def test_global_fraction_jumps(self):
+        fn = local_window(
+            0, 1_000_000, 4, window=10, n_threads=1, global_fraction=0.5
+        )
+        idx = np.arange(1000)
+        elems = (fn(idx, 0) // 4).astype(np.int64)
+        far = np.abs(elems - idx) > 1000
+        assert far.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_bounds_clipped(self):
+        fn = local_window(0, 100, 4, window=1000, n_threads=1)
+        a = fn(np.arange(100), 0)
+        assert (a < 400).all()
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            local_window(0, 10, 4, window=0)
+        with pytest.raises(WorkloadError):
+            local_window(0, 10, 4, window=1, global_fraction=2.0)
+
+
+class TestCombinators:
+    def test_round_robin_cycles(self):
+        pa = sequential(0x0, 100, 8)
+        pb = sequential(0x10000, 100, 8)
+        fn = round_robin([pa, pb])
+        a = fn(np.arange(10), 0)
+        assert (a[::2] < 0x10000).all()
+        assert (a[1::2] >= 0x10000).all()
+
+    def test_round_robin_sub_index_advances(self):
+        pa = sequential(0, 100, 8)
+        fn = round_robin([pa, pa])
+        a = fn(np.array([0, 2, 4]), 0)
+        assert (np.diff(a.astype(np.int64)) == 8).all()
+
+    def test_weighted_mix_ratios(self):
+        pa = sequential(0x0, 100, 8)
+        pb = sequential(0x100000, 100, 8)
+        fn = weighted_mix([(pa, 3.0), (pb, 1.0)])
+        a = fn(np.arange(40_000), 0)
+        frac_b = (a >= 0x100000).mean()
+        assert frac_b == pytest.approx(0.25, abs=0.02)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            round_robin([])
+        with pytest.raises(WorkloadError):
+            weighted_mix([])
+
+    def test_bad_weights(self):
+        pa = sequential(0, 10, 8)
+        with pytest.raises(WorkloadError):
+            weighted_mix([(pa, 0.0)])

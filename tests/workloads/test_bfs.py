@@ -1,0 +1,77 @@
+"""Rodinia BFS workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.ops import OpKind
+from repro.workloads.bfs import LEVEL_FRACTIONS, BfsWorkload
+
+
+@pytest.fixture
+def bfs(ampere):
+    return BfsWorkload(ampere, n_threads=4, n_nodes=10_000, repeats=2)
+
+
+class TestStructure:
+    def test_graph_arrays(self, bfs):
+        names = {n for n, _s, _e in bfs.tagged_objects()}
+        assert {"nodes", "edges", "cost", "visited"} <= names
+
+    def test_level_phases(self, bfs):
+        levels = [p for p in bfs.phases if p.name.startswith("level#")]
+        assert len(levels) == len(LEVEL_FRACTIONS)
+
+    def test_frontier_rise_and_fall(self, bfs):
+        levels = [p for p in bfs.phases if p.name.startswith("level#")]
+        sizes = [p.n_mem_ops for p in levels]
+        peak = int(np.argmax(sizes))
+        assert 0 < peak < len(sizes) - 1
+        assert sizes[0] < sizes[peak] > sizes[-1]
+
+    def test_pure_memory_stream(self, bfs):
+        """BFS phases are group=1: every decoded op touches memory."""
+        for p in bfs.phases:
+            if p.name.startswith("level#"):
+                assert p.group == 1
+
+    def test_shared_graph_slc_sharers(self, bfs):
+        for p in bfs.phases:
+            assert p.slc_sharers == 1
+
+
+class TestCacheResidency:
+    def test_no_bandwidth_pressure(self, ampere):
+        w = BfsWorkload(ampere, n_threads=32, scale=1.0)
+        level = [p for p in w.phases if p.name.startswith("level#")][3]
+        assert w.bandwidth_utilisation(level) < 0.5
+        assert level.dram_latency_scale < 1.5
+
+    def test_graph_fits_in_slc(self, ampere):
+        w = BfsWorkload(ampere, n_threads=32, scale=1.0)
+        level = [p for p in w.phases if p.name.startswith("level#")][3]
+        frac = w.stat.dram_fraction(level.classes, sharers=1)
+        assert frac < 0.02
+
+    def test_mem_volume_smaller_than_stream(self, ampere):
+        from repro.workloads.stream import StreamWorkload
+
+        s = StreamWorkload(ampere, n_threads=32, scale=1.0)
+        b = BfsWorkload(ampere, n_threads=32, scale=1.0)
+        assert b.total_mem_ops() < s.total_mem_ops() / 4
+
+
+class TestAddresses:
+    def test_addresses_within_graph(self, bfs, rng):
+        level = [p for p in bfs.phases if p.name.startswith("level#")][4]
+        src = bfs.op_source(level, 0)
+        kinds, addrs = src.ops_at(np.arange(min(src.n_ops, 5000)), rng)
+        mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
+        layout = bfs.process.address_space
+        assert (layout.classify(addrs[mem]) >= 0).all()
+
+    def test_repeats_multiply_ops(self, ampere):
+        b1 = BfsWorkload(ampere, n_threads=4, n_nodes=10_000, repeats=1)
+        b4 = BfsWorkload(ampere, n_threads=4, n_nodes=10_000, repeats=4)
+        lv1 = [p for p in b1.phases if p.name.startswith("level#")][4]
+        lv4 = [p for p in b4.phases if p.name.startswith("level#")][4]
+        assert lv4.n_mem_ops == pytest.approx(4 * lv1.n_mem_ops, rel=0.01)

@@ -1,0 +1,94 @@
+"""Rodinia CFD workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.ops import OpKind
+from repro.workloads.cfd import (
+    FLUX_ACC,
+    STEP_ACC,
+    CfdWorkload,
+)
+
+
+@pytest.fixture
+def cfd(ampere):
+    return CfdWorkload(ampere, n_threads=4, n_elems=1 << 14, iterations=3)
+
+
+class TestStructure:
+    def test_arrays(self, cfd):
+        names = {n for n, _s, _e in cfd.tagged_objects()}
+        assert {
+            "variables", "old_variables", "ese", "normals", "fluxes",
+            "step_factors",
+        } <= names
+
+    def test_phases_per_iteration(self, cfd):
+        # init + (flux + time_step) per iteration
+        assert len(cfd.phases) == 1 + 2 * 3
+
+    def test_computation_loop_tag(self, cfd):
+        tags = {p.tag for p in cfd.phases if p.name.startswith("compute_flux")}
+        assert tags == {"computation loop"}
+
+    def test_flux_access_count(self, cfd):
+        flux = cfd.phases[1]
+        assert flux.n_mem_ops == FLUX_ACC * ((1 << 14) // 4)
+
+    def test_step_access_count(self, cfd):
+        step = cfd.phases[2]
+        assert step.n_mem_ops == STEP_ACC * ((1 << 14) // 4)
+
+
+class TestAccessCharacter:
+    def test_variables_gathers_are_irregular(self, cfd, rng):
+        """Neighbour gathers hit non-monotonic addresses — the Fig. 6
+        irregularity."""
+        flux = cfd.phases[1]
+        src = cfd.op_source(flux, 0)
+        var = cfd.process.address_space.region("variables")
+        idx = np.arange(0, src.n_ops, 3)
+        kinds, addrs = src.ops_at(idx, rng)
+        mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
+        in_var = mem & (addrs >= var.start) & (addrs < var.end)
+        a = addrs[in_var].astype(np.int64)
+        assert a.size > 50
+        diffs = np.diff(a)
+        assert (diffs < 0).any()  # not a monotone sweep
+
+    def test_normals_split_cleanly_across_threads(self, cfd, rng):
+        """Only normals splits properly per thread (paper Fig. 6)."""
+        flux = cfd.phases[1]
+        norm = cfd.process.address_space.region("normals")
+        per_thread = []
+        for t in range(4):
+            src = cfd.op_source(flux, t)
+            idx = np.arange(0, src.n_ops, 5)
+            kinds, addrs = src.ops_at(idx, rng)
+            mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
+            sel = mem & (addrs >= norm.start) & (addrs < norm.end)
+            a = addrs[sel]
+            per_thread.append((int(a.min()), int(a.max())))
+        spans = sorted(per_thread)
+        overlaps = sum(
+            max(0, min(h0, h1) - max(l0, l1))
+            for (l0, h0), (l1, h1) in zip(spans, spans[1:])
+        )
+        total = spans[-1][1] - spans[0][0]
+        assert overlaps / total < 0.05
+
+    def test_flux_has_higher_dram_share_than_stream_like_step(self, cfd):
+        flux, step = cfd.phases[1], cfd.phases[2]
+        f_flux = cfd.stat.dram_fraction(flux.classes, sharers=4)
+        f_step = cfd.stat.dram_fraction(step.classes, sharers=4)
+        assert f_flux > f_step
+
+    def test_mem_ops_scale_vs_stream_ratio(self, ampere):
+        """CFD's op volume is ~8x STREAM's at equal scale (Fig. 7)."""
+        from repro.workloads.stream import StreamWorkload
+
+        s = StreamWorkload(ampere, n_threads=32, scale=1 / 64)
+        c = CfdWorkload(ampere, n_threads=32, scale=1 / 64)
+        ratio = c.total_mem_ops() / s.total_mem_ops()
+        assert 5 < ratio < 12

@@ -1,0 +1,101 @@
+"""CloudSuite workload model tests (PageRank + In-memory Analytics)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import GiB
+from repro.workloads.inmem_analytics import (
+    N_ITERATIONS,
+    SATURATED_RSS_GIB as IMA_RSS,
+    InMemoryAnalyticsWorkload,
+)
+from repro.workloads.pagerank import (
+    SATURATED_RSS_GIB as PR_RSS,
+    PageRankWorkload,
+)
+
+
+class TestPageRank:
+    def test_duration_near_25s(self, ampere):
+        w = PageRankWorkload(ampere, scale=1.0)
+        assert w.baseline_seconds() == pytest.approx(25.0, rel=0.1)
+
+    def test_rss_saturates_at_123_8_gib(self, ampere):
+        """Paper Fig. 2: PageRank reaches ~123.8 GiB (48.4% of 256)."""
+        w = PageRankWorkload(ampere, scale=1.0)
+        rss = w.rss_at(np.array([w.baseline_seconds()]))[0]
+        assert rss / GiB == pytest.approx(PR_RSS, rel=0.02)
+        assert PR_RSS == pytest.approx(123.8, abs=1.0)
+        assert rss / (256 * GiB) == pytest.approx(0.484, abs=0.01)
+
+    def test_bandwidth_peak_during_load(self, ampere):
+        w = PageRankWorkload(ampere, scale=1.0)
+        bws = [(p.name, w.phase_bandwidth(p) / GiB) for p in w.phases]
+        peak_phase = max(bws, key=lambda x: x[1])
+        assert peak_phase[0] == "load_edges"
+        assert peak_phase[1] == pytest.approx(118.0, rel=0.05)
+
+    def test_rank_iterations_decline(self, ampere):
+        w = PageRankWorkload(ampere, scale=1.0)
+        iters = [
+            w.phase_bandwidth(p)
+            for p in w.phases
+            if p.name.startswith("rank_iter")
+        ]
+        assert iters == sorted(iters, reverse=True)
+
+    def test_scale_shrinks_duration(self, ampere):
+        w = PageRankWorkload(ampere, scale=0.1)
+        assert w.baseline_seconds() == pytest.approx(2.5, rel=0.1)
+
+    def test_container_limit(self, ampere):
+        w = PageRankWorkload(ampere)
+        assert w.process.mem_limit == 256 * GiB
+
+
+class TestInMemoryAnalytics:
+    def test_duration_near_121s(self, ampere):
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        assert w.baseline_seconds() == pytest.approx(122.5, rel=0.05)
+
+    def test_rss_saturates_at_52_3_gib(self, ampere):
+        """Paper Fig. 2: IMA reaches ~52.3 GiB (20.4% of 256)."""
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        rss = w.rss_at(np.array([w.baseline_seconds()]))[0]
+        assert IMA_RSS == pytest.approx(52.3, abs=0.5)
+        assert rss / GiB == pytest.approx(IMA_RSS, rel=0.02)
+        assert rss / (256 * GiB) == pytest.approx(0.204, abs=0.01)
+
+    def test_als_alternation(self, ampere):
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        names = [p.name for p in w.phases]
+        assert names.count("als_user#0") == 1
+        users = [n for n in names if n.startswith("als_user")]
+        items = [n for n in names if n.startswith("als_item")]
+        assert len(users) == len(items) == N_ITERATIONS
+
+    def test_user_half_is_high_bandwidth(self, ampere):
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        user = next(p for p in w.phases if p.name == "als_user#0")
+        item = next(p for p in w.phases if p.name == "als_item#0")
+        assert w.phase_bandwidth(user) > 2 * w.phase_bandwidth(item)
+        assert w.phase_bandwidth(user) / GiB == pytest.approx(97.0, rel=0.05)
+
+    def test_periodicity_near_15s(self, ampere):
+        """The ALS halves alternate with a ~15 s period (paper Fig. 3)."""
+        from repro.nmo.bandwidth import dominant_period_s
+
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        t = np.arange(0.0, w.baseline_seconds(), 0.5)
+        bw = np.zeros_like(t)
+        for phase, t0, t1 in w.phase_spans():
+            mask = (t >= t0) & (t < t1)
+            bw[mask] = w.phase_bandwidth(phase)
+        period = dominant_period_s((t, bw))
+        assert period == pytest.approx(15.0, rel=0.2)
+
+    def test_rss_monotone_nondecreasing(self, ampere):
+        w = InMemoryAnalyticsWorkload(ampere, scale=1.0)
+        t = np.linspace(0, w.baseline_seconds(), 200)
+        rss = w.rss_at(t)
+        assert (np.diff(rss) >= -1e-6).all()

@@ -1,0 +1,44 @@
+"""Workload registry tests."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.base import Workload
+from repro.workloads.registry import (
+    get_workload_class,
+    make_workload,
+    register_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_all_five_paper_workloads_registered(self):
+        assert workload_names() == [
+            "bfs", "cfd", "inmem_analytics", "pagerank", "stream",
+        ]
+
+    def test_get_class(self):
+        from repro.workloads.stream import StreamWorkload
+
+        assert get_workload_class("stream") is StreamWorkload
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError) as e:
+            get_workload_class("nope")
+        assert "stream" in str(e.value)
+
+    def test_make_workload(self, ampere):
+        w = make_workload("bfs", ampere, n_threads=2, n_nodes=5000)
+        assert w.name == "bfs"
+        assert w.n_threads == 2
+
+    def test_register_duplicate_rejected(self):
+        from repro.workloads.stream import StreamWorkload
+
+        with pytest.raises(WorkloadError):
+            register_workload(StreamWorkload)
+
+    def test_register_non_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            register_workload(int)  # type: ignore[arg-type]

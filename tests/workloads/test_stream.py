@@ -1,0 +1,111 @@
+"""STREAM workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.ops import OpKind
+from repro.errors import WorkloadError
+from repro.workloads.stream import StreamWorkload
+
+
+@pytest.fixture
+def stream(ampere):
+    return StreamWorkload(ampere, n_threads=8, n_elems=1 << 16, iterations=3)
+
+
+class TestStructure:
+    def test_three_arrays_allocated(self, stream):
+        names = [n for n, _s, _e in stream.tagged_objects()]
+        assert names == ["a", "b", "c"]
+
+    def test_phase_count(self, stream):
+        assert len(stream.phases) == 1 + 3  # init + iterations
+
+    def test_triad_tag(self, stream):
+        assert "triad" in stream.tags()
+
+    def test_mem_ops_per_triad_iteration(self, stream):
+        triad = stream.phases[1]
+        # 3 accesses per element over this thread's chunk
+        assert triad.n_mem_ops == 3 * ((1 << 16) // 8)
+
+    def test_iterations_validated(self, ampere):
+        with pytest.raises(WorkloadError):
+            StreamWorkload(ampere, iterations=0)
+
+
+class TestTriadSemantics:
+    def test_kind_pattern_b_c_a(self, stream, rng):
+        """Per element: load b, load c, store a."""
+        triad = stream.phases[1]
+        src = stream.op_source(triad, 0)
+        a_obj = stream.process.address_space.region("a")
+        b_obj = stream.process.address_space.region("b")
+        c_obj = stream.process.address_space.region("c")
+        idx = np.arange(src.n_ops)
+        kinds, addrs = src.ops_at(idx, rng)
+        mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
+        k, ad = kinds[mem], addrs[mem]
+        in_a = (ad >= a_obj.start) & (ad < a_obj.end)
+        in_b = (ad >= b_obj.start) & (ad < b_obj.end)
+        in_c = (ad >= c_obj.start) & (ad < c_obj.end)
+        assert (in_a | in_b | in_c).all()
+        # all stores to a, all loads from b/c
+        assert (k[in_a] == OpKind.STORE).all()
+        assert (k[in_b] == OpKind.LOAD).all()
+        assert (k[in_c] == OpKind.LOAD).all()
+
+    def test_store_share_one_third(self, stream, rng):
+        triad = stream.phases[1]
+        src = stream.op_source(triad, 0)
+        kinds, _ = src.ops_at(np.arange(src.n_ops), rng)
+        stores = (kinds == OpKind.STORE).sum()
+        loads = (kinds == OpKind.LOAD).sum()
+        assert stores / (stores + loads) == pytest.approx(1 / 3, abs=0.02)
+
+    def test_one_flop_per_element(self, stream):
+        assert stream.phases[1].flops_per_group == 1
+
+    def test_thread_addresses_disjoint(self, stream, rng):
+        triad = stream.phases[1]
+        src0 = stream.op_source(triad, 0)
+        src1 = stream.op_source(triad, 1)
+        idx = np.arange(0, src0.n_ops, 17)
+        _, a0 = src0.ops_at(idx, rng)
+        _, a1 = src1.ops_at(idx, rng)
+        b_obj = stream.process.address_space.region("b")
+        b0 = a0[(a0 >= b_obj.start) & (a0 < b_obj.end)]
+        b1 = a1[(a1 >= b_obj.start) & (a1 < b_obj.end)]
+        assert b0.size and b1.size
+        assert b0.max() < b1.min()  # static chunking
+
+
+class TestBandwidthPressure:
+    def test_triad_saturates_dram(self, ampere):
+        w = StreamWorkload(ampere, n_threads=32, scale=1 / 64)
+        triad = w.phases[1]
+        assert w.bandwidth_utilisation(triad) > 1.0
+        assert triad.dram_latency_scale > 2.0
+
+    def test_init_touches_everything(self, stream):
+        init = stream.phases[0]
+        total = sum(init.touch.values())
+        assert total == 3 * (1 << 16) * 8
+
+    def test_scale_changes_elements(self, ampere):
+        w = StreamWorkload(ampere, scale=1 / 1024)
+        assert w.n_elems == int((1 << 27) / 1024)
+
+    def test_reference_locality_default(self, ampere):
+        big = StreamWorkload(ampere, n_threads=32, scale=1 / 512)
+        small = StreamWorkload(
+            ampere, n_threads=32, scale=1 / 512, reference_locality=False
+        )
+        # reference locality keeps the DRAM share scale-invariant
+        f_big = big.stat.dram_fraction(
+            big.phases[1].classes, sharers=32
+        )
+        f_small = small.stat.dram_fraction(
+            small.phases[1].classes, sharers=32
+        )
+        assert f_big > f_small
