@@ -8,7 +8,7 @@ Paper claims checked:
   counts, explaining the accuracy dip.
 """
 
-from conftest import save_report
+from conftest import orchestration_opts, save_report
 
 from repro.evalharness.experiments import fig10_fig11_threads
 from repro.evalharness.report import render_fig10_fig11
@@ -19,7 +19,8 @@ THREADS = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128)
 def test_fig10_fig11(benchmark, report_dir):
     rows = benchmark.pedantic(
         fig10_fig11_threads,
-        kwargs={"thread_counts": THREADS, "scale": 2.0},
+        kwargs={"thread_counts": THREADS, "scale": 2.0,
+                **orchestration_opts()},
         rounds=1, iterations=1,
     )
     save_report(report_dir, "fig10_fig11_threads", render_fig10_fig11(rows))

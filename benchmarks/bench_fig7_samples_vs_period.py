@@ -8,7 +8,7 @@ linearity and deviations are scale-free).
 
 import numpy as np
 import pytest
-from conftest import save_report
+from conftest import orchestration_opts, save_report
 
 from repro.analysis.accuracy import linearity_check
 from repro.evalharness.experiments import fig7_samples_vs_period
@@ -21,10 +21,12 @@ SCALES = {"stream": 1 / 64, "cfd": 1 / 512, "bfs": 0.25}
 
 def run():
     out = {}
+    opts = orchestration_opts()
     for name, scale in SCALES.items():
         out.update(
             fig7_samples_vs_period(
-                periods=PERIODS, trials=TRIALS, workloads=(name,), scale=scale
+                periods=PERIODS, trials=TRIALS, workloads=(name,),
+                scale=scale, **opts,
             )
         )
     return out

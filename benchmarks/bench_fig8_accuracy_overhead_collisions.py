@@ -9,7 +9,7 @@ Paper claims checked:
 """
 
 import numpy as np
-from conftest import save_report
+from conftest import orchestration_opts, save_report
 
 from repro.evalharness.experiments import fig8_accuracy_overhead_collisions
 from repro.evalharness.report import render_fig8
@@ -21,10 +21,12 @@ SCALES = {"stream": 1 / 64, "cfd": 1 / 512, "bfs": 0.25}
 
 def run():
     out = {}
+    opts = orchestration_opts()
     for name, scale in SCALES.items():
         out.update(
             fig8_accuracy_overhead_collisions(
-                periods=PERIODS, trials=TRIALS, workloads=(name,), scale=scale
+                periods=PERIODS, trials=TRIALS, workloads=(name,),
+                scale=scale, **opts,
             )
         )
     return out

@@ -9,7 +9,7 @@ Paper claims checked:
 """
 
 import pytest
-from conftest import save_report
+from conftest import orchestration_opts, save_report
 
 from repro.evalharness.experiments import FIG9_AUX_PAGES, fig9_aux_buffer
 from repro.evalharness.report import render_fig9
@@ -17,7 +17,8 @@ from repro.evalharness.report import render_fig9
 
 def test_fig9(benchmark, report_dir):
     rows = benchmark.pedantic(
-        fig9_aux_buffer, kwargs={"aux_pages": FIG9_AUX_PAGES},
+        fig9_aux_buffer,
+        kwargs={"aux_pages": FIG9_AUX_PAGES, **orchestration_opts()},
         rounds=1, iterations=1,
     )
     save_report(report_dir, "fig9_auxbuf", render_fig9(rows))

@@ -7,11 +7,29 @@ rows/series the paper reports, writes the rendered report under
 ``benchmarks/out/``, and asserts the *shape* claims hold.
 """
 
+import os
 from pathlib import Path
 
 import pytest
 
+from repro.orchestrate import make_cache
+
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def orchestration_opts() -> dict:
+    """Workers/cache for the sweep-style figure benches, from the env.
+
+    ``REPRO_BENCH_WORKERS=N`` fans trials over N processes (0 = one per
+    core); ``REPRO_BENCH_CACHE=1`` reuses trial results from the on-disk
+    cache (``$REPRO_CACHE_DIR`` or ``~/.cache/repro``).  Defaults stay
+    serial and uncached so benchmark numbers mean what they say.
+    """
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    enabled = os.environ.get("REPRO_BENCH_CACHE", "").lower() in (
+        "1", "on", "yes", "true",
+    )
+    return {"workers": workers, "cache": make_cache(enabled)}
 
 
 @pytest.fixture(scope="session")

@@ -24,6 +24,9 @@ it needs, as a simulation stack (see DESIGN.md):
     Post-processing: accuracy (Eq. 1), temporal tools, bias, plotting.
 ``repro.evalharness``
     One entry point per paper table/figure.
+``repro.orchestrate``
+    Parallel trial execution and the on-disk result cache behind the
+    ``--workers``/``--cache`` CLI flags.
 
 Quickstart::
 
@@ -40,8 +43,8 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import analysis, cpu, evalharness, kernel, machine, nmo, runtime, spe
-from repro import workloads
+from repro import analysis, cpu, evalharness, kernel, machine, nmo, orchestrate
+from repro import runtime, spe, workloads
 from repro.errors import ReproError
 
 __all__ = [
@@ -53,6 +56,7 @@ __all__ = [
     "kernel",
     "machine",
     "nmo",
+    "orchestrate",
     "runtime",
     "spe",
     "workloads",

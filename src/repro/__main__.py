@@ -5,8 +5,13 @@ post-processing scripts are driven:
 
     python -m repro table2
     python -m repro fig8 --trials 2 --scale 0.1
-    python -m repro fig9
+    python -m repro fig8 --trials 2 --workers 4 --cache
+    python -m repro cache stats
     python -m repro list
+
+``--workers N`` fans the sweep-style exhibits (fig7-fig11) out over N
+processes; ``--cache`` short-circuits already-computed trials from the
+on-disk result cache (see ``docs/cli.md`` and ``repro.orchestrate``).
 """
 
 from __future__ import annotations
@@ -31,6 +36,15 @@ from repro.evalharness import (
     table2_machine_spec,
 )
 from repro.analysis.plotting import table
+from repro.orchestrate import ResultCache, make_cache
+
+
+def _cache_of(args) -> ResultCache | None:
+    # unset --cache + explicit --cache-dir counts as opting in;
+    # an explicit --no-cache always wins
+    if args.cache is False:
+        return None
+    return make_cache(bool(args.cache), args.cache_dir)
 
 
 def _table1(_args) -> str:
@@ -59,37 +73,75 @@ def _fig3(args) -> str:
 
 def _fig7(args) -> str:
     return render_fig7(
-        fig7_samples_vs_period(trials=args.trials, scale=args.workload_scale)
+        fig7_samples_vs_period(
+            trials=args.trials, scale=args.workload_scale,
+            workers=args.workers, cache=_cache_of(args),
+        )
     )
 
 
 def _fig8(args) -> str:
     return render_fig8(
         fig8_accuracy_overhead_collisions(
-            trials=args.trials, scale=args.workload_scale
+            trials=args.trials, scale=args.workload_scale,
+            workers=args.workers, cache=_cache_of(args),
         )
     )
 
 
-def _fig9(_args) -> str:
-    return render_fig9(fig9_aux_buffer())
+def _fig9(args) -> str:
+    return render_fig9(
+        fig9_aux_buffer(workers=args.workers, cache=_cache_of(args))
+    )
 
 
 def _fig10(args) -> str:
-    return render_fig10_fig11(fig10_fig11_threads(scale=args.workload_scale or 2.0))
+    scale = args.workload_scale if args.workload_scale is not None else 2.0
+    return render_fig10_fig11(
+        fig10_fig11_threads(
+            scale=scale, workers=args.workers, cache=_cache_of(args),
+        )
+    )
 
 
-EXPERIMENTS = {
-    "table1": _table1,
-    "table2": _table2,
-    "fig2": _fig2,
-    "fig3": _fig3,
-    "fig7": _fig7,
-    "fig8": _fig8,
-    "fig9": _fig9,
-    "fig10": _fig10,
-    "fig11": _fig10,
+def _cache_cmd(args) -> str:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        n = cache.clear()
+        return f"cleared {n} entries from {cache.dir}"
+    return cache.describe()
+
+
+#: exhibit name -> (handler, one-line description); ``docs/cli.md`` and
+#: ``python -m repro list`` both render from this registry
+COMMANDS: dict[str, tuple] = {
+    "table1": (_table1, "Table I: NMO environment variables and defaults"),
+    "table2": (_table2, "Table II: simulated Ampere Altra Max specification"),
+    "fig2": (_fig2, "Fig. 2: memory capacity over time (CloudSuite pair)"),
+    "fig3": (_fig3, "Fig. 3: memory bandwidth over time (CloudSuite pair)"),
+    "fig7": (_fig7, "Fig. 7: SPE samples vs sampling period, with trials"),
+    "fig8": (_fig8, "Fig. 8: accuracy/overhead/collisions vs period"),
+    "fig9": (_fig9, "Fig. 9: accuracy/overhead vs aux buffer size"),
+    "fig10": (_fig10, "Figs. 10-11: thread-count sweep (overhead/throttling)"),
+    "fig11": (_fig10, "Figs. 10-11: thread-count sweep (overhead/throttling)"),
+    "cache": (_cache_cmd, "result-cache maintenance: `cache stats` / `cache clear`"),
 }
+
+#: the experiment subset (no maintenance commands) — kept for tests and
+#: backwards compatibility with the pre-orchestration CLI
+EXPERIMENTS = {
+    name: fn for name, (fn, _desc) in COMMANDS.items() if name != "cache"
+}
+
+#: exhibits that accept --workers / --cache
+PARALLEL_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11")
+
+
+def _render_list() -> str:
+    width = max(len(n) for n in COMMANDS) + 2
+    lines = [f"{name:<{width}}{desc}" for name, (_fn, desc) in
+             sorted(COMMANDS.items())]
+    return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -99,8 +151,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["list"],
-        help="which exhibit to regenerate",
+        choices=sorted(COMMANDS) + ["list"],
+        help="which exhibit to regenerate (or: list, cache)",
+    )
+    parser.add_argument(
+        "action", nargs="?", choices=("stats", "clear"),
+        help="cache subcommand action (cache only)",
     )
     parser.add_argument("--trials", type=int, default=3,
                         help="trials per sweep point (fig7/fig8)")
@@ -108,12 +164,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="wall-clock scale for fig2/fig3")
     parser.add_argument("--workload-scale", type=float, default=None,
                         help="op-count scale override for sweeps")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for sweep exhibits "
+                             "(1 = serial, 0 = one per core)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="reuse trial results from the on-disk cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: $REPRO_CACHE_DIR "
+                             "or ~/.cache/repro); implies --cache")
     args = parser.parse_args(argv)
 
+    if args.action is not None and args.experiment != "cache":
+        parser.error(f"{args.experiment} takes no action argument")
+    if args.workers < 0:
+        parser.error(f"--workers must be >= 0 (0 = auto), got {args.workers}")
+    if args.experiment == "cache" and args.action is None:
+        parser.error("cache requires an action: stats or clear")
     if args.experiment == "list":
-        print("\n".join(sorted(EXPERIMENTS)))
+        print(_render_list())
         return 0
-    print(EXPERIMENTS[args.experiment](args))
+    fn, _desc = COMMANDS[args.experiment]
+    print(fn(args))
     return 0
 
 

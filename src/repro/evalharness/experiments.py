@@ -14,10 +14,17 @@ scale-free; each result carries its scale so reports can say so.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 
 import numpy as np
 
 from repro.machine.spec import GiB, MachineSpec, ampere_altra_max
+from repro.orchestrate import (
+    ParallelRunner,
+    ResultCache,
+    TrialSpec,
+    canonical_config,
+)
 from repro.nmo.bandwidth import dominant_period_s, summarise_bandwidth
 from repro.nmo.capacity import summarise_capacity
 from repro.nmo.env import NmoMode, NmoSettings
@@ -82,6 +89,26 @@ def _run_sampling(
     return NmoProfiler(w, settings, seed=seed).run()
 
 
+def _period_trial(machine: MachineSpec, spec: TrialSpec) -> dict[str, float]:
+    """One period-sweep trial (module-level: crosses the pool boundary)."""
+    cfg = spec.config
+    r = _run_sampling(
+        SWEEP_CLASSES[cfg["workload"]],
+        machine,
+        scale=cfg["scale"],
+        period=cfg["period"],
+        n_threads=cfg["n_threads"],
+        seed=spec.seed,
+    )
+    return {
+        "samples": float(r.samples_processed),
+        "accuracy": float(r.accuracy),
+        "overhead": float(r.time_overhead),
+        "collisions": float(r.collisions),
+        "wakeups": float(r.wakeups),
+    }
+
+
 def _sweep(
     name: str,
     periods: tuple[int, ...],
@@ -89,24 +116,34 @@ def _sweep(
     machine: MachineSpec,
     scale: float | None = None,
     n_threads: int = 32,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
-    cls = SWEEP_CLASSES[name]
     sc = scale if scale is not None else SWEEP_SCALES[name]
+    specs = [
+        TrialSpec(
+            experiment="period_sweep",
+            config={
+                "workload": name,
+                "period": period,
+                "scale": sc,
+                "n_threads": n_threads,
+                "machine": canonical_config(machine),
+            },
+            seed=trial,
+        )
+        for period in periods
+        for trial in range(trials)
+    ]
+    runner = ParallelRunner(workers=workers, cache=cache)
+    rows = runner.map(partial(_period_trial, machine), specs)
+
     out: list[SweepPoint] = []
-    for period in periods:
-        samples, acc, ovh, coll, irq = [], [], [], [], []
-        for trial in range(trials):
-            r = _run_sampling(
-                cls, machine, scale=sc, period=period,
-                n_threads=n_threads, seed=trial,
-            )
-            samples.append(r.samples_processed)
-            acc.append(r.accuracy)
-            ovh.append(r.time_overhead)
-            coll.append(r.collisions)
-            irq.append(r.wakeups)
+    for pi, period in enumerate(periods):
+        group = rows[pi * trials : (pi + 1) * trials]
+        samples = [r["samples"] for r in group]
         s = np.array(samples, dtype=float)
-        a = np.array(acc)
+        a = np.array([r["accuracy"] for r in group])
         out.append(
             SweepPoint(
                 workload=name,
@@ -116,9 +153,9 @@ def _sweep(
                 samples_trials=list(map(int, samples)),
                 accuracy_mean=float(a.mean()),
                 accuracy_std=float(a.std(ddof=1)) if trials > 1 else 0.0,
-                overhead_mean=float(np.mean(ovh)),
-                collisions_mean=float(np.mean(coll)),
-                wakeups_mean=float(np.mean(irq)),
+                overhead_mean=float(np.mean([r["overhead"] for r in group])),
+                collisions_mean=float(np.mean([r["collisions"] for r in group])),
+                wakeups_mean=float(np.mean([r["wakeups"] for r in group])),
                 extra={"scale": sc, "n_threads": n_threads},
             )
         )
@@ -264,10 +301,13 @@ def fig7_samples_vs_period(
     trials: int = 5,
     workloads: tuple[str, ...] = ("stream", "cfd", "bfs"),
     scale: float | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> dict[str, list[SweepPoint]]:
     machine = machine or ampere_altra_max()
     return {
-        name: _sweep(name, periods, trials, machine, scale=scale)
+        name: _sweep(name, periods, trials, machine, scale=scale,
+                     workers=workers, cache=cache)
         for name in workloads
     }
 
@@ -282,10 +322,13 @@ def fig8_accuracy_overhead_collisions(
     trials: int = 5,
     workloads: tuple[str, ...] = ("stream", "cfd", "bfs"),
     scale: float | None = None,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> dict[str, list[SweepPoint]]:
     machine = machine or ampere_altra_max()
     return {
-        name: _sweep(name, periods, trials, machine, scale=scale)
+        name: _sweep(name, periods, trials, machine, scale=scale,
+                     workers=workers, cache=cache)
         for name in workloads
     }
 
@@ -294,6 +337,34 @@ def fig8_accuracy_overhead_collisions(
 # Figure 9: aux buffer size sweep (STREAM, 32 threads, ring fixed)
 # --------------------------------------------------------------------------
 
+def _aux_buffer_point(machine: MachineSpec, spec: TrialSpec) -> dict:
+    """One Fig. 9 aux-buffer point (module-level for the process pool)."""
+    cfg = spec.config
+    pages = cfg["aux_pages"]
+    aux_mib = max(1, pages * machine.page_size // (1 << 20))
+    settings = NmoSettings(
+        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"],
+        auxbufsize_mib=aux_mib,
+    )
+    w = StreamWorkload(machine, n_threads=cfg["n_threads"], scale=cfg["scale"])
+    prof = NmoProfiler(w, settings, seed=spec.seed)
+    if settings.aux_pages(machine.page_size) != pages:
+        # Table I sizes are MiB-granular; the sweep's sub-MiB points
+        # (2-8 pages of 64 KiB) override the page count directly
+        from repro.nmo.backends import FixedAuxPagesBackend
+
+        prof.backend = FixedAuxPagesBackend(pages)
+    r = prof.run()
+    return {
+        "aux_pages": pages,
+        "accuracy": r.accuracy,
+        "overhead": r.time_overhead,
+        "samples": r.samples_processed,
+        "wakeups": r.wakeups,
+        "working": pages >= 4,
+    }
+
+
 def fig9_aux_buffer(
     machine: MachineSpec | None = None,
     aux_pages: tuple[int, ...] = FIG9_AUX_PAGES,
@@ -301,6 +372,8 @@ def fig9_aux_buffer(
     scale: float = 0.75,
     n_threads: int = 4,
     seed: int = 0,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict]:
     """Fig. 9: overhead and accuracy vs aux buffer size (in 64 KiB pages).
 
@@ -311,58 +384,46 @@ def fig9_aux_buffer(
     (see EXPERIMENTS.md).
     """
     machine = machine or ampere_altra_max()
-    out = []
-    for pages in aux_pages:
-        aux_mib = max(1, pages * machine.page_size // (1 << 20))
-        settings = NmoSettings(
-            enable=True, mode=NmoMode.SAMPLING, period=period,
-            auxbufsize_mib=aux_mib,
-        )
-        w = StreamWorkload(machine, n_threads=n_threads, scale=scale)
-        prof = NmoProfiler(w, settings, seed=seed)
-        if settings.aux_pages(machine.page_size) != pages:
-            # Table I sizes are MiB-granular; the sweep's sub-MiB points
-            # (2-8 pages of 64 KiB) override the page count directly
-            r = _run_with_aux_pages(prof, pages)
-        else:
-            r = prof.run()
-        out.append(
-            {
+    specs = [
+        TrialSpec(
+            experiment="fig9_aux_buffer",
+            config={
                 "aux_pages": pages,
-                "accuracy": r.accuracy,
-                "overhead": r.time_overhead,
-                "samples": r.samples_processed,
-                "wakeups": r.wakeups,
-                "working": pages >= 4,
-            }
+                "period": period,
+                "scale": scale,
+                "n_threads": n_threads,
+                "machine": canonical_config(machine),
+            },
+            seed=seed,
         )
-    return out
-
-
-def _run_with_aux_pages(prof: NmoProfiler, pages: int) -> ProfileResult:
-    """Run with an explicit aux page count (sub-MiB sweep points)."""
-    from repro.nmo.backends import ArmSpeBackend
-
-    class _Backend(ArmSpeBackend):
-        def open_session(self, perf, core, settings, pipeline, timer, rng, cost):
-            session = super().open_session(
-                perf, core, settings, pipeline, timer, rng, cost
-            )
-            # replace the aux buffer with the requested page count
-            from repro.kernel.aux_buffer import AuxBuffer
-
-            ev = session.event
-            ev.aux = AuxBuffer(n_pages=pages, page_size=perf.machine.page_size)
-            ev.ring.meta.aux_size = ev.aux.size
-            return session
-
-    prof.backend = _Backend()
-    return prof.run()
+        for pages in aux_pages
+    ]
+    runner = ParallelRunner(workers=workers, cache=cache)
+    return runner.map(partial(_aux_buffer_point, machine), specs)
 
 
 # --------------------------------------------------------------------------
 # Figures 10 and 11: thread-count sweep (STREAM, 16-page aux)
 # --------------------------------------------------------------------------
+
+def _thread_point(machine: MachineSpec, spec: TrialSpec) -> dict:
+    """One Fig. 10/11 thread-count point (module-level for the pool)."""
+    cfg = spec.config
+    r = _run_sampling(
+        StreamWorkload, machine, scale=cfg["scale"], period=cfg["period"],
+        n_threads=cfg["threads"], seed=spec.seed,
+    )
+    return {
+        "threads": cfg["threads"],
+        "accuracy": r.accuracy,
+        "overhead": r.time_overhead,
+        "collisions": r.collisions,
+        "throttle_events": r.throttle_events,
+        "throttled_samples": r.throttled_samples,
+        "samples": r.samples_processed,
+        "wakeups": r.wakeups,
+    }
+
 
 def fig10_fig11_threads(
     machine: MachineSpec | None = None,
@@ -370,28 +431,26 @@ def fig10_fig11_threads(
     period: int = 4096,
     scale: float = 4.0,
     seed: int = 0,
+    workers: int = 1,
+    cache: ResultCache | None = None,
 ) -> list[dict]:
     """Figs. 10-11: overhead, accuracy, collisions, throttling vs threads."""
     machine = machine or ampere_altra_max()
-    out = []
-    for t in thread_counts:
-        r = _run_sampling(
-            StreamWorkload, machine, scale=scale, period=period,
-            n_threads=t, seed=seed,
-        )
-        out.append(
-            {
+    specs = [
+        TrialSpec(
+            experiment="fig10_fig11_threads",
+            config={
                 "threads": t,
-                "accuracy": r.accuracy,
-                "overhead": r.time_overhead,
-                "collisions": r.collisions,
-                "throttle_events": r.throttle_events,
-                "throttled_samples": r.throttled_samples,
-                "samples": r.samples_processed,
-                "wakeups": r.wakeups,
-            }
+                "period": period,
+                "scale": scale,
+                "machine": canonical_config(machine),
+            },
+            seed=seed,
         )
-    return out
+        for t in thread_counts
+    ]
+    runner = ParallelRunner(workers=workers, cache=cache)
+    return runner.map(partial(_thread_point, machine), specs)
 
 
 # --------------------------------------------------------------------------

@@ -3,16 +3,25 @@
 The figure experiments are specific sweeps; this helper supports the
 ablation benches (cost-model factors, jitter windows, watermark ratios)
 without duplicating the trial/aggregation logic.
+
+Trials are independent, so the grid executes through
+:class:`repro.orchestrate.ParallelRunner`: ``workers=1`` (the default)
+is the exact legacy serial loop, ``workers>1`` fans the
+``len(values) * trials`` grid over a process pool with results
+collected back in grid order, and ``cache=`` short-circuits
+already-computed trials from disk.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable
 
 import numpy as np
 
 from repro.errors import ReproError
+from repro.orchestrate import ParallelRunner, ResultCache, TrialSpec
 
 
 @dataclass(frozen=True)
@@ -25,29 +34,53 @@ class SweepResult:
     trials: int
 
 
+def _run_point(run: Callable[[Any, int], dict[str, float]], spec: TrialSpec):
+    """Module-level trampoline so grid points pickle for the pool."""
+    return run(spec.config["value"], spec.seed)
+
+
 def sweep(
     values: Iterable[Any],
     run: Callable[[Any, int], dict[str, float]],
     trials: int = 1,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    experiment: str | None = None,
 ) -> list[SweepResult]:
     """Run ``run(value, trial_seed)`` over the grid and aggregate.
 
     ``run`` returns a flat metric dict; every trial must return the same
     keys.  Means and (sample) standard deviations are reported per key.
+
+    ``workers > 1`` requires ``run`` to be picklable (a module-level
+    function, or a :func:`functools.partial` of one).  ``cache``
+    requires an explicit ``experiment`` name: the callable itself never
+    enters the cache key, so the name is what keeps two different sweeps
+    from colliding on the same values.
     """
     if trials <= 0:
         raise ReproError("trials must be >= 1")
+    if cache is not None and experiment is None:
+        raise ReproError("caching a sweep requires an explicit experiment name")
+    values = list(values)
+    name = experiment or getattr(run, "__qualname__", type(run).__name__)
+    specs = [
+        TrialSpec(experiment=name, config={"value": v}, seed=t)
+        for v in values
+        for t in range(trials)
+    ]
+    runner = ParallelRunner(workers=workers, cache=cache)
+    rows_flat = runner.map(partial(_run_point, run), specs)
+
     out: list[SweepResult] = []
-    for v in values:
-        rows: list[dict[str, float]] = []
-        for t in range(trials):
-            m = run(v, t)
-            if rows and set(m) != set(rows[0]):
+    for vi, v in enumerate(values):
+        rows = rows_flat[vi * trials : (vi + 1) * trials]
+        for m in rows:
+            if set(m) != set(rows[0]):
                 raise ReproError(
                     f"inconsistent metric keys at value {v!r}: "
                     f"{sorted(m)} vs {sorted(rows[0])}"
                 )
-            rows.append(m)
         keys = rows[0].keys()
         means = {k: float(np.mean([r[k] for r in rows])) for k in keys}
         stds = {

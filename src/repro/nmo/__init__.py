@@ -4,6 +4,7 @@ from repro.nmo.annotations import AddressTag, AnnotationRegistry, RegionSpan
 from repro.nmo.backends import (
     ArmSpeBackend,
     CoreSession,
+    FixedAuxPagesBackend,
     X86PebsBackend,
     select_backend,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "AddressTag",
     "AnnotationRegistry",
     "ArmSpeBackend",
+    "FixedAuxPagesBackend",
     "CacheMixSeries",
     "LatencyProfile",
     "cache_mix_over_time",

@@ -88,6 +88,37 @@ class ArmSpeBackend:
         return CoreSession(core=core, event=ev, sampler=sampler, driver=driver)
 
 
+class FixedAuxPagesBackend(ArmSpeBackend):
+    """SPE backend with an explicit aux-buffer page count.
+
+    Table I sizes the aux buffer in whole MiB; the Fig. 9 sweep also
+    probes sub-MiB sizes (2-8 pages of 64 KiB), which this backend
+    injects by rebuilding the session's aux buffer.  Module-level (not
+    a closure) so fig9 trials can cross a process-pool boundary.
+    """
+
+    name = "arm_spe_fixed_aux"
+
+    def __init__(self, aux_pages: int, config: SpeConfig | None = None) -> None:
+        super().__init__(config)
+        if aux_pages <= 0:
+            raise NmoError(f"aux_pages must be > 0, got {aux_pages}")
+        self.aux_pages = aux_pages
+
+    def open_session(self, perf, core, settings, pipeline, timer, rng, cost):
+        from repro.kernel.aux_buffer import AuxBuffer
+
+        session = super().open_session(
+            perf, core, settings, pipeline, timer, rng, cost
+        )
+        ev = session.event
+        ev.aux = AuxBuffer(
+            n_pages=self.aux_pages, page_size=perf.machine.page_size
+        )
+        ev.ring.meta.aux_size = ev.aux.size
+        return session
+
+
 class X86PebsBackend:
     """Precise sampling through PEBS-style ring-buffer records.
 

@@ -1,0 +1,268 @@
+"""Content-addressed on-disk result cache for experiment trials.
+
+The paper's evaluation is a grid of independent trials; re-running
+``python -m repro fig8`` recomputes every one of them from scratch.
+:class:`ResultCache` turns repeated runs into disk reads: each trial
+result is stored under a key derived from *what was computed* —
+
+* the experiment name,
+* the trial configuration (a dataclass or plain dict of primitives),
+* the trial seed,
+* the ``repro`` package version.
+
+A version bump invalidates every entry at once; source edits *without*
+a bump are invisible to the key, so run ``python -m repro cache clear``
+after changing simulator code.
+
+Keys are SHA-256 digests of a canonical JSON rendering of those four
+components, so any config-field change produces a different key and the
+stale entry is simply never read again.  Values are stored with
+:mod:`pickle` and written atomically (temp file + ``os.replace``) so a
+killed run never leaves a torn entry.
+
+Hit/miss/store counters are kept per session and folded into a
+persistent ``stats.json`` in the cache directory by :meth:`flush_stats`,
+which is what ``python -m repro cache stats`` reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import numbers
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+#: default on-disk location when $REPRO_CACHE_DIR is unset
+DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory, honouring $REPRO_CACHE_DIR at call
+    time (not at import, so tests and late ``os.environ`` edits work)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    return Path(env) if env else DEFAULT_CACHE_DIR
+
+_STATS_FILE = "stats.json"
+_OBJECTS_DIR = "objects"
+
+
+def canonical_config(obj: Any) -> Any:
+    """Reduce a trial configuration to JSON-stable primitives.
+
+    Dataclasses flatten to their field dict, enums to ``[type, value]``,
+    numpy scalars to Python numbers; anything else falls back to
+    ``repr`` so exotic values still key deterministically within one
+    version.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            f.name: canonical_config(getattr(obj, f.name))
+            for f in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, canonical_config(obj.value)]
+    if isinstance(obj, dict):
+        return {
+            str(k): canonical_config(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_config(v) for v in obj]
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, numbers.Integral):
+        return int(obj)
+    if isinstance(obj, numbers.Real):
+        return float(obj)
+    if isinstance(obj, type):
+        return f"{obj.__module__}.{obj.__qualname__}"
+    return repr(obj)
+
+
+def cache_key(
+    experiment: str, config: Any, seed: int, version: str | None = None
+) -> str:
+    """SHA-256 key over (experiment, canonical config, seed, version)."""
+    if version is None:
+        import repro
+
+        version = repro.__version__
+    payload = json.dumps(
+        {
+            "experiment": experiment,
+            "config": canonical_config(config),
+            "seed": int(seed),
+            "version": version,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Per-session lookup counters (folded into stats.json on flush)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+class ResultCache:
+    """Content-addressed pickle store under one cache directory.
+
+    The cache is read and written only from the orchestrating parent
+    process (workers never touch it), so no cross-process locking is
+    needed; entry writes are still atomic so concurrent *invocations*
+    sharing a directory stay consistent.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.stats = CacheStats()
+
+    # -- keying ------------------------------------------------------------
+
+    def key(self, experiment: str, config: Any, seed: int) -> str:
+        return cache_key(experiment, config, seed)
+
+    # -- storage -----------------------------------------------------------
+
+    def _objects(self) -> Path:
+        return self.dir / _OBJECTS_DIR
+
+    def _path(self, key: str) -> Path:
+        return self._objects() / key[:2] / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Load an entry, counting a hit or a miss.
+
+        A corrupt entry (torn by an old crash, or pickled by an
+        incompatible interpreter) is deleted and counted as a miss.
+        """
+        path = self._path(key)
+        try:
+            blob = path.read_bytes()
+            value = pickle.loads(blob)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return default
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return default
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                pickle.dump(value, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self.stats.stores += 1
+
+    # -- statistics --------------------------------------------------------
+
+    def _stats_path(self) -> Path:
+        return self.dir / _STATS_FILE
+
+    def persistent_stats(self) -> dict[str, int]:
+        try:
+            raw = json.loads(self._stats_path().read_text())
+            return {k: int(raw.get(k, 0)) for k in ("hits", "misses", "stores")}
+        except (OSError, ValueError):
+            return {"hits": 0, "misses": 0, "stores": 0}
+
+    def flush_stats(self) -> dict[str, int]:
+        """Fold session counters into stats.json; returns the new totals."""
+        session = self.stats.as_dict()
+        if not any(session.values()):
+            return self.persistent_stats()
+        totals = self.persistent_stats()
+        for k, v in session.items():
+            totals[k] += v
+        self.dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(totals, f)
+            os.replace(tmp, self._stats_path())
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self.stats = CacheStats()
+        return totals
+
+    # -- maintenance -------------------------------------------------------
+
+    def entries(self) -> list[Path]:
+        if not self._objects().is_dir():
+            return []
+        return sorted(self._objects().glob("*/*.pkl"))
+
+    def size_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    def clear(self) -> int:
+        """Delete every entry (and the stats file); returns entries removed."""
+        removed = 0
+        for p in self.entries():
+            p.unlink(missing_ok=True)
+            removed += 1
+        for sub in sorted(self._objects().glob("*"), reverse=True):
+            if sub.is_dir():
+                try:
+                    sub.rmdir()
+                except OSError:
+                    pass
+        self._stats_path().unlink(missing_ok=True)
+        self.stats = CacheStats()
+        return removed
+
+    def describe(self) -> str:
+        """Human-readable stats block (the ``cache stats`` output)."""
+        totals = self.persistent_stats()
+        for k, v in self.stats.as_dict().items():
+            totals[k] += v
+        n = len(self.entries())
+        lines = [
+            f"cache directory: {self.dir}",
+            f"entries: {n}",
+            f"size: {self.size_bytes() / 1024:.1f} KiB",
+            f"hits: {totals['hits']}",
+            f"misses: {totals['misses']}",
+            f"stores: {totals['stores']}",
+        ]
+        return "\n".join(lines)
+
+
+def make_cache(
+    enabled: bool, cache_dir: str | Path | None = None
+) -> ResultCache | None:
+    """CLI/bench helper: a cache when asked for, else ``None``.
+
+    Passing an explicit ``cache_dir`` implies caching — asking *where*
+    to cache is asking *to* cache.
+    """
+    if not enabled and cache_dir is None:
+        return None
+    return ResultCache(cache_dir)

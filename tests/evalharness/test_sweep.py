@@ -4,6 +4,12 @@ import pytest
 
 from repro.errors import ReproError
 from repro.evalharness.sweep import SweepResult, crossover, sweep
+from repro.orchestrate import ResultCache
+
+
+def picklable_run(v, t):
+    """Module-level so workers>1 sweeps can ship it to the pool."""
+    return {"x": float(v * 10 + t)}
 
 
 class TestSweep:
@@ -32,6 +38,35 @@ class TestSweep:
     def test_zero_trials_rejected(self):
         with pytest.raises(ReproError):
             sweep([1], lambda v, t: {}, trials=0)
+
+
+class TestOrchestratedSweep:
+    def test_parallel_matches_serial(self):
+        serial = sweep([1, 2, 3], picklable_run, trials=2, workers=1)
+        parallel = sweep([1, 2, 3], picklable_run, trials=2, workers=2)
+        assert serial == parallel
+
+    def test_cache_requires_experiment_name(self, tmp_path):
+        with pytest.raises(ReproError, match="experiment name"):
+            sweep([1], picklable_run, cache=ResultCache(tmp_path))
+
+    def test_cached_rerun_hits(self, tmp_path):
+        a = sweep([1, 2], picklable_run, trials=2,
+                  cache=ResultCache(tmp_path), experiment="demo")
+        b = sweep([1, 2], picklable_run, trials=2,
+                  cache=ResultCache(tmp_path), experiment="demo")
+        assert a == b
+        totals = ResultCache(tmp_path).persistent_stats()
+        assert totals == {"hits": 4, "misses": 4, "stores": 4}
+
+    def test_experiment_names_do_not_collide(self, tmp_path):
+        sweep([1], picklable_run, cache=ResultCache(tmp_path),
+              experiment="demo-a")
+        sweep([1], picklable_run, cache=ResultCache(tmp_path),
+              experiment="demo-b")
+        totals = ResultCache(tmp_path).persistent_stats()
+        assert totals["hits"] == 0
+        assert totals["stores"] == 2
 
 
 class TestCrossover:

@@ -1,0 +1,151 @@
+"""ResultCache: round-trip, key invalidation, stats, maintenance."""
+
+import dataclasses
+import enum
+
+import pytest
+
+from repro.orchestrate import ResultCache, cache_key, canonical_config, make_cache
+
+
+@dataclasses.dataclass(frozen=True)
+class DemoConfig:
+    period: int
+    scale: float
+    workload: str = "stream"
+
+
+class DemoMode(enum.Enum):
+    A = "a"
+    B = "b"
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestCanonicalConfig:
+    def test_dataclass_flattens_to_fields(self):
+        c = canonical_config(DemoConfig(period=1024, scale=0.5))
+        assert c == {"period": 1024, "scale": 0.5, "workload": "stream"}
+
+    def test_dict_key_order_irrelevant(self):
+        assert canonical_config({"b": 1, "a": 2}) == canonical_config(
+            {"a": 2, "b": 1}
+        )
+
+    def test_enums_and_tuples(self):
+        assert canonical_config(DemoMode.A) == ["DemoMode", "a"]
+        assert canonical_config((1, 2)) == [1, 2]
+
+    def test_numpy_scalars_reduce_to_python(self):
+        np = pytest.importorskip("numpy")
+        assert canonical_config(np.int64(3)) == 3
+        assert canonical_config(np.float64(0.5)) == 0.5
+
+
+class TestKeys:
+    def test_stable_across_calls(self):
+        cfg = DemoConfig(period=1024, scale=0.5)
+        assert cache_key("e", cfg, 0) == cache_key("e", cfg, 0)
+
+    def test_config_change_invalidates(self):
+        a = cache_key("e", DemoConfig(period=1024, scale=0.5), 0)
+        b = cache_key("e", DemoConfig(period=2048, scale=0.5), 0)
+        assert a != b
+
+    def test_dataclass_and_equivalent_dict_agree(self):
+        cfg = DemoConfig(period=1024, scale=0.5)
+        as_dict = {"period": 1024, "scale": 0.5, "workload": "stream"}
+        assert cache_key("e", cfg, 0) == cache_key("e", as_dict, 0)
+
+    def test_seed_experiment_version_all_key(self):
+        cfg = {"x": 1}
+        base = cache_key("e", cfg, 0)
+        assert cache_key("e", cfg, 1) != base
+        assert cache_key("f", cfg, 0) != base
+        assert cache_key("e", cfg, 0, version="0.0.0") != base
+
+
+class TestRoundTrip:
+    def test_get_put_get(self, cache):
+        key = cache.key("exp", {"p": 1}, 0)
+        assert cache.get(key) is None
+        cache.put(key, {"accuracy": 0.93})
+        assert cache.get(key) == {"accuracy": 0.93}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_survives_reopen(self, cache):
+        key = cache.key("exp", {"p": 1}, 0)
+        cache.put(key, [1, 2, 3])
+        reopened = ResultCache(cache.dir)
+        assert reopened.get(key) == [1, 2, 3]
+
+    def test_corrupt_entry_is_a_miss(self, cache):
+        key = cache.key("exp", {"p": 1}, 0)
+        cache.put(key, "value")
+        cache._path(key).write_bytes(b"not a pickle")
+        assert cache.get(key, "fallback") == "fallback"
+        assert not cache.contains(key)  # torn entry deleted
+
+
+class TestStats:
+    def test_flush_accumulates_across_sessions(self, cache):
+        key = cache.key("exp", {"p": 1}, 0)
+        cache.get(key)  # miss
+        cache.put(key, 1)
+        cache.flush_stats()
+        second = ResultCache(cache.dir)
+        second.get(key)  # hit
+        totals = second.flush_stats()
+        assert totals == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_describe_mentions_counts(self, cache):
+        key = cache.key("exp", {"p": 1}, 0)
+        cache.put(key, 1)
+        text = cache.describe()
+        assert "entries: 1" in text
+        assert "stores: 1" in text
+        assert str(cache.dir) in text
+
+
+class TestMaintenance:
+    def test_clear_removes_everything(self, cache):
+        for seed in range(3):
+            cache.put(cache.key("exp", {"p": 1}, seed), seed)
+        cache.flush_stats()
+        assert cache.clear() == 3
+        assert cache.entries() == []
+        assert cache.persistent_stats() == {"hits": 0, "misses": 0, "stores": 0}
+
+    def test_size_bytes(self, cache):
+        cache.put(cache.key("exp", {}, 0), list(range(100)))
+        assert cache.size_bytes() > 0
+
+
+class TestDefaultDir:
+    def test_env_var_honoured_at_construction(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "late"))
+        assert ResultCache().dir == tmp_path / "late"
+
+    def test_falls_back_to_home_cache(self, monkeypatch):
+        from repro.orchestrate import DEFAULT_CACHE_DIR
+
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        assert ResultCache().dir == DEFAULT_CACHE_DIR
+
+
+class TestMakeCache:
+    def test_disabled_is_none(self):
+        assert make_cache(False) is None
+
+    def test_enabled_builds_cache(self, tmp_path):
+        c = make_cache(True, tmp_path)
+        assert isinstance(c, ResultCache)
+        assert c.dir == tmp_path
+
+    def test_explicit_dir_implies_enabled(self, tmp_path):
+        assert isinstance(make_cache(False, tmp_path), ResultCache)

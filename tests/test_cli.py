@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, main
+from repro.__main__ import COMMANDS, EXPERIMENTS, PARALLEL_EXPERIMENTS, main
+from repro.orchestrate import ResultCache
 
 
 class TestCli:
@@ -33,3 +34,109 @@ class TestCli:
 
     def test_every_registered_experiment_has_callable(self):
         assert all(callable(fn) for fn in EXPERIMENTS.values())
+
+    def test_every_command_has_description(self):
+        for name, (fn, desc) in COMMANDS.items():
+            assert callable(fn) and desc, name
+
+    def test_list_shows_descriptions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name, (_fn, desc) in COMMANDS.items():
+            assert desc in out, name
+
+    def test_action_rejected_for_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "stats"])
+
+    def test_action_rejected_for_list(self):
+        with pytest.raises(SystemExit):
+            main(["list", "stats"])
+
+
+FIG9_ARGS = ["fig9"]  # smallest parallel exhibit
+
+
+class TestOrchestrationFlags:
+    def test_parallel_experiments_registered(self):
+        assert set(PARALLEL_EXPERIMENTS) <= set(EXPERIMENTS)
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig9", "--workers", "-1"])
+
+    def test_workers_flag_accepted(self, capsys, monkeypatch):
+        # tiny grid via the library defaults is too slow for a unit test;
+        # patch the exhibit to a stub and just check flag plumbing
+        import repro.__main__ as cli
+
+        seen = {}
+
+        def stub(args):
+            seen["workers"] = args.workers
+            seen["cache"] = cli._cache_of(args)
+            return "ok"
+
+        monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
+        assert main(["fig9", "--workers", "3"]) == 0
+        assert seen["workers"] == 3
+        assert seen["cache"] is None
+
+    def test_cache_dir_implies_cache(self, monkeypatch, tmp_path, capsys):
+        import repro.__main__ as cli
+
+        seen = {}
+
+        def stub(args):
+            seen["cache"] = cli._cache_of(args)
+            return "ok"
+
+        monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
+        assert main(["fig9", "--cache-dir", str(tmp_path)]) == 0
+        assert isinstance(seen["cache"], ResultCache)
+        assert seen["cache"].dir == tmp_path
+
+    def test_no_cache_wins_over_cache_dir(self, monkeypatch, tmp_path, capsys):
+        import repro.__main__ as cli
+
+        seen = {}
+
+        def stub(args):
+            seen["cache"] = cli._cache_of(args)
+            return "ok"
+
+        monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
+        assert main(["fig9", "--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        assert seen["cache"] is None
+
+
+class TestCacheSubcommand:
+    def test_requires_action(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_bad_action_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["cache", "nuke"])
+
+    def test_stats_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+        assert "hits: 0" in out
+
+    def test_stats_reflect_populated_cache(self, capsys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("exp", {"p": 1}, 0), {"x": 1.0})
+        cache.flush_stats()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1" in out
+        assert "stores: 1" in out
+
+    def test_clear(self, capsys, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(cache.key("exp", {"p": 1}, 0), {"x": 1.0})
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        assert ResultCache(tmp_path).entries() == []

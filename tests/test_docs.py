@@ -1,0 +1,98 @@
+"""Docs/packaging stay in sync with the code they describe."""
+
+from pathlib import Path
+
+import repro
+from repro.__main__ import COMMANDS, EXPERIMENTS, PARALLEL_EXPERIMENTS
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestCliDoc:
+    def doc(self) -> str:
+        return (ROOT / "docs" / "cli.md").read_text()
+
+    def test_every_command_documented(self):
+        doc = self.doc()
+        for name in COMMANDS:
+            assert f"`{name}`" in doc, f"{name} missing from docs/cli.md"
+
+    def test_descriptions_match_list_output(self):
+        # `python -m repro list` and docs/cli.md render the same registry
+        doc = self.doc()
+        for name, (_fn, desc) in COMMANDS.items():
+            assert desc in doc, f"description for {name} out of sync"
+
+    def test_orchestration_flags_documented(self):
+        doc = self.doc()
+        for flag in ("--workers", "--cache", "--no-cache", "--cache-dir",
+                     "--trials", "--scale", "--workload-scale"):
+            assert flag in doc, flag
+
+    def test_cache_actions_documented(self):
+        doc = self.doc()
+        assert "cache stats" in doc
+        assert "cache clear" in doc
+
+
+class TestReadme:
+    def readme(self) -> str:
+        return (ROOT / "README.md").read_text()
+
+    def test_tier1_command_present(self):
+        assert "python -m pytest -x -q" in self.readme()
+
+    def test_exhibit_matrix_covers_cli_experiments(self):
+        text = self.readme()
+        for name in EXPERIMENTS:
+            if name == "fig11":  # documented on the fig10 row
+                continue
+            assert f"python -m repro {name}" in text, name
+
+    def test_exhibit_matrix_names_entry_points(self):
+        text = self.readme()
+        for fn_name in (
+            "fig7_samples_vs_period",
+            "fig8_accuracy_overhead_collisions",
+            "fig9_aux_buffer",
+            "fig10_fig11_threads",
+            "table1_env_defaults",
+        ):
+            assert fn_name in text, fn_name
+
+    def test_orchestration_quickstart_present(self):
+        text = self.readme()
+        assert "--workers" in text and "cache stats" in text
+
+
+class TestArchitectureDoc:
+    def test_maps_every_package(self):
+        doc = (ROOT / "docs" / "architecture.md").read_text()
+        for pkg in ("repro.spe", "repro.kernel", "repro.machine",
+                    "repro.nmo", "repro.workloads", "repro.evalharness",
+                    "repro.orchestrate", "repro.analysis"):
+            assert pkg in doc, pkg
+
+    def test_parallel_exhibits_invariants_stated(self):
+        doc = (ROOT / "docs" / "architecture.md").read_text()
+        assert "byte-identical" in doc
+        assert "ProcessPoolExecutor" in doc
+        assert PARALLEL_EXPERIMENTS
+
+
+class TestPackaging:
+    def test_pyproject_exists_with_src_layout(self):
+        text = (ROOT / "pyproject.toml").read_text()
+        assert 'name = "repro"' in text
+        assert 'where = ["src"]' in text
+        assert 'repro = "repro.__main__:main"' in text
+
+    def test_version_matches_package(self):
+        text = (ROOT / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in text
+
+    def test_ci_workflow_runs_tier1_and_smoke(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "python -m pytest -x -q" in text
+        assert "--cache" in text
+        assert "cache stats" in text

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.nmo",
     "repro.analysis",
     "repro.evalharness",
+    "repro.orchestrate",
 ]
 
 
