@@ -27,6 +27,9 @@ it needs, as a simulation stack (see DESIGN.md):
 ``repro.orchestrate``
     Parallel trial execution and the on-disk result cache behind the
     ``--workers``/``--cache`` CLI flags.
+``repro.colocation``
+    Multi-tenant co-location: interleaved processes competing for a
+    contention-aware shared DRAM channel.
 
 Quickstart::
 
@@ -43,14 +46,15 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from repro import analysis, cpu, evalharness, kernel, machine, nmo, orchestrate
-from repro import runtime, spe, workloads
+from repro import analysis, colocation, cpu, evalharness, kernel, machine
+from repro import nmo, orchestrate, runtime, spe, workloads
 from repro.errors import ReproError
 
 __all__ = [
     "ReproError",
     "__version__",
     "analysis",
+    "colocation",
     "cpu",
     "evalharness",
     "kernel",

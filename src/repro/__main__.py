@@ -20,6 +20,7 @@ import argparse
 import sys
 
 from repro.evalharness import (
+    colo_interference,
     fig2_capacity,
     fig3_bandwidth,
     fig7_samples_vs_period,
@@ -28,6 +29,7 @@ from repro.evalharness import (
     fig10_fig11_threads,
     render_bandwidth,
     render_capacity,
+    render_colo,
     render_fig7,
     render_fig8,
     render_fig9,
@@ -104,6 +106,17 @@ def _fig10(args) -> str:
     )
 
 
+def _colo(args) -> str:
+    kwargs = dict(
+        max_corunners=args.corunners,
+        workers=args.workers,
+        cache=_cache_of(args),
+    )
+    if args.workload_scale is not None:
+        kwargs["scale"] = args.workload_scale
+    return render_colo(colo_interference(**kwargs))
+
+
 def _cache_cmd(args) -> str:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
@@ -124,6 +137,9 @@ COMMANDS: dict[str, tuple] = {
     "fig9": (_fig9, "Fig. 9: accuracy/overhead vs aux buffer size"),
     "fig10": (_fig10, "Figs. 10-11: thread-count sweep (overhead/throttling)"),
     "fig11": (_fig10, "Figs. 10-11: thread-count sweep (overhead/throttling)"),
+    "colo_interference": (
+        _colo, "Colo: co-located processes on a contended DRAM channel"
+    ),
     "cache": (_cache_cmd, "result-cache maintenance: `cache stats` / `cache clear`"),
 }
 
@@ -134,7 +150,13 @@ EXPERIMENTS = {
 }
 
 #: exhibits that accept --workers / --cache
-PARALLEL_EXPERIMENTS = ("fig7", "fig8", "fig9", "fig10", "fig11")
+PARALLEL_EXPERIMENTS = (
+    "fig7", "fig8", "fig9", "fig10", "fig11", "colo_interference"
+)
+
+#: colo_interference pins 8 threads per co-runner on the 128-core Altra
+#: Max, so at most 16 processes fit
+MAX_CORUNNERS = 16
 
 
 def _render_list() -> str:
@@ -164,6 +186,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="wall-clock scale for fig2/fig3")
     parser.add_argument("--workload-scale", type=float, default=None,
                         help="op-count scale override for sweeps")
+    parser.add_argument("--corunners", type=int, default=4,
+                        help="max co-located processes swept by "
+                             "colo_interference (default 4)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for sweep exhibits "
                              "(1 = serial, 0 = one per core)")
@@ -179,6 +204,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error(f"{args.experiment} takes no action argument")
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto), got {args.workers}")
+    if not 1 <= args.corunners <= MAX_CORUNNERS:
+        parser.error(
+            f"--corunners must be in [1, {MAX_CORUNNERS}] "
+            f"(8 threads per co-runner on 128 cores), got {args.corunners}"
+        )
     if args.experiment == "cache" and args.action is None:
         parser.error("cache requires an action: stats or clear")
     if args.experiment == "list":

@@ -1,0 +1,56 @@
+"""Multi-tenant co-location: several profiled processes, one machine.
+
+Every exhibit in the paper runs a single workload alone on the Altra
+Max; this package models the deployment reality the paper's Fig. 10/11
+thread-scaling hints at — **co-located processes competing for the
+shared DRAM channel**:
+
+:func:`interleave_schedule` / :func:`demand_profile`
+    A fluid, event-stepped interleaving of the processes' phase
+    timelines over a :class:`~repro.machine.memory.ContendedChannel`,
+    producing per-phase stretch factors and granted bandwidths.
+:func:`run_colocation` / :class:`CoRunnerSpec`
+    Re-times each workload onto its contended windows and profiles it
+    with its own :class:`~repro.nmo.profiler.NmoProfiler` (own
+    ``SimProcess``, SPE sessions, aux buffers, ``ProfileResult``).
+
+Quickstart::
+
+    from repro.colocation import CoRunnerSpec, run_colocation
+
+    res = run_colocation([
+        CoRunnerSpec("stream", n_threads=8),
+        CoRunnerSpec("pagerank", n_threads=8, scale=0.02),
+    ])
+    for r in res.runners:
+        print(f"{r.workload}: {r.slowdown:.2f}x, "
+              f"{r.granted_bps / 2**30:.1f} GiB/s granted")
+"""
+
+from repro.colocation.run import (
+    LATENCY_STRETCH_CAP,
+    CoLocationResult,
+    CoRunnerResult,
+    CoRunnerSpec,
+    apply_contention,
+    run_colocation,
+)
+from repro.colocation.schedule import (
+    DemandPhase,
+    PhaseWindow,
+    demand_profile,
+    interleave_schedule,
+)
+
+__all__ = [
+    "LATENCY_STRETCH_CAP",
+    "CoLocationResult",
+    "CoRunnerResult",
+    "CoRunnerSpec",
+    "DemandPhase",
+    "PhaseWindow",
+    "apply_contention",
+    "demand_profile",
+    "interleave_schedule",
+    "run_colocation",
+]

@@ -1,0 +1,224 @@
+"""Run several profiled processes against one shared machine.
+
+This is the multi-tenant entry point the single-workload
+:class:`~repro.nmo.profiler.NmoProfiler` cannot express: N simulated
+processes — each with its own
+:class:`~repro.runtime.process.SimProcess`, SPE sessions, aux buffers,
+and :class:`~repro.nmo.profiler.ProfileResult` — co-located on one
+:class:`~repro.machine.spec.MachineSpec` and competing for its DRAM
+channel.
+
+The run happens in two passes:
+
+1. **schedule** — the workloads' phase timelines are interleaved on a
+   :class:`~repro.machine.memory.ContendedChannel`
+   (:func:`~repro.colocation.schedule.interleave_schedule`), yielding
+   per-phase stretch factors and granted bandwidths;
+2. **profile** — each workload's phases are re-timed with its stretch
+   (``cpi`` scales, so durations, timestamps, and the temporal
+   bandwidth/RSS views all land on the contended timeline; the loaded
+   DRAM latency scales too, so SPE sample collisions grow under
+   contention exactly as they do when a single workload saturates the
+   channel by itself), then profiled by its own ``NmoProfiler``.
+
+A single runner goes through the same machinery with every stretch
+exactly 1.0, so solo co-location is bit-identical to a plain
+``NmoProfiler`` run — the regression tests pin this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.colocation.schedule import (
+    DemandPhase,
+    PhaseWindow,
+    demand_profile,
+    interleave_schedule,
+)
+from repro.errors import ColocationError
+from repro.machine.memory import ContendedChannel
+from repro.machine.spec import MachineSpec, ampere_altra_max
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler, ProfileResult
+from repro.workloads.base import Workload
+from repro.workloads.registry import make_workload
+
+#: cap on the contention-scaled loaded DRAM latency multiplier: queueing
+#: delay grows with the grant cut, but not without bound
+LATENCY_STRETCH_CAP = 4.0
+
+#: multiplier separating per-runner seed streams (NmoProfiler folds the
+#: seed into per-core rng seed sequences, so distinct ints suffice)
+_SEED_STRIDE = 1_000_003
+
+
+@dataclass(frozen=True)
+class CoRunnerSpec:
+    """One co-located process: a registry workload + its configuration."""
+
+    workload: str
+    n_threads: int = 8
+    scale: float = 1.0
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ColocationError("co-runner needs at least one thread")
+        if self.scale <= 0:
+            raise ColocationError("co-runner scale must be positive")
+
+
+@dataclass
+class CoRunnerResult:
+    """One process's outcome on the contended machine."""
+
+    index: int
+    workload: str
+    n_threads: int
+    profile: ProfileResult
+    windows: list[PhaseWindow]
+    solo_seconds: float      #: baseline wall time running alone
+    colo_seconds: float      #: baseline wall time under contention
+    slowdown: float          #: colo_seconds / solo_seconds, >= 1
+    demand_bps: float        #: time-weighted mean offered demand
+    granted_bps: float       #: time-weighted mean granted bandwidth
+
+
+@dataclass
+class CoLocationResult:
+    """Everything one multi-tenant run produced."""
+
+    runners: list[CoRunnerResult]
+    machine: MachineSpec
+    channel: ContendedChannel
+    wall_seconds: float      #: when the last process finished
+
+    @property
+    def usable_bandwidth(self) -> float:
+        return self.channel.usable_bandwidth
+
+    def granted_sum_bps(self) -> float:
+        """Mean aggregate granted bandwidth over the whole run.
+
+        Total granted bytes across all runners divided by the wall
+        time; the instantaneous aggregate never exceeds the channel's
+        usable bandwidth, so neither does this mean (runners that
+        finish early only pull it further down).
+        """
+        if self.wall_seconds <= 0:
+            return 0.0
+        total_bytes = sum(
+            w.granted_bps * w.elapsed_s for r in self.runners for w in r.windows
+        )
+        return total_bytes / self.wall_seconds
+
+
+def _mean_rates(windows: list[PhaseWindow]) -> tuple[float, float]:
+    """Time-weighted mean (demand, granted) bandwidth over all windows."""
+    elapsed = sum(w.elapsed_s for w in windows)
+    if elapsed <= 0:
+        return 0.0, 0.0
+    demand = sum(w.demand_bps * w.elapsed_s for w in windows) / elapsed
+    granted = sum(w.granted_bps * w.elapsed_s for w in windows) / elapsed
+    return demand, granted
+
+
+def apply_contention(
+    workload: Workload,
+    windows: list[PhaseWindow],
+    latency_cap: float = LATENCY_STRETCH_CAP,
+) -> None:
+    """Re-time a workload's phases onto its contended schedule.
+
+    ``cpi`` scales by the phase stretch (slower progress: durations,
+    SPE gaps, and the temporal views all follow); the loaded DRAM
+    latency scales with it too — queueing delay under contention — but
+    is capped so pathological stretches do not produce absurd
+    latencies.  Stretch 1.0 leaves the phase bit-identical.
+    """
+    phases = workload.phases
+    if len(phases) != len(windows):
+        raise ColocationError(
+            f"schedule has {len(windows)} windows for {len(phases)} phases"
+        )
+    for phase, window in zip(phases, windows):
+        s = max(1.0, window.stretch)
+        if s == 1.0:
+            continue
+        phase.cpi *= s
+        phase.dram_latency_scale = min(
+            phase.dram_latency_scale * s,
+            max(phase.dram_latency_scale, latency_cap),
+        )
+
+
+def run_colocation(
+    runners: list[CoRunnerSpec],
+    machine: MachineSpec | None = None,
+    settings: NmoSettings | None = None,
+    seed: int = 0,
+    channel: ContendedChannel | None = None,
+    latency_cap: float = LATENCY_STRETCH_CAP,
+) -> CoLocationResult:
+    """Profile co-located processes competing for the shared channel.
+
+    Each runner gets its own simulated process, SPE sessions, and
+    profile; ``settings`` (shared; defaults to sampling at period
+    16384) configures every profiler identically while seeds stay
+    per-runner, so homogeneous co-runners still draw distinct samples.
+    """
+    if not runners:
+        raise ColocationError("need at least one co-runner")
+    machine = machine or ampere_altra_max()
+    total_threads = sum(r.n_threads for r in runners)
+    if total_threads > machine.n_cores:
+        raise ColocationError(
+            f"{total_threads} co-located threads exceed "
+            f"{machine.n_cores} cores (each process is pinned)"
+        )
+    channel = channel or ContendedChannel(machine.dram)
+    settings = settings or NmoSettings(
+        enable=True, mode=NmoMode.SAMPLING, period=16384
+    )
+
+    workloads = [
+        make_workload(
+            r.workload, machine, n_threads=r.n_threads, scale=r.scale, **r.kwargs
+        )
+        for r in runners
+    ]
+    profiles: list[list[DemandPhase]] = [demand_profile(w) for w in workloads]
+    schedule = interleave_schedule(profiles, channel)
+
+    results: list[CoRunnerResult] = []
+    wall = 0.0
+    for i, (spec, workload, windows) in enumerate(
+        zip(runners, workloads, schedule)
+    ):
+        solo_s = workload.baseline_seconds()
+        apply_contention(workload, windows, latency_cap=latency_cap)
+        colo_s = workload.baseline_seconds()
+        profile = NmoProfiler(
+            workload, settings, seed=seed * _SEED_STRIDE + i
+        ).run()
+        demand, granted = _mean_rates(windows)
+        end_s = windows[-1].end_s if windows else 0.0
+        wall = max(wall, end_s)
+        results.append(
+            CoRunnerResult(
+                index=i,
+                workload=spec.workload,
+                n_threads=spec.n_threads,
+                profile=profile,
+                windows=windows,
+                solo_seconds=solo_s,
+                colo_seconds=colo_s,
+                slowdown=colo_s / solo_s if solo_s > 0 else 1.0,
+                demand_bps=demand,
+                granted_bps=granted,
+            )
+        )
+    return CoLocationResult(
+        runners=results, machine=machine, channel=channel, wall_seconds=wall
+    )

@@ -1,0 +1,178 @@
+"""Fluid interleaving of co-located processes on a shared DRAM channel.
+
+The paper's exhibits run one workload alone; a co-located deployment
+runs several processes whose phases overlap in wall-clock time and
+compete for the one memory channel.  This module computes that overlap
+as a **fluid schedule**: each process is a sequence of
+:class:`DemandPhase` entries (solo duration + offered DRAM demand
+rate), and between any two phase-completion events the set of active
+phases is constant, so the
+:class:`~repro.machine.memory.ContendedChannel` grant — and therefore
+each process's progress rate — is constant too.  The simulation steps
+from event to event, which makes it exact for piecewise-constant
+demand and independent of any time-step parameter.
+
+Progress model: a phase whose demand is granted in full runs at solo
+speed.  When the grant is cut, only the memory-bound portion of the
+phase stretches; the blend is Amdahl-style with the memory-bound
+fraction taken from the phase's solo channel utilisation:
+
+    rate = 1 / ((1 - beta) + beta * solo_grant / grant)
+
+so a compute-bound phase (beta ~ 0) is immune to contention and a
+saturating phase (beta = 1) stretches by the full grant ratio.  With a
+single process every grant equals its solo grant and every rate is
+exactly 1.0 — the schedule then reproduces the solo timeline
+bit-identically, which ``repro.colocation.run`` relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ColocationError
+from repro.machine.memory import ContendedChannel
+
+#: relative progress tolerance for phase-completion detection: the event
+#: step lands each completing phase within a few ulp of its duration
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class DemandPhase:
+    """One phase of one process, as the channel sees it."""
+
+    name: str
+    duration_s: float   #: solo (uncontended) duration
+    demand_bps: float   #: offered DRAM demand rate while running
+
+
+@dataclass(frozen=True)
+class PhaseWindow:
+    """Where one phase actually landed on the contended timeline."""
+
+    name: str
+    start_s: float
+    end_s: float
+    solo_s: float        #: what the phase would have taken alone
+    stretch: float       #: (end - start) / solo, >= 1
+    demand_bps: float    #: offered demand rate
+    granted_bps: float   #: time-weighted mean granted bandwidth
+
+    @property
+    def elapsed_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def demand_profile(workload) -> list[DemandPhase]:
+    """Extract a workload's (duration, demand-rate) phase sequence."""
+    out: list[DemandPhase] = []
+    for phase, t0, t1 in workload.phase_spans():
+        dur = t1 - t0
+        demand = workload.phase_dram_bytes(phase) / dur if dur > 0 else 0.0
+        out.append(DemandPhase(name=phase.name, duration_s=dur, demand_bps=demand))
+    return out
+
+
+def _progress_rates(
+    channel: ContendedChannel, demands: np.ndarray, grants: np.ndarray
+) -> list[float]:
+    """Per-stream progress rate relative to solo execution, in (0, 1]."""
+    usable = channel.usable_bandwidth
+    rates: list[float] = []
+    for demand, grant in zip(demands, grants):
+        if demand <= 0.0 or grant >= demand:
+            # no traffic, or demand granted in full: solo speed exactly
+            rates.append(1.0)
+            continue
+        solo = channel.delivered_bandwidth(float(demand), 1)
+        if grant >= solo:
+            # the solo roofline already capped this stream harder than
+            # contention does; solo speed exactly (bit-identical path)
+            rates.append(1.0)
+            continue
+        beta = min(1.0, demand / usable)
+        rates.append(1.0 / ((1.0 - beta) + beta * solo / grant))
+    return rates
+
+
+def interleave_schedule(
+    profiles: list[list[DemandPhase]], channel: ContendedChannel
+) -> list[list[PhaseWindow]]:
+    """Interleave the processes' phases on the shared channel.
+
+    Returns one :class:`PhaseWindow` list per process, aligned with its
+    :class:`DemandPhase` list.  Processes start together at t=0 and run
+    to individual completion; a process that finishes early stops
+    contending, so survivors speed back up.
+    """
+    n = len(profiles)
+    if n == 0:
+        raise ColocationError("need at least one process to schedule")
+    for i, prof in enumerate(profiles):
+        if not prof:
+            raise ColocationError(f"process {i} has no phases")
+
+    idx = [0] * n                    # current phase per process
+    done_s = [0.0] * n               # solo-seconds of progress in it
+    phase_t0 = [0.0] * n             # contended start of it
+    grant_integral = [0.0] * n       # integral of granted bw over it
+    slowed = [False] * n             # did any segment run below solo speed?
+    windows: list[list[PhaseWindow]] = [[] for _ in range(n)]
+    wall = 0.0
+    max_steps = sum(len(p) for p in profiles) * 4 + 16
+
+    for _ in range(max_steps):
+        active = [p for p in range(n) if idx[p] < len(profiles[p])]
+        if not active:
+            return windows
+        demands = np.array(
+            [profiles[p][idx[p]].demand_bps for p in active], dtype=np.float64
+        )
+        grants = channel.apportion(demands)
+        rates = _progress_rates(channel, demands, grants)
+
+        dt = min(
+            (profiles[p][idx[p]].duration_s - done_s[p]) / rates[j]
+            for j, p in enumerate(active)
+        )
+        dt = max(dt, 0.0)
+        wall += dt
+        for j, p in enumerate(active):
+            done_s[p] += rates[j] * dt
+            grant_integral[p] += float(grants[j]) * dt
+            if rates[j] != 1.0 and dt > 0.0:
+                slowed[p] = True
+            phase = profiles[p][idx[p]]
+            if done_s[p] < phase.duration_s * (1.0 - _REL_TOL):
+                continue
+            elapsed = wall - phase_t0[p]
+            # an un-slowed phase gets stretch 1.0 *exactly*: the solo
+            # calibration must survive the wall-clock float accumulation
+            stretch = (
+                max(1.0, elapsed / phase.duration_s)
+                if slowed[p] and phase.duration_s > 0
+                else 1.0
+            )
+            granted = (
+                grant_integral[p] / elapsed if elapsed > 0 else phase.demand_bps
+            )
+            windows[p].append(
+                PhaseWindow(
+                    name=phase.name,
+                    start_s=phase_t0[p],
+                    end_s=wall,
+                    solo_s=phase.duration_s,
+                    stretch=stretch,
+                    demand_bps=phase.demand_bps,
+                    granted_bps=granted,
+                )
+            )
+            idx[p] += 1
+            done_s[p] = 0.0
+            grant_integral[p] = 0.0
+            slowed[p] = False
+            phase_t0[p] = wall
+    raise ColocationError("schedule failed to converge (no progress)")

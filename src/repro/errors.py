@@ -70,5 +70,9 @@ class NmoError(ReproError):
     """NMO profiler misuse (bad env configuration, stop without start...)."""
 
 
+class ColocationError(ReproError):
+    """Invalid co-location request (no runners, core oversubscription...)."""
+
+
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""

@@ -18,6 +18,7 @@ from functools import partial
 
 import numpy as np
 
+from repro.colocation import CoRunnerSpec, run_colocation
 from repro.machine.spec import GiB, MachineSpec, ampere_altra_max
 from repro.orchestrate import (
     ParallelRunner,
@@ -49,6 +50,13 @@ FIG7_PERIODS = (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
 FIG8_PERIODS = (1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000)
 FIG9_AUX_PAGES = (2, 4, 8, 16, 32, 64, 128, 512, 2048)
 FIG10_THREADS = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128)
+
+#: mixed co-runner line-up for the colo_interference exhibit: the
+#: bandwidth hog, the two CloudSuite timeline models, then a second hog
+COLO_MIX = ("stream", "pagerank", "inmem_analytics", "stream")
+#: seconds the CloudSuite timeline models run at scale=1 (PageRank's
+#: phase plan); STREAM's iteration count is sized to match
+COLO_TIMELINE_SECONDS = 23.6
 
 
 @dataclass
@@ -451,6 +459,135 @@ def fig10_fig11_threads(
     ]
     runner = ParallelRunner(workers=workers, cache=cache)
     return runner.map(partial(_thread_point, machine), specs)
+
+
+# --------------------------------------------------------------------------
+# Colo: multi-tenant interference sweep (beyond-paper extension of Fig. 10/11)
+# --------------------------------------------------------------------------
+
+def colo_scenarios(max_corunners: int = 4) -> list[tuple[str, ...]]:
+    """The co-runner line-ups swept by :func:`colo_interference`.
+
+    For each co-runner count 1..N: a homogeneous all-STREAM scenario
+    (worst-case channel pressure) and, from two runners up, the mixed
+    STREAM / PageRank / In-memory Analytics pairing (cycling through
+    :data:`COLO_MIX` beyond four runners, so every count yields a
+    distinct scenario).
+    """
+    if max_corunners < 1:
+        raise ValueError("max_corunners must be >= 1")
+    out: list[tuple[str, ...]] = []
+    for n in range(1, max_corunners + 1):
+        out.append(("stream",) * n)
+        if n >= 2:
+            out.append(tuple(COLO_MIX[i % len(COLO_MIX)] for i in range(n)))
+    return out
+
+
+def _stream_iterations(machine: MachineSpec, n_threads: int, scale: float) -> int:
+    """Triad iterations that keep STREAM co-resident with the CloudSuite
+    timeline models at the given scale (their wall time is
+    ``COLO_TIMELINE_SECONDS * scale``; STREAM's scale knob sizes its
+    arrays, not its duration, so the iteration count carries it)."""
+    probe = StreamWorkload(machine, n_threads=n_threads, scale=1.0, iterations=1)
+    _phase, t0, t1 = probe.phase_spans()[-1]  # one triad iteration
+    iter_s = t1 - t0
+    target_s = COLO_TIMELINE_SECONDS * scale
+    return max(2, int(round(target_s / iter_s)))
+
+
+def _colo_runners(
+    machine: MachineSpec, names: tuple[str, ...], n_threads: int, scale: float
+) -> list[CoRunnerSpec]:
+    runners = []
+    for name in names:
+        if name == "stream":
+            runners.append(
+                CoRunnerSpec(
+                    "stream",
+                    n_threads=n_threads,
+                    scale=1.0,
+                    kwargs={
+                        "iterations": _stream_iterations(machine, n_threads, scale)
+                    },
+                )
+            )
+        else:
+            runners.append(CoRunnerSpec(name, n_threads=n_threads, scale=scale))
+    return runners
+
+
+def _colo_point(machine: MachineSpec, spec: TrialSpec) -> dict:
+    """One co-location scenario (module-level for the process pool)."""
+    cfg = spec.config
+    names = tuple(cfg["workloads"])
+    settings = NmoSettings(
+        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"]
+    )
+    res = run_colocation(
+        _colo_runners(machine, names, cfg["n_threads"], cfg["scale"]),
+        machine=machine,
+        settings=settings,
+        seed=spec.seed,
+    )
+    runners = [
+        {
+            "workload": r.workload,
+            "slowdown": float(r.slowdown),
+            "demand_gibs": float(r.demand_bps / GiB),
+            "granted_gibs": float(r.granted_bps / GiB),
+            "accuracy": float(r.profile.accuracy),
+            "overhead": float(r.profile.time_overhead),
+            "collisions": int(r.profile.collisions),
+            "samples": int(r.profile.samples_processed),
+        }
+        for r in res.runners
+    ]
+    return {
+        "scenario": "+".join(names),
+        "n_corunners": len(names),
+        "runners": runners,
+        "wall_seconds": float(res.wall_seconds),
+        "granted_sum_gibs": float(res.granted_sum_bps() / GiB),
+        "usable_gibs": float(res.usable_bandwidth / GiB),
+    }
+
+
+def colo_interference(
+    machine: MachineSpec | None = None,
+    max_corunners: int = 4,
+    scale: float = 0.02,
+    period: int = 16384,
+    n_threads: int = 8,
+    seed: int = 0,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+) -> list[dict]:
+    """Colo: 1-4 co-located processes on the contended DRAM channel.
+
+    A beyond-paper extension of the Fig. 10/11 scaling study: instead of
+    one workload widening its thread team, whole processes are
+    co-located (each with its own SPE sessions and aux buffers) and the
+    shared channel apportions bandwidth between them.  Reports each
+    runner's slowdown, bandwidth grant, and profiling quality.
+    """
+    machine = machine or ampere_altra_max()
+    specs = [
+        TrialSpec(
+            experiment="colo_interference",
+            config={
+                "workloads": list(names),
+                "scale": scale,
+                "period": period,
+                "n_threads": n_threads,
+                "machine": canonical_config(machine),
+            },
+            seed=seed,
+        )
+        for names in colo_scenarios(max_corunners)
+    ]
+    runner = ParallelRunner(workers=workers, cache=cache)
+    return runner.map(partial(_colo_point, machine), specs)
 
 
 # --------------------------------------------------------------------------

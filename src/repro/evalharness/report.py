@@ -136,6 +136,55 @@ def render_fig10_fig11(rows: list[dict]) -> str:
     return "\n\n".join([tbl, chart, chart2])
 
 
+def render_colo(rows: list[dict]) -> str:
+    """Colo: per-runner interference table + slowdown-vs-corunners chart."""
+    tbl_rows = []
+    for row in rows:
+        for r in row["runners"]:
+            tbl_rows.append(
+                [
+                    row["scenario"],
+                    r["workload"],
+                    f"{r['demand_gibs']:.1f}",
+                    f"{r['granted_gibs']:.1f}",
+                    f"{r['slowdown']:.2f}x",
+                    f"{r['accuracy'] * 100:.1f}%",
+                    f"{r['collisions']}",
+                    f"{r['samples']}",
+                ]
+            )
+    usable = rows[0]["usable_gibs"] if rows else 0.0
+    tbl = table(
+        [
+            "scenario", "runner", "demand GiB/s", "granted GiB/s",
+            "slowdown", "accuracy", "collisions", "samples",
+        ],
+        tbl_rows,
+        title=(
+            "Colo: co-located processes on the contended channel "
+            f"(usable {usable:.1f} GiB/s)"
+        ),
+    )
+    homogeneous = [r for r in rows if set(r["scenario"].split("+")) == {"stream"}]
+    if len(homogeneous) < 2:
+        return tbl
+    x = np.array([r["n_corunners"] for r in homogeneous], dtype=float)
+    chart = line_plot(
+        {
+            "stream slowdown": (
+                x,
+                np.array([r["runners"][0]["slowdown"] for r in homogeneous]),
+            ),
+            "granted sum GiB/s /100": (
+                x,
+                np.array([r["granted_sum_gibs"] / 100 for r in homogeneous]),
+            ),
+        },
+        title="Colo: STREAMxN slowdown and aggregate grant vs co-runners",
+    )
+    return tbl + "\n\n" + chart
+
+
 def render_capacity(results: dict[str, dict]) -> str:
     parts = []
     for name, r in results.items():

@@ -76,8 +76,13 @@ class AuxBuffer:
         return accept
 
     def pending_signal(self) -> int:
-        """Bytes accumulated since the last watermark notification."""
-        return self.head - self._last_signal
+        """Bytes accumulated since the last watermark notification.
+
+        Clamped to the live region ``[tail, head]``: a consumer that
+        drains past the last signalled offset (NMO's end-of-run flush
+        does) frees those bytes, so they must not be announced again.
+        """
+        return self.head - max(self._last_signal, self.tail)
 
     def should_signal(self) -> bool:
         """True when >= watermark new bytes are available to announce."""
@@ -87,11 +92,14 @@ class AuxBuffer:
         """Consume the pending notification; returns (aux_offset, aux_size).
 
         These are the fields of the ``PERF_RECORD_AUX`` the kernel posts.
+        The signalled region is clamped to ``[tail, head]`` so a drain
+        that overtook the last signal never yields an offset into
+        already-freed bytes (the follow-up ``read`` would raise).
         """
-        size = self.pending_signal()
+        offset = max(self._last_signal, self.tail)
+        size = self.head - offset
         if size <= 0:
             raise BufferError_("no pending aux data to signal")
-        offset = self._last_signal
         self._last_signal = self.head
         return offset, size
 

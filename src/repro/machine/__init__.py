@@ -7,7 +7,7 @@ Table II).  See ``DESIGN.md`` section 1 for the substitution rationale.
 from repro.machine.address_space import Mapping, VirtualAddressSpace
 from repro.machine.cache import SetAssociativeCache
 from repro.machine.hierarchy import MemLevel, MemoryHierarchy
-from repro.machine.memory import DramModel
+from repro.machine.memory import ContendedChannel, DramModel
 from repro.machine.spec import (
     CACHE_LINE,
     CacheSpec,
@@ -27,6 +27,7 @@ __all__ = [
     "CACHE_LINE",
     "AccessClass",
     "CacheSpec",
+    "ContendedChannel",
     "DramModel",
     "DramSpec",
     "GiB",

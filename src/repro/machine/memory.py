@@ -1,4 +1,4 @@
-"""DRAM bandwidth model.
+"""DRAM bandwidth models: the solo roofline and the contended channel.
 
 The bandwidth view in the paper (Fig. 3) divides bus-event counts by the
 interval length; the substrate therefore needs a notion of how many bytes
@@ -9,9 +9,28 @@ peak stretches execution.  :class:`DramModel` provides both:
 * :meth:`effective_bandwidth` — achieved bandwidth under a saturating
   roofline with a tunable efficiency factor (STREAM-like kernels reach
   ~85% of peak on Altra-class parts).
+
+Every exhibit in the paper runs one workload alone on the machine, so
+:class:`DramModel` only ever sees a single demand stream.  Co-located
+processes (``repro.colocation``) instead compete for the one shared
+channel; :class:`ContendedChannel` apportions the usable bandwidth
+across N concurrent demand streams:
+
+* **proportional share** — each stream is granted bandwidth in
+  proportion to its offered demand,
+* **saturation knee** — interleaved streams destroy row-buffer locality,
+  so the *aggregate* delivered bandwidth follows a smooth knee curve
+  that approaches (never exceeds) the usable bandwidth as total demand
+  grows, instead of the hard ``min`` of the solo roofline,
+* **solo calibration** — with a single active stream the grant is
+  computed through the exact :meth:`DramModel.effective_bandwidth`
+  path, so the single-tenant case is bit-identical to the roofline the
+  rest of the stack was calibrated against.
 """
 
 from __future__ import annotations
+
+import math
 
 import numpy as np
 
@@ -59,3 +78,72 @@ class DramModel:
     def utilisation(self, achieved_bytes_per_s: float | np.ndarray) -> np.ndarray:
         """Fraction of peak bandwidth used (vectorised)."""
         return np.asarray(achieved_bytes_per_s, dtype=np.float64) / self.spec.peak_bandwidth
+
+
+class ContendedChannel:
+    """Shared DRAM channel apportioning bandwidth across demand streams.
+
+    ``knee`` is the fraction of the usable bandwidth up to which the
+    channel tracks multi-stream demand linearly; beyond it, delivered
+    bandwidth saturates smoothly toward (never beyond) the usable
+    bandwidth.  ``knee=1.0`` degenerates to the hard roofline.
+    """
+
+    def __init__(
+        self, spec: DramSpec, efficiency: float = 0.85, knee: float = 0.9
+    ) -> None:
+        if not 0.0 < knee <= 1.0:
+            raise MachineError("knee must be in (0, 1]")
+        self.dram = DramModel(spec, efficiency)
+        self.knee = knee
+
+    @property
+    def spec(self) -> DramSpec:
+        return self.dram.spec
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Achievable bytes/second of the whole channel (peak x efficiency)."""
+        return self.dram.usable_bandwidth
+
+    def delivered_bandwidth(self, total_demand: float, n_streams: int) -> float:
+        """Aggregate bytes/second the channel moves for ``n_streams``.
+
+        A single stream goes through :meth:`DramModel.effective_bandwidth`
+        unchanged (bit-identical solo calibration).  Multiple interleaved
+        streams follow the knee curve: linear up to ``knee * usable``,
+        then an exponential approach to the usable bandwidth.
+        """
+        if total_demand < 0:
+            raise MachineError("demand must be >= 0")
+        if n_streams < 0:
+            raise MachineError("n_streams must be >= 0")
+        if n_streams <= 1:
+            return self.dram.effective_bandwidth(total_demand)
+        usable = self.usable_bandwidth
+        knee_bw = self.knee * usable
+        if total_demand <= knee_bw:
+            return total_demand
+        span = usable - knee_bw
+        if span <= 0.0:  # knee == 1.0: hard roofline
+            return min(total_demand, usable)
+        return knee_bw + span * (1.0 - math.exp(-(total_demand - knee_bw) / span))
+
+    def apportion(self, demands) -> np.ndarray:
+        """Grant each demand stream its proportional bandwidth share.
+
+        Streams with zero demand neither receive nor cause contention; a
+        single active stream reproduces the solo roofline exactly.
+        """
+        d = np.asarray(demands, dtype=np.float64)
+        if d.ndim != 1:
+            raise MachineError("demands must be a 1-D sequence of rates")
+        if (d < 0).any():
+            raise MachineError("demand must be >= 0")
+        n_active = int((d > 0).sum())
+        if n_active <= 1:
+            # exact min(demand, usable) — no proportional rounding error
+            return np.minimum(d, self.usable_bandwidth)
+        total = float(d.sum())
+        delivered = self.delivered_bandwidth(total, n_active)
+        return d * (delivered / total)

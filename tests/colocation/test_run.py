@@ -1,0 +1,128 @@
+"""Multi-tenant co-location run tests (the ISSUE acceptance criteria)."""
+
+import numpy as np
+import pytest
+
+from repro.colocation import CoRunnerSpec, run_colocation
+from repro.colocation.run import _SEED_STRIDE
+from repro.errors import ColocationError
+from repro.machine.spec import ampere_altra_max
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.workloads.stream import StreamWorkload
+
+SETTINGS = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=32768)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return ampere_altra_max()
+
+
+def stream_spec(scale=0.1):
+    return CoRunnerSpec("stream", n_threads=8, scale=scale)
+
+
+@pytest.fixture(scope="module")
+def solo(machine):
+    return run_colocation([stream_spec()], machine=machine,
+                          settings=SETTINGS, seed=5)
+
+
+@pytest.fixture(scope="module")
+def duo(machine):
+    return run_colocation([stream_spec(), stream_spec()], machine=machine,
+                          settings=SETTINGS, seed=5)
+
+
+class TestSoloBitIdentity:
+    def test_solo_run_identical_to_plain_profiler(self, machine, solo):
+        """Acceptance: single demand stream reproduces today's behaviour."""
+        w = StreamWorkload(machine, n_threads=8, scale=0.1)
+        ref = NmoProfiler(w, SETTINGS, seed=5 * _SEED_STRIDE).run()
+        got = solo.runners[0].profile
+        assert got.profiled_cycles == ref.profiled_cycles
+        assert got.baseline_cycles == ref.baseline_cycles
+        assert got.samples_processed == ref.samples_processed
+        assert got.accuracy == ref.accuracy
+        assert got.time_overhead == ref.time_overhead
+        assert np.array_equal(got.batch.addr, ref.batch.addr)
+        assert np.array_equal(got.batch.ts, ref.batch.ts)
+
+    def test_solo_slowdown_is_one(self, solo):
+        assert solo.runners[0].slowdown == 1.0
+        assert solo.runners[0].colo_seconds == solo.runners[0].solo_seconds
+
+
+class TestStreamStreamContention:
+    def test_each_stream_granted_strictly_less_than_solo(self, solo, duo):
+        """Acceptance: 2 co-runner STREAM/STREAM vs solo STREAM."""
+        solo_grant = solo.runners[0].granted_bps
+        for r in duo.runners:
+            assert r.granted_bps < solo_grant
+
+    def test_granted_sum_within_usable(self, duo):
+        """Acceptance: the streams' grants sum within usable_bandwidth."""
+        assert duo.granted_sum_bps() <= duo.usable_bandwidth * (1 + 1e-9)
+        # fully-overlapping identical runners: per-runner means sum too
+        assert sum(r.granted_bps for r in duo.runners) <= (
+            duo.usable_bandwidth * (1 + 1e-9)
+        )
+
+    def test_both_runners_slowed(self, duo):
+        for r in duo.runners:
+            assert r.slowdown > 1.0
+            assert r.colo_seconds > r.solo_seconds
+
+    def test_distinct_seeds_per_runner(self, duo):
+        a, b = (r.profile for r in duo.runners)
+        # same workload and settings, different sample streams
+        assert not np.array_equal(a.batch.ts, b.batch.ts)
+
+    def test_wall_clock_covers_both(self, duo):
+        longest = max(r.colo_seconds for r in duo.runners)
+        assert duo.wall_seconds >= longest * (1 - 1e-9)
+
+    def test_windows_on_contended_timeline(self, duo):
+        r = duo.runners[0]
+        assert len(r.windows) == len(r.profile.phase_spans)
+        assert r.windows[-1].end_s == pytest.approx(r.colo_seconds)
+
+
+class TestMixedTenancy:
+    def test_light_corunner_hurt_less_than_hog(self, machine):
+        res = run_colocation(
+            [stream_spec(), CoRunnerSpec("pagerank", n_threads=8, scale=0.004)],
+            machine=machine, settings=SETTINGS, seed=1,
+        )
+        stream_r, pr_r = res.runners
+        assert stream_r.workload == "stream"
+        assert pr_r.slowdown < stream_r.slowdown
+        assert pr_r.profile.workload == "pagerank"
+        assert res.granted_sum_bps() <= res.usable_bandwidth * (1 + 1e-9)
+
+    def test_each_runner_has_own_process_and_sessions(self, machine):
+        res = run_colocation(
+            [stream_spec(0.05), stream_spec(0.05)],
+            machine=machine, settings=SETTINGS, seed=2,
+        )
+        a, b = res.runners
+        assert a.profile.batch is not b.profile.batch
+        assert a.profile.n_threads == b.profile.n_threads == 8
+
+
+class TestValidation:
+    def test_no_runners_rejected(self, machine):
+        with pytest.raises(ColocationError):
+            run_colocation([], machine=machine)
+
+    def test_core_oversubscription_rejected(self, machine):
+        specs = [CoRunnerSpec("stream", n_threads=machine.n_cores)] * 2
+        with pytest.raises(ColocationError):
+            run_colocation(specs, machine=machine)
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(ColocationError):
+            CoRunnerSpec("stream", n_threads=0)
+        with pytest.raises(ColocationError):
+            CoRunnerSpec("stream", scale=0.0)

@@ -1,0 +1,123 @@
+"""Fluid interleaving schedule tests."""
+
+import pytest
+
+from repro.colocation.schedule import (
+    DemandPhase,
+    demand_profile,
+    interleave_schedule,
+)
+from repro.errors import ColocationError
+from repro.machine.memory import ContendedChannel
+from repro.machine.spec import DramSpec, GiB
+
+SPEC = DramSpec(capacity=GiB, peak_bandwidth=100e9)
+
+
+@pytest.fixture
+def channel():
+    return ContendedChannel(SPEC, efficiency=0.8, knee=0.9)  # usable 80e9
+
+
+def prof(*phases):
+    return [DemandPhase(name=f"p{i}", duration_s=d, demand_bps=b)
+            for i, (d, b) in enumerate(phases)]
+
+
+class TestSoloCalibration:
+    def test_solo_process_runs_at_exactly_solo_speed(self, channel):
+        # saturating and non-saturating phases alike: stretch must be
+        # exactly 1.0 (the colocation runner relies on this bitwise)
+        profile = prof((0.5, 200e9), (0.25, 10e9), (1.0, 0.0))
+        (windows,) = interleave_schedule([profile], channel)
+        assert [w.stretch for w in windows] == [1.0, 1.0, 1.0]
+        assert windows[0].start_s == 0.0
+        assert windows[-1].end_s == pytest.approx(1.75)
+        # granted bandwidth reports the solo roofline
+        assert windows[0].granted_bps == pytest.approx(80e9)
+        assert windows[1].granted_bps == pytest.approx(10e9)
+
+    def test_windows_align_with_phases(self, channel):
+        profile = prof((0.1, 1e9), (0.2, 2e9))
+        (windows,) = interleave_schedule([profile], channel)
+        assert [w.name for w in windows] == ["p0", "p1"]
+        assert windows[0].end_s == windows[1].start_s
+
+
+class TestContention:
+    def test_two_saturating_streams_stretch_symmetrically(self, channel):
+        p = prof((1.0, 160e9))
+        wa, wb = interleave_schedule([p, p], channel)
+        assert wa[0].stretch == pytest.approx(wb[0].stretch)
+        assert wa[0].stretch > 1.9  # each gets ~half its solo grant
+        assert wa[0].granted_bps + wb[0].granted_bps <= 80e9 * (1 + 1e-9)
+        assert wa[0].granted_bps < 80e9  # strictly less than solo
+
+    def test_unsaturated_corunners_unaffected(self, channel):
+        # total demand below the knee: everyone runs at solo speed
+        p1 = prof((1.0, 30e9))
+        p2 = prof((1.0, 40e9))
+        w1, w2 = interleave_schedule([p1, p2], channel)
+        assert w1[0].stretch == 1.0
+        assert w2[0].stretch == 1.0
+        assert w1[0].granted_bps == pytest.approx(30e9)
+
+    def test_compute_bound_phase_immune(self, channel):
+        hog = prof((10.0, 400e9))
+        compute = prof((1.0, 0.0))
+        _, wc = interleave_schedule([hog, compute], channel)
+        assert wc[0].stretch == 1.0
+        assert wc[0].end_s == pytest.approx(1.0)
+
+    def test_survivor_speeds_up_after_corunner_exits(self, channel):
+        short = prof((0.5, 160e9))
+        long = prof((2.0, 160e9))
+        ws, wl = interleave_schedule([short, long], channel)
+        # the long stream's single phase spans contended + solo segments:
+        # its overall stretch sits strictly between 1 (all solo) and the
+        # fully-contended stretch the short stream saw
+        assert 1.0 < wl[0].stretch < ws[0].stretch
+        # the short stream was contended for its whole life
+        assert ws[0].stretch > 1.9
+
+    def test_proportional_share_favours_backlogged_hog(self, channel):
+        # proportional share grants bandwidth by offered demand: a hog
+        # that was already roofline-capped solo loses little *relative*
+        # bandwidth, while a light stream's grant is cut by the same
+        # proportional factor and it stretches more
+        hog = prof((1.0, 300e9))
+        light = prof((1.0, 20e9))
+        wh, wl = interleave_schedule([hog, light], channel)
+        assert wh[0].stretch > 1.0
+        assert wl[0].stretch > wh[0].stretch
+        # the hog exits first; the light stream's tail then runs solo,
+        # so its window-mean grant recovers toward its full demand
+        assert wh[0].end_s < wl[0].end_s
+        assert wl[0].granted_bps < 20e9
+
+
+class TestValidation:
+    def test_no_processes_rejected(self, channel):
+        with pytest.raises(ColocationError):
+            interleave_schedule([], channel)
+
+    def test_empty_profile_rejected(self, channel):
+        with pytest.raises(ColocationError):
+            interleave_schedule([[]], channel)
+
+
+class TestDemandProfile:
+    def test_matches_workload_phase_spans(self):
+        from repro.machine.spec import small_test_machine
+        from repro.workloads.stream import StreamWorkload
+
+        w = StreamWorkload(small_test_machine(), n_threads=2, n_elems=4096)
+        profile = demand_profile(w)
+        spans = w.phase_spans()
+        assert len(profile) == len(spans)
+        for dp, (phase, t0, t1) in zip(profile, spans):
+            assert dp.name == phase.name
+            assert dp.duration_s == pytest.approx(t1 - t0)
+            assert dp.demand_bps == pytest.approx(
+                w.phase_dram_bytes(phase) / (t1 - t0)
+            )

@@ -4,6 +4,8 @@ import numpy as np
 import pytest
 
 from repro.evalharness.experiments import (
+    colo_interference,
+    colo_scenarios,
     fig4_stream_regions,
     fig5_cfd_single_thread,
     fig6_cfd_32_threads,
@@ -13,6 +15,7 @@ from repro.evalharness.experiments import (
     table2_machine_spec,
 )
 from repro.evalharness.report import (
+    render_colo,
     render_fig7,
     render_fig9,
     render_fig10_fig11,
@@ -81,6 +84,76 @@ class TestSweepExperiments:
         rows = fig10_fig11_threads(thread_counts=(2, 8), scale=0.25)
         assert [r["threads"] for r in rows] == [2, 8]
         assert all(r["samples"] > 0 for r in rows)
+
+
+class TestColoInterference:
+    def test_scenarios_sweep_corunner_counts(self):
+        scen = colo_scenarios(4)
+        assert ("stream",) in scen
+        assert ("stream", "stream") in scen
+        assert ("stream", "pagerank") in scen
+        assert ("stream", "pagerank", "inmem_analytics", "stream") in scen
+        assert max(len(s) for s in scen) == 4
+        with pytest.raises(ValueError):
+            colo_scenarios(0)
+
+    def test_scenarios_distinct_beyond_mix_length(self):
+        scen = colo_scenarios(6)
+        assert len(scen) == len(set(scen))  # the mix cycles, never repeats
+        assert ("stream", "pagerank", "inmem_analytics", "stream",
+                "stream") in scen
+
+    def test_exhibit_shapes(self):
+        rows = colo_interference(
+            max_corunners=2, scale=0.002, period=65536, n_threads=4
+        )
+        assert [r["scenario"] for r in rows] == [
+            "stream", "stream+stream", "stream+pagerank",
+        ]
+        usable = rows[0]["usable_gibs"]
+        for row in rows:
+            assert len(row["runners"]) == row["n_corunners"]
+            assert row["granted_sum_gibs"] <= usable * (1 + 1e-9)
+            for r in row["runners"]:
+                assert r["slowdown"] >= 1.0
+                assert r["samples"] > 0
+        solo = rows[0]["runners"][0]
+        duo = rows[1]["runners"]
+        # 4 STREAM threads do not saturate alone; two teams do, so each
+        # duo runner is granted strictly less than the solo runner
+        for r in duo:
+            assert r["granted_gibs"] < solo["granted_gibs"]
+            assert r["slowdown"] > solo["slowdown"]
+
+    def test_render_colo(self):
+        rows = [
+            {
+                "scenario": "stream", "n_corunners": 1, "wall_seconds": 0.1,
+                "granted_sum_gibs": 150.0, "usable_gibs": 158.3,
+                "runners": [
+                    {"workload": "stream", "slowdown": 1.0,
+                     "demand_gibs": 178.8, "granted_gibs": 158.3,
+                     "accuracy": 0.96, "overhead": 0.001,
+                     "collisions": 0, "samples": 1000},
+                ],
+            },
+            {
+                "scenario": "stream+stream", "n_corunners": 2,
+                "wall_seconds": 0.2, "granted_sum_gibs": 158.0,
+                "usable_gibs": 158.3,
+                "runners": [
+                    {"workload": "stream", "slowdown": 2.0,
+                     "demand_gibs": 178.8, "granted_gibs": 79.2,
+                     "accuracy": 0.96, "overhead": 0.001,
+                     "collisions": 3, "samples": 990},
+                ] * 2,
+            },
+        ]
+        txt = render_colo(rows)
+        assert "contended channel" in txt
+        assert "stream+stream" in txt
+        assert "2.00x" in txt
+        assert "slowdown" in txt
 
 
 class TestRendering:

@@ -43,6 +43,47 @@ class TestWrite:
         assert a.read(3000, 2000) == payload
 
 
+class TestWrapBoundaries:
+    """Reads/writes that end exactly at ``size`` or span it by exactly
+    the watermark: the `first = min(n, size - pos)` split at its edges."""
+
+    def test_read_ending_exactly_at_size(self):
+        a = aux(pages=1, page=4096)
+        data = bytes(i & 0xFF for i in range(4096))
+        assert a.write(data) == 4096
+        # tail chunk [4000, 4096): pos + n == size, no wrap bytes
+        assert a.read(4000, 96) == data[4000:]
+        # the full buffer in one read also ends exactly at size
+        assert a.read(0, 4096) == data
+
+    def test_write_resuming_exactly_at_size(self):
+        a = aux(pages=1, page=4096)
+        a.write(b"x" * 4096)
+        a.advance_tail(4096)
+        # head % size == 0: the next write starts at pos 0, not past it
+        payload = bytes(range(200))
+        assert a.write(payload) == 200
+        assert a.read(4096, 200) == payload
+
+    def test_read_spanning_wrap_of_exactly_watermark_bytes(self):
+        wm = 1024
+        a = aux(pages=1, page=4096, wm=wm)
+        a.write(b"a" * 3584)
+        a.advance_tail(3584)  # pre-wrap bytes freed (signal clamps past them)
+        payload = bytes((7 * i) & 0xFF for i in range(wm))
+        assert a.write(payload) == wm  # [3584, 4608): wraps after 512
+        off, size = a.take_signal()
+        assert (off, size) == (3584, wm)
+        assert a.read(off, size) == payload
+
+    def test_read_first_byte_after_wrap(self):
+        a = aux(pages=1, page=4096)
+        a.write(b"x" * 4096)
+        a.advance_tail(4096)
+        a.write(b"z")
+        assert a.read(4096, 1) == b"z"
+
+
 class TestSignals:
     def test_signal_at_watermark(self):
         a = aux(pages=1, page=4096, wm=1024)
@@ -63,6 +104,41 @@ class TestSignals:
     def test_take_signal_empty_rejected(self):
         with pytest.raises(BufferError_):
             aux().take_signal()
+
+    def test_drain_past_signal_then_take_signal(self):
+        # regression: the consumer drains beyond the last signalled
+        # offset (NMO's end-of-run flush), then new data arrives; the
+        # next signal must cover only live bytes, and the follow-up
+        # read() must deliver them instead of raising
+        a = aux(pages=1, page=4096, wm=512)
+        a.write(b"x" * 600)
+        a.advance_tail(600)  # drained ahead of any take_signal
+        a.write(b"y" * 512)
+        assert a.pending_signal() == 512  # not 1112: [0, 600) is freed
+        off, size = a.take_signal()
+        assert (off, size) == (600, 512)
+        assert a.read(off, size) == b"y" * 512
+
+    def test_drain_partially_past_signal(self):
+        a = aux(pages=1, page=4096, wm=256)
+        a.write(b"a" * 300)
+        off, size = a.take_signal()
+        assert (off, size) == (0, 300)
+        a.write(b"b" * 200)
+        a.advance_tail(400)  # overtakes _last_signal (300) by 100
+        a.write(b"c" * 100)
+        off, size = a.take_signal()
+        assert (off, size) == (400, 200)  # clamped to [tail, head]
+        assert a.read(off, size) == b"b" * 100 + b"c" * 100
+
+    def test_should_signal_ignores_freed_bytes(self):
+        a = aux(pages=1, page=4096, wm=512)
+        a.write(b"x" * 600)
+        a.advance_tail(600)
+        a.write(b"y" * 511)
+        assert not a.should_signal()  # 511 live bytes < watermark
+        a.write(b"y")
+        assert a.should_signal()
 
     def test_bad_watermark(self):
         with pytest.raises(BufferError_):

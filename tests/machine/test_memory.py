@@ -1,15 +1,23 @@
-"""DRAM bandwidth model tests."""
+"""DRAM bandwidth model tests (solo roofline + contended channel)."""
 
+import numpy as np
 import pytest
 
 from repro.errors import MachineError
-from repro.machine.memory import DramModel
+from repro.machine.memory import ContendedChannel, DramModel
 from repro.machine.spec import DramSpec, GiB
+
+SPEC = DramSpec(capacity=GiB, peak_bandwidth=100e9)
 
 
 @pytest.fixture
 def dram():
-    return DramModel(DramSpec(capacity=GiB, peak_bandwidth=100e9), efficiency=0.8)
+    return DramModel(SPEC, efficiency=0.8)
+
+
+@pytest.fixture
+def channel():
+    return ContendedChannel(SPEC, efficiency=0.8, knee=0.9)
 
 
 class TestDramModel:
@@ -46,3 +54,61 @@ class TestDramModel:
             DramModel(DramSpec(GiB, 1e9), efficiency=0.0)
         with pytest.raises(MachineError):
             DramModel(DramSpec(GiB, 1e9), efficiency=1.5)
+
+
+class TestContendedChannel:
+    def test_single_stream_bit_identical_to_roofline(self, channel, dram):
+        # the acceptance-critical calibration: one demand stream must
+        # reproduce DramModel.effective_bandwidth EXACTLY (==, not approx)
+        for demand in (0.0, 1.0, 13e9, 79.9e9, 80e9, 80.0000001e9, 500e9):
+            assert channel.apportion([demand])[0] == dram.effective_bandwidth(
+                demand
+            )
+            assert channel.delivered_bandwidth(
+                demand, 1
+            ) == dram.effective_bandwidth(demand)
+
+    def test_zero_demand_streams_do_not_contend(self, channel):
+        grants = channel.apportion([60e9, 0.0, 0.0])
+        assert grants[0] == 60e9  # single active stream: exact passthrough
+        assert grants[1] == grants[2] == 0.0
+
+    def test_below_knee_demand_granted_in_full(self, channel):
+        # 30 + 40 = 70e9 <= knee point (0.9 * 80e9 = 72e9): linear region
+        grants = channel.apportion([30e9, 40e9])
+        assert grants[0] == 30e9
+        assert grants[1] == 40e9
+
+    def test_saturated_proportional_share(self, channel):
+        grants = channel.apportion([200e9, 100e9])
+        assert grants.sum() <= channel.usable_bandwidth
+        assert grants[0] == pytest.approx(2 * grants[1])
+        solo = [channel.delivered_bandwidth(d, 1) for d in (200e9, 100e9)]
+        assert grants[0] < solo[0] and grants[1] < solo[1]
+
+    def test_delivered_monotone_and_bounded(self, channel):
+        demands = np.linspace(0, 400e9, 200)
+        delivered = np.array(
+            [channel.delivered_bandwidth(float(d), 2) for d in demands]
+        )
+        assert (np.diff(delivered) >= -1e-6).all()
+        assert (delivered <= channel.usable_bandwidth).all()
+        # below the knee the curve is exactly linear
+        assert channel.delivered_bandwidth(50e9, 2) == 50e9
+
+    def test_knee_one_degenerates_to_hard_roofline(self):
+        ch = ContendedChannel(SPEC, efficiency=0.8, knee=1.0)
+        assert ch.delivered_bandwidth(200e9, 2) == ch.usable_bandwidth
+        assert ch.delivered_bandwidth(50e9, 2) == 50e9
+
+    def test_validation(self, channel):
+        with pytest.raises(MachineError):
+            channel.apportion([-1.0])
+        with pytest.raises(MachineError):
+            channel.apportion([[1.0, 2.0]])
+        with pytest.raises(MachineError):
+            channel.delivered_bandwidth(-1.0, 2)
+        with pytest.raises(MachineError):
+            ContendedChannel(SPEC, knee=0.0)
+        with pytest.raises(MachineError):
+            ContendedChannel(SPEC, knee=1.5)

@@ -8,6 +8,7 @@ cache-smoke job, not here.
 import pytest
 
 from repro.evalharness.experiments import (
+    colo_interference,
     fig7_samples_vs_period,
     fig9_aux_buffer,
     fig10_fig11_threads,
@@ -15,6 +16,7 @@ from repro.evalharness.experiments import (
 from repro.orchestrate import ResultCache
 
 FIG7_KW = dict(periods=(2048, 8192), trials=2, workloads=("bfs",), scale=0.2)
+COLO_KW = dict(max_corunners=2, scale=0.002, period=65536, n_threads=4)
 
 
 class TestParallelEquivalence:
@@ -32,6 +34,12 @@ class TestParallelEquivalence:
         assert fig10_fig11_threads(**kw) == fig10_fig11_threads(
             **kw, workers=2
         )
+
+    def test_colo_parallel_matches_serial(self):
+        # acceptance: --workers N byte-identical to the serial run
+        serial = colo_interference(**COLO_KW, workers=1)
+        parallel = colo_interference(**COLO_KW, workers=2)
+        assert serial == parallel
 
     def test_deterministic_seeding_across_repeats(self):
         # same grid, workers>1, twice: scheduling must not leak into seeds
@@ -96,3 +104,13 @@ class TestCachedExperiments:
         b = fig9_aux_buffer(**kw, cache=ResultCache(tmp_path))
         assert a == b
         assert ResultCache(tmp_path).persistent_stats()["hits"] == 2
+
+    def test_cached_colo_second_run_full_hit(self, tmp_path):
+        # acceptance: cached rerun identical to the uncached serial run
+        uncached = colo_interference(**COLO_KW)
+        a = colo_interference(**COLO_KW, cache=ResultCache(tmp_path))
+        b = colo_interference(**COLO_KW, cache=ResultCache(tmp_path), workers=2)
+        assert uncached == a == b
+        totals = ResultCache(tmp_path).persistent_stats()
+        # 3 scenarios (stream, stream x2, stream+pagerank): all hit twice
+        assert totals == {"hits": 3, "misses": 3, "stores": 3}

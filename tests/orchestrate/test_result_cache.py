@@ -126,6 +126,70 @@ class TestMaintenance:
         assert cache.size_bytes() > 0
 
 
+def _hammer_same_key(args):
+    """Worker: store one key repeatedly, interleaved with reads.
+
+    Module-level so it pickles across the ProcessPoolExecutor boundary.
+    Returns the distinct payloads observed while other workers were
+    racing their own stores of the same key.
+    """
+    cache_dir, key, worker_id, rounds = args
+    cache = ResultCache(cache_dir)
+    seen = set()
+    for i in range(rounds):
+        cache.put(key, {"worker": worker_id, "round": i, "blob": list(range(64))})
+        value = cache.get(key)
+        if value is not None:
+            seen.add((value["worker"], value["round"]))
+    return sorted(seen)
+
+
+class TestConcurrentWriters:
+    """Two+ workers storing the same key must never corrupt the entry.
+
+    `put` stages each pickle in a `mkstemp` file in the entry's own
+    directory and publishes it with `os.replace` — same-filesystem and
+    therefore atomic on POSIX; a reader sees either the old complete
+    entry or the new complete entry, never a torn one.  (ParallelRunner
+    only writes from the orchestrating parent, but two *invocations*
+    sharing a cache directory race exactly like this.)
+    """
+
+    def test_racing_writers_never_tear_the_entry(self, tmp_path):
+        from concurrent.futures import ProcessPoolExecutor
+
+        cache = ResultCache(tmp_path)
+        key = cache.key("race", {"p": 1}, 0)
+        n_workers, rounds = 4, 25
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            results = list(
+                pool.map(
+                    _hammer_same_key,
+                    [(str(tmp_path), key, w, rounds) for w in range(n_workers)],
+                )
+            )
+        # every read during the race returned a complete entry from
+        # some (worker, round) — get() deletes corrupt entries and
+        # returns None, so any tear would surface as a missing read
+        assert all(len(seen) > 0 for seen in results)
+        for seen in results:
+            for worker, rnd in seen:
+                assert 0 <= worker < n_workers and 0 <= rnd < rounds
+
+        final = ResultCache(tmp_path).get(key)
+        assert final is not None
+        assert final["blob"] == list(range(64))
+
+    def test_no_stale_temp_files_after_race(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache.key("race", {"p": 2}, 0)
+        for i in range(10):
+            cache.put(key, i)
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+        assert len(cache.entries()) == 1
+
+
 class TestDefaultDir:
     def test_env_var_honoured_at_construction(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "late"))

@@ -115,6 +115,70 @@ class TestSkipInvalid:
         with pytest.raises(PacketDecodeError):
             corrupt_records(encode_batch(batch(2)), [5])
 
+
+def _corrupt_records_scalar(data, indices, rng=None):
+    """The pre-vectorisation reference loop, kept for equivalence checks."""
+    raw = bytearray(data)
+    for i in indices:
+        base = i * RECORD_SIZE
+        raw[base + OFF_VADDR_HDR] = 0x00
+        if rng is not None and rng.random() < 0.5:
+            raw[base + OFF_TS_HDR] = 0x00
+    return bytes(raw)
+
+
+class TestCorruptRecordsVectorised:
+    """The NumPy fast path must match the scalar loop byte for byte."""
+
+    def test_matches_scalar_reference(self):
+        data = encode_batch(batch(64, seed=3))
+        idx = [0, 5, 5, 17, 63]  # duplicates allowed
+        assert corrupt_records(data, idx) == _corrupt_records_scalar(data, idx)
+
+    def test_rng_draw_sequence_matches_scalar(self):
+        # one uniform draw per index, in index order: vectorised
+        # rng.random(n) consumes the same stream as n scalar calls
+        data = encode_batch(batch(32, seed=4))
+        idx = list(range(0, 32, 3))
+        vec = corrupt_records(data, idx, rng=np.random.default_rng(11))
+        ref = _corrupt_records_scalar(data, idx, rng=np.random.default_rng(11))
+        assert vec == ref
+
+    def test_empty_indices_is_identity(self):
+        data = encode_batch(batch(4))
+        assert corrupt_records(data, []) == data
+
+    def test_numpy_index_array_accepted(self):
+        data = encode_batch(batch(8))
+        got = corrupt_records(data, np.array([1, 6]))
+        _, stats = decode_buffer(got)
+        assert stats.n_skipped == 2
+
+    def test_negative_index_rejected_up_front(self):
+        # the scalar loop silently wrote near the buffer end for
+        # negative indices; now every index is validated before any write
+        data = encode_batch(batch(4))
+        with pytest.raises(PacketDecodeError):
+            corrupt_records(data, [1, -1])
+        with pytest.raises(PacketDecodeError) as e:
+            corrupt_records(data, [-2])
+        assert "-2" in str(e.value)
+
+    def test_mixed_valid_and_invalid_indices_rejected(self):
+        # validation runs before any write: a bad index anywhere in the
+        # list must raise even when other indices are in range
+        data = encode_batch(batch(4))
+        with pytest.raises(PacketDecodeError):
+            corrupt_records(data, [0, 9])
+
+    def test_large_batch_round_trip(self):
+        n = 5000
+        data = encode_batch(batch(n, seed=9))
+        idx = np.arange(0, n, 7)
+        got, stats = decode_buffer(corrupt_records(data, idx))
+        assert stats.n_skipped == len(idx)
+        assert len(got) == n - len(idx)
+
     def test_garbage_buffer_fully_skipped(self):
         raw = bytes(range(256))  # 4 records of garbage
         got, stats = decode_buffer(raw)

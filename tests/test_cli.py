@@ -32,6 +32,23 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["nope"])
 
+    def test_colo_interference_tiny(self, capsys):
+        assert main(
+            ["colo_interference", "--corunners", "1",
+             "--workload-scale", "0.002"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "contended channel" in out
+        assert "stream" in out
+
+    def test_bad_corunners_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["colo_interference", "--corunners", "0"])
+        # more co-runners than fit on the machine fail at flag parsing,
+        # not as a traceback from run_colocation
+        with pytest.raises(SystemExit):
+            main(["colo_interference", "--corunners", "17"])
+
     def test_every_registered_experiment_has_callable(self):
         assert all(callable(fn) for fn in EXPERIMENTS.values())
 

@@ -26,7 +26,8 @@ class TestCliDoc:
     def test_orchestration_flags_documented(self):
         doc = self.doc()
         for flag in ("--workers", "--cache", "--no-cache", "--cache-dir",
-                     "--trials", "--scale", "--workload-scale"):
+                     "--trials", "--scale", "--workload-scale",
+                     "--corunners"):
             assert flag in doc, flag
 
     def test_cache_actions_documented(self):
@@ -56,6 +57,7 @@ class TestReadme:
             "fig8_accuracy_overhead_collisions",
             "fig9_aux_buffer",
             "fig10_fig11_threads",
+            "colo_interference",
             "table1_env_defaults",
         ):
             assert fn_name in text, fn_name
@@ -70,7 +72,8 @@ class TestArchitectureDoc:
         doc = (ROOT / "docs" / "architecture.md").read_text()
         for pkg in ("repro.spe", "repro.kernel", "repro.machine",
                     "repro.nmo", "repro.workloads", "repro.evalharness",
-                    "repro.orchestrate", "repro.analysis"):
+                    "repro.orchestrate", "repro.analysis",
+                    "repro.colocation"):
             assert pkg in doc, pkg
 
     def test_parallel_exhibits_invariants_stated(self):
@@ -96,3 +99,8 @@ class TestPackaging:
         assert "python -m pytest -x -q" in text
         assert "--cache" in text
         assert "cache stats" in text
+
+    def test_ci_workflow_smokes_colo_exhibit(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "colo_interference" in text
+        assert "--workers 2" in text
