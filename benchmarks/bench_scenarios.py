@@ -1,0 +1,35 @@
+"""Declarative scenario API, end to end.
+
+Runs the checked-in ``examples/scenarios/colo_smoke.json`` spec through
+the :class:`repro.scenarios.Session` front door — the same file and
+path CI smokes — and asserts the report carries its provenance and the
+co-location shape claims hold.
+"""
+
+from pathlib import Path
+
+from conftest import orchestration_opts, save_report
+
+from repro.scenarios import Session, load_scenario
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples" / "scenarios"
+
+
+def test_scenario_colo_smoke(benchmark, report_dir):
+    spec = load_scenario(EXAMPLES / "colo_smoke.json")
+    opts = orchestration_opts()
+    session = Session(workers=opts["workers"], cache=opts["cache"])
+    report = benchmark.pedantic(
+        session.run, args=(spec,), rounds=1, iterations=1
+    )
+    save_report(report_dir, "scenario_colo_smoke", report.render())
+
+    assert report.provenance["spec_hash"] == spec.spec_hash()
+    assert report.execution["total_trials"] == 3
+    rows = report.results
+    assert [r["n_corunners"] for r in rows] == [1, 2, 2]
+    usable = rows[0]["usable_gibs"]
+    for row in rows:
+        assert row["granted_sum_gibs"] <= usable * (1 + 1e-9), row["scenario"]
+        for r in row["runners"]:
+            assert r["slowdown"] >= 1.0

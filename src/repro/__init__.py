@@ -22,8 +22,11 @@ it needs, as a simulation stack (see DESIGN.md):
     bandwidth / region / cache-activity views, trace files.
 ``repro.analysis``
     Post-processing: accuracy (Eq. 1), temporal tools, bias, plotting.
+``repro.scenarios``
+    Declarative scenarios: ``ScenarioSpec`` (JSON round-trip) plus the
+    ``Session`` front door for profile, sweep, and co-location runs.
 ``repro.evalharness``
-    One entry point per paper table/figure.
+    One entry point per paper table/figure (shims over ``scenarios``).
 ``repro.orchestrate``
     Parallel trial execution and the on-disk result cache behind the
     ``--workers``/``--cache`` CLI flags.
@@ -47,7 +50,7 @@ Quickstart::
 __version__ = "1.0.0"
 
 from repro import analysis, colocation, cpu, evalharness, kernel, machine
-from repro import nmo, orchestrate, runtime, spe, workloads
+from repro import nmo, orchestrate, runtime, scenarios, spe, workloads
 from repro.errors import ReproError
 
 __all__ = [
@@ -62,6 +65,7 @@ __all__ = [
     "nmo",
     "orchestrate",
     "runtime",
+    "scenarios",
     "spe",
     "workloads",
 ]

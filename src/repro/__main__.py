@@ -6,12 +6,18 @@ post-processing scripts are driven:
     python -m repro table2
     python -m repro fig8 --trials 2 --scale 0.1
     python -m repro fig8 --trials 2 --workers 4 --cache
+    python -m repro run examples/scenarios/colo_smoke.json --workers 2
+    python -m repro run fig8 --cache
+    python -m repro scenarios list
     python -m repro cache stats
     python -m repro list
 
-``--workers N`` fans the sweep-style exhibits (fig7-fig11) out over N
-processes; ``--cache`` short-circuits already-computed trials from the
-on-disk result cache (see ``docs/cli.md`` and ``repro.orchestrate``).
+``run`` executes any declarative scenario — a ``.json`` spec file or a
+preset name from ``scenarios list`` — through the one
+:class:`~repro.scenarios.Session` path.  ``--workers N`` fans trials
+out over N processes; ``--cache`` short-circuits already-computed
+trials from the on-disk result cache (see ``docs/cli.md``,
+``docs/scenarios.md`` and ``repro.orchestrate``).
 """
 
 from __future__ import annotations
@@ -38,15 +44,9 @@ from repro.evalharness import (
     table2_machine_spec,
 )
 from repro.analysis.plotting import table
+from repro.errors import ReproError
 from repro.orchestrate import ResultCache, make_cache
-
-
-def _cache_of(args) -> ResultCache | None:
-    # unset --cache + explicit --cache-dir counts as opting in;
-    # an explicit --no-cache always wins
-    if args.cache is False:
-        return None
-    return make_cache(bool(args.cache), args.cache_dir)
+from repro.scenarios import SCENARIO_PRESETS, Session, load_scenario
 
 
 def _table1(_args) -> str:
@@ -77,7 +77,7 @@ def _fig7(args) -> str:
     return render_fig7(
         fig7_samples_vs_period(
             trials=args.trials, scale=args.workload_scale,
-            workers=args.workers, cache=_cache_of(args),
+            workers=args.workers, cache=make_cache(args.cache, args.cache_dir),
         )
     )
 
@@ -86,14 +86,16 @@ def _fig8(args) -> str:
     return render_fig8(
         fig8_accuracy_overhead_collisions(
             trials=args.trials, scale=args.workload_scale,
-            workers=args.workers, cache=_cache_of(args),
+            workers=args.workers, cache=make_cache(args.cache, args.cache_dir),
         )
     )
 
 
 def _fig9(args) -> str:
     return render_fig9(
-        fig9_aux_buffer(workers=args.workers, cache=_cache_of(args))
+        fig9_aux_buffer(
+            workers=args.workers, cache=make_cache(args.cache, args.cache_dir)
+        )
     )
 
 
@@ -101,7 +103,8 @@ def _fig10(args) -> str:
     scale = args.workload_scale if args.workload_scale is not None else 2.0
     return render_fig10_fig11(
         fig10_fig11_threads(
-            scale=scale, workers=args.workers, cache=_cache_of(args),
+            scale=scale, workers=args.workers,
+            cache=make_cache(args.cache, args.cache_dir),
         )
     )
 
@@ -110,11 +113,30 @@ def _colo(args) -> str:
     kwargs = dict(
         max_corunners=args.corunners,
         workers=args.workers,
-        cache=_cache_of(args),
+        cache=make_cache(args.cache, args.cache_dir),
     )
     if args.workload_scale is not None:
         kwargs["scale"] = args.workload_scale
     return render_colo(colo_interference(**kwargs))
+
+
+def _run(args) -> str:
+    spec = load_scenario(args.action)
+    session = Session(
+        workers=args.workers, cache=make_cache(args.cache, args.cache_dir)
+    )
+    report = session.run(spec)
+    if args.report_json:
+        report.dump(args.report_json)
+    return report.render()
+
+
+def _scenarios_cmd(_args) -> str:
+    width = max(len(n) for n in SCENARIO_PRESETS) + 2
+    return "\n".join(
+        f"{name:<{width}}{desc}"
+        for name, (_factory, desc) in sorted(SCENARIO_PRESETS.items())
+    )
 
 
 def _cache_cmd(args) -> str:
@@ -140,19 +162,35 @@ COMMANDS: dict[str, tuple] = {
     "colo_interference": (
         _colo, "Colo: co-located processes on a contended DRAM channel"
     ),
+    "run": (_run, "run a declarative scenario: `run <scenario.json|name>`"),
+    "scenarios": (
+        _scenarios_cmd, "scenario registry: `scenarios list` names presets"
+    ),
     "cache": (_cache_cmd, "result-cache maintenance: `cache stats` / `cache clear`"),
 }
+
+#: commands that are not paper exhibits (maintenance / scenario plumbing)
+UTILITY_COMMANDS = ("cache", "run", "scenarios")
 
 #: the experiment subset (no maintenance commands) — kept for tests and
 #: backwards compatibility with the pre-orchestration CLI
 EXPERIMENTS = {
-    name: fn for name, (fn, _desc) in COMMANDS.items() if name != "cache"
+    name: fn
+    for name, (fn, _desc) in COMMANDS.items()
+    if name not in UTILITY_COMMANDS
 }
 
 #: exhibits that accept --workers / --cache
 PARALLEL_EXPERIMENTS = (
     "fig7", "fig8", "fig9", "fig10", "fig11", "colo_interference"
 )
+
+#: commands whose ``action`` positional is required (and what it means)
+ACTION_COMMANDS = {
+    "cache": ("stats", "clear"),
+    "scenarios": ("list",),
+    "run": None,  # any scenario file path or preset name
+}
 
 #: colo_interference pins 8 threads per co-runner on the 128-core Altra
 #: Max, so at most 16 processes fit
@@ -174,19 +212,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(COMMANDS) + ["list"],
-        help="which exhibit to regenerate (or: list, cache)",
+        help="which exhibit to regenerate (or: list, run, scenarios, cache)",
     )
     parser.add_argument(
-        "action", nargs="?", choices=("stats", "clear"),
-        help="cache subcommand action (cache only)",
+        "action", nargs="?",
+        help="subcommand argument: `cache stats|clear`, `scenarios list`, "
+             "`run <scenario.json|name>`",
     )
-    parser.add_argument("--trials", type=int, default=3,
-                        help="trials per sweep point (fig7/fig8)")
-    parser.add_argument("--scale", type=float, default=0.1,
-                        help="wall-clock scale for fig2/fig3")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="trials per sweep point (fig7/fig8; default 3)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="wall-clock scale for fig2/fig3 (default 0.1)")
     parser.add_argument("--workload-scale", type=float, default=None,
                         help="op-count scale override for sweeps")
-    parser.add_argument("--corunners", type=int, default=4,
+    parser.add_argument("--corunners", type=int, default=None,
                         help="max co-located processes swept by "
                              "colo_interference (default 4)")
     parser.add_argument("--workers", type=int, default=1,
@@ -198,10 +237,49 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache directory (default: $REPRO_CACHE_DIR "
                              "or ~/.cache/repro); implies --cache")
+    parser.add_argument("--report-json", default=None, metavar="PATH",
+                        help="also dump the run's JSON report (run only)")
     args = parser.parse_args(argv)
 
-    if args.action is not None and args.experiment != "cache":
+    if args.experiment in ACTION_COMMANDS:
+        allowed = ACTION_COMMANDS[args.experiment]
+        if args.action is None:
+            wanted = "a scenario file or name" if allowed is None else (
+                " or ".join(allowed)
+            )
+            parser.error(f"{args.experiment} requires an action: {wanted}")
+        if allowed is not None and args.action not in allowed:
+            parser.error(
+                f"{args.experiment} action must be one of "
+                f"{', '.join(allowed)}; got {args.action!r}"
+            )
+    elif args.action is not None:
         parser.error(f"{args.experiment} takes no action argument")
+    if args.experiment in ("run", "scenarios"):
+        # a scenario's grid comes from its spec — refuse flags that
+        # would otherwise be silently ignored
+        passed = [
+            flag
+            for attr, flag in (
+                ("trials", "--trials"), ("scale", "--scale"),
+                ("workload_scale", "--workload-scale"),
+                ("corunners", "--corunners"),
+            )
+            if getattr(args, attr) is not None
+        ]
+        if passed:
+            parser.error(
+                f"{args.experiment} takes its grid from the scenario spec; "
+                f"{', '.join(passed)} not allowed (edit the spec instead)"
+            )
+    if args.report_json is not None and args.experiment != "run":
+        parser.error("--report-json applies to run only")
+    if args.trials is None:
+        args.trials = 3
+    if args.scale is None:
+        args.scale = 0.1
+    if args.corunners is None:
+        args.corunners = 4
     if args.workers < 0:
         parser.error(f"--workers must be >= 0 (0 = auto), got {args.workers}")
     if not 1 <= args.corunners <= MAX_CORUNNERS:
@@ -209,13 +287,17 @@ def main(argv: list[str] | None = None) -> int:
             f"--corunners must be in [1, {MAX_CORUNNERS}] "
             f"(8 threads per co-runner on 128 cores), got {args.corunners}"
         )
-    if args.experiment == "cache" and args.action is None:
-        parser.error("cache requires an action: stats or clear")
     if args.experiment == "list":
         print(_render_list())
         return 0
     fn, _desc = COMMANDS[args.experiment]
-    print(fn(args))
+    try:
+        print(fn(args))
+    except ReproError as e:
+        # bad scenario files, unknown workload/machine names, ... —
+        # user input problems, not tracebacks
+        print(f"error: {e}", file=sys.stderr)
+        return 2
     return 0
 
 

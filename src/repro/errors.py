@@ -74,5 +74,9 @@ class ColocationError(ReproError):
     """Invalid co-location request (no runners, core oversubscription...)."""
 
 
+class ScenarioError(ReproError):
+    """Invalid declarative scenario (unknown kind, bad axis, bad JSON...)."""
+
+
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""

@@ -4,6 +4,13 @@ Every function regenerates the data behind one exhibit of the paper's
 evaluation (§V-§VII) on the simulated Ampere Altra Max and returns plain
 dict/array results that the benches print and EXPERIMENTS.md records.
 
+The sweep-style exhibits (figs. 7-11, colo) are thin shims over the
+declarative scenario layer: each builds its
+:class:`~repro.scenarios.ScenarioSpec` preset and runs it through
+:class:`~repro.scenarios.Session`, which owns trial planning, the
+parallel runner, and the canonical cache-key path.  The golden-parity
+suite pins that these shims stay byte-identical to their specs.
+
 Scales: the generators run the workloads' access *structure* at reduced
 op counts (locality is evaluated at reference scale, see
 ``reference_locality``).  Sample counts therefore scale linearly with
@@ -13,161 +20,42 @@ scale-free; each result carries its scale so reports can say so.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
-
 import numpy as np
 
-from repro.colocation import CoRunnerSpec, run_colocation
 from repro.machine.spec import GiB, MachineSpec, ampere_altra_max
-from repro.orchestrate import (
-    ParallelRunner,
-    ResultCache,
-    TrialSpec,
-    canonical_config,
-)
 from repro.nmo.bandwidth import dominant_period_s, summarise_bandwidth
 from repro.nmo.capacity import summarise_capacity
 from repro.nmo.env import NmoMode, NmoSettings
-from repro.nmo.profiler import NmoProfiler, ProfileResult
+from repro.nmo.profiler import NmoProfiler
 from repro.nmo.regions import RegionProfile
-from repro.workloads.bfs import BfsWorkload
+from repro.orchestrate import ResultCache
+from repro.scenarios import (  # noqa: F401 — compatibility re-exports
+    COLO_MIX,
+    COLO_TIMELINE_SECONDS,
+    colo_scenarios,
+)
+from repro.scenarios import (
+    FIG7_PERIODS,
+    FIG8_PERIODS,
+    FIG9_AUX_PAGES,
+    FIG10_THREADS,
+    SWEEP_SCALES,
+    Session,
+    SweepPoint,
+    colo_interference_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    fig10_spec,
+)
 from repro.workloads.cfd import CfdWorkload
 from repro.workloads.inmem_analytics import InMemoryAnalyticsWorkload
 from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.registry import get_workload_class
 from repro.workloads.stream import StreamWorkload
 
-#: default sampling-study scales per workload (sample counts shrink
-#: linearly; shapes are scale-free)
-SWEEP_SCALES = {"stream": 1 / 32, "cfd": 1 / 256, "bfs": 0.5}
-SWEEP_CLASSES = {
-    "stream": StreamWorkload,
-    "cfd": CfdWorkload,
-    "bfs": BfsWorkload,
-}
-
-FIG7_PERIODS = (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
-FIG8_PERIODS = (1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000)
-FIG9_AUX_PAGES = (2, 4, 8, 16, 32, 64, 128, 512, 2048)
-FIG10_THREADS = (1, 2, 4, 8, 16, 32, 48, 64, 96, 128)
-
-#: mixed co-runner line-up for the colo_interference exhibit: the
-#: bandwidth hog, the two CloudSuite timeline models, then a second hog
-COLO_MIX = ("stream", "pagerank", "inmem_analytics", "stream")
-#: seconds the CloudSuite timeline models run at scale=1 (PageRank's
-#: phase plan); STREAM's iteration count is sized to match
-COLO_TIMELINE_SECONDS = 23.6
-
-
-@dataclass
-class SweepPoint:
-    """One measured configuration (averaged over trials)."""
-
-    workload: str
-    period: int
-    samples_mean: float
-    samples_std: float
-    samples_trials: list[int]
-    accuracy_mean: float
-    accuracy_std: float
-    overhead_mean: float
-    collisions_mean: float
-    wakeups_mean: float
-    extra: dict = field(default_factory=dict)
-
-
-def _run_sampling(
-    cls,
-    machine: MachineSpec,
-    *,
-    scale: float,
-    period: int,
-    n_threads: int = 32,
-    aux_mib: int = 1,
-    seed: int = 0,
-    workload_kwargs: dict | None = None,
-) -> ProfileResult:
-    w = cls(machine, n_threads=n_threads, scale=scale, **(workload_kwargs or {}))
-    settings = NmoSettings(
-        enable=True,
-        mode=NmoMode.SAMPLING,
-        period=period,
-        auxbufsize_mib=aux_mib,
-    )
-    return NmoProfiler(w, settings, seed=seed).run()
-
-
-def _period_trial(machine: MachineSpec, spec: TrialSpec) -> dict[str, float]:
-    """One period-sweep trial (module-level: crosses the pool boundary)."""
-    cfg = spec.config
-    r = _run_sampling(
-        SWEEP_CLASSES[cfg["workload"]],
-        machine,
-        scale=cfg["scale"],
-        period=cfg["period"],
-        n_threads=cfg["n_threads"],
-        seed=spec.seed,
-    )
-    return {
-        "samples": float(r.samples_processed),
-        "accuracy": float(r.accuracy),
-        "overhead": float(r.time_overhead),
-        "collisions": float(r.collisions),
-        "wakeups": float(r.wakeups),
-    }
-
-
-def _sweep(
-    name: str,
-    periods: tuple[int, ...],
-    trials: int,
-    machine: MachineSpec,
-    scale: float | None = None,
-    n_threads: int = 32,
-    workers: int = 1,
-    cache: ResultCache | None = None,
-) -> list[SweepPoint]:
-    sc = scale if scale is not None else SWEEP_SCALES[name]
-    specs = [
-        TrialSpec(
-            experiment="period_sweep",
-            config={
-                "workload": name,
-                "period": period,
-                "scale": sc,
-                "n_threads": n_threads,
-                "machine": canonical_config(machine),
-            },
-            seed=trial,
-        )
-        for period in periods
-        for trial in range(trials)
-    ]
-    runner = ParallelRunner(workers=workers, cache=cache)
-    rows = runner.map(partial(_period_trial, machine), specs)
-
-    out: list[SweepPoint] = []
-    for pi, period in enumerate(periods):
-        group = rows[pi * trials : (pi + 1) * trials]
-        samples = [r["samples"] for r in group]
-        s = np.array(samples, dtype=float)
-        a = np.array([r["accuracy"] for r in group])
-        out.append(
-            SweepPoint(
-                workload=name,
-                period=period,
-                samples_mean=float(s.mean()),
-                samples_std=float(s.std(ddof=1)) if trials > 1 else 0.0,
-                samples_trials=list(map(int, samples)),
-                accuracy_mean=float(a.mean()),
-                accuracy_std=float(a.std(ddof=1)) if trials > 1 else 0.0,
-                overhead_mean=float(np.mean([r["overhead"] for r in group])),
-                collisions_mean=float(np.mean([r["collisions"] for r in group])),
-                wakeups_mean=float(np.mean([r["wakeups"] for r in group])),
-                extra={"scale": sc, "n_threads": n_threads},
-            )
-        )
-    return out
+#: deprecated alias — workload lookup goes through the registry now
+SWEEP_CLASSES = {name: get_workload_class(name) for name in SWEEP_SCALES}
 
 
 # --------------------------------------------------------------------------
@@ -300,7 +188,7 @@ def fig6_cfd_32_threads(
 
 
 # --------------------------------------------------------------------------
-# Figure 7: samples vs sampling period, five trials
+# Figures 7-11 + colo: scenario shims (Session owns the machinery)
 # --------------------------------------------------------------------------
 
 def fig7_samples_vs_period(
@@ -312,17 +200,12 @@ def fig7_samples_vs_period(
     workers: int = 1,
     cache: ResultCache | None = None,
 ) -> dict[str, list[SweepPoint]]:
-    machine = machine or ampere_altra_max()
-    return {
-        name: _sweep(name, periods, trials, machine, scale=scale,
-                     workers=workers, cache=cache)
-        for name in workloads
-    }
+    """Fig. 7: samples vs sampling period, five trials."""
+    spec = fig7_spec(
+        periods=periods, trials=trials, workloads=workloads, scale=scale
+    )
+    return Session(machine=machine, workers=workers, cache=cache).run(spec).results
 
-
-# --------------------------------------------------------------------------
-# Figure 8: accuracy / overhead / collisions vs sampling period
-# --------------------------------------------------------------------------
 
 def fig8_accuracy_overhead_collisions(
     machine: MachineSpec | None = None,
@@ -333,44 +216,11 @@ def fig8_accuracy_overhead_collisions(
     workers: int = 1,
     cache: ResultCache | None = None,
 ) -> dict[str, list[SweepPoint]]:
-    machine = machine or ampere_altra_max()
-    return {
-        name: _sweep(name, periods, trials, machine, scale=scale,
-                     workers=workers, cache=cache)
-        for name in workloads
-    }
-
-
-# --------------------------------------------------------------------------
-# Figure 9: aux buffer size sweep (STREAM, 32 threads, ring fixed)
-# --------------------------------------------------------------------------
-
-def _aux_buffer_point(machine: MachineSpec, spec: TrialSpec) -> dict:
-    """One Fig. 9 aux-buffer point (module-level for the process pool)."""
-    cfg = spec.config
-    pages = cfg["aux_pages"]
-    aux_mib = max(1, pages * machine.page_size // (1 << 20))
-    settings = NmoSettings(
-        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"],
-        auxbufsize_mib=aux_mib,
+    """Fig. 8: accuracy / overhead / collisions vs sampling period."""
+    spec = fig8_spec(
+        periods=periods, trials=trials, workloads=workloads, scale=scale
     )
-    w = StreamWorkload(machine, n_threads=cfg["n_threads"], scale=cfg["scale"])
-    prof = NmoProfiler(w, settings, seed=spec.seed)
-    if settings.aux_pages(machine.page_size) != pages:
-        # Table I sizes are MiB-granular; the sweep's sub-MiB points
-        # (2-8 pages of 64 KiB) override the page count directly
-        from repro.nmo.backends import FixedAuxPagesBackend
-
-        prof.backend = FixedAuxPagesBackend(pages)
-    r = prof.run()
-    return {
-        "aux_pages": pages,
-        "accuracy": r.accuracy,
-        "overhead": r.time_overhead,
-        "samples": r.samples_processed,
-        "wakeups": r.wakeups,
-        "working": pages >= 4,
-    }
+    return Session(machine=machine, workers=workers, cache=cache).run(spec).results
 
 
 def fig9_aux_buffer(
@@ -391,46 +241,11 @@ def fig9_aux_buffer(
     mechanism is per-thread, so the shape is thread-count independent
     (see EXPERIMENTS.md).
     """
-    machine = machine or ampere_altra_max()
-    specs = [
-        TrialSpec(
-            experiment="fig9_aux_buffer",
-            config={
-                "aux_pages": pages,
-                "period": period,
-                "scale": scale,
-                "n_threads": n_threads,
-                "machine": canonical_config(machine),
-            },
-            seed=seed,
-        )
-        for pages in aux_pages
-    ]
-    runner = ParallelRunner(workers=workers, cache=cache)
-    return runner.map(partial(_aux_buffer_point, machine), specs)
-
-
-# --------------------------------------------------------------------------
-# Figures 10 and 11: thread-count sweep (STREAM, 16-page aux)
-# --------------------------------------------------------------------------
-
-def _thread_point(machine: MachineSpec, spec: TrialSpec) -> dict:
-    """One Fig. 10/11 thread-count point (module-level for the pool)."""
-    cfg = spec.config
-    r = _run_sampling(
-        StreamWorkload, machine, scale=cfg["scale"], period=cfg["period"],
-        n_threads=cfg["threads"], seed=spec.seed,
+    spec = fig9_spec(
+        aux_pages=aux_pages, period=period, scale=scale,
+        n_threads=n_threads, seed=seed,
     )
-    return {
-        "threads": cfg["threads"],
-        "accuracy": r.accuracy,
-        "overhead": r.time_overhead,
-        "collisions": r.collisions,
-        "throttle_events": r.throttle_events,
-        "throttled_samples": r.throttled_samples,
-        "samples": r.samples_processed,
-        "wakeups": r.wakeups,
-    }
+    return Session(machine=machine, workers=workers, cache=cache).run(spec).results
 
 
 def fig10_fig11_threads(
@@ -443,114 +258,10 @@ def fig10_fig11_threads(
     cache: ResultCache | None = None,
 ) -> list[dict]:
     """Figs. 10-11: overhead, accuracy, collisions, throttling vs threads."""
-    machine = machine or ampere_altra_max()
-    specs = [
-        TrialSpec(
-            experiment="fig10_fig11_threads",
-            config={
-                "threads": t,
-                "period": period,
-                "scale": scale,
-                "machine": canonical_config(machine),
-            },
-            seed=seed,
-        )
-        for t in thread_counts
-    ]
-    runner = ParallelRunner(workers=workers, cache=cache)
-    return runner.map(partial(_thread_point, machine), specs)
-
-
-# --------------------------------------------------------------------------
-# Colo: multi-tenant interference sweep (beyond-paper extension of Fig. 10/11)
-# --------------------------------------------------------------------------
-
-def colo_scenarios(max_corunners: int = 4) -> list[tuple[str, ...]]:
-    """The co-runner line-ups swept by :func:`colo_interference`.
-
-    For each co-runner count 1..N: a homogeneous all-STREAM scenario
-    (worst-case channel pressure) and, from two runners up, the mixed
-    STREAM / PageRank / In-memory Analytics pairing (cycling through
-    :data:`COLO_MIX` beyond four runners, so every count yields a
-    distinct scenario).
-    """
-    if max_corunners < 1:
-        raise ValueError("max_corunners must be >= 1")
-    out: list[tuple[str, ...]] = []
-    for n in range(1, max_corunners + 1):
-        out.append(("stream",) * n)
-        if n >= 2:
-            out.append(tuple(COLO_MIX[i % len(COLO_MIX)] for i in range(n)))
-    return out
-
-
-def _stream_iterations(machine: MachineSpec, n_threads: int, scale: float) -> int:
-    """Triad iterations that keep STREAM co-resident with the CloudSuite
-    timeline models at the given scale (their wall time is
-    ``COLO_TIMELINE_SECONDS * scale``; STREAM's scale knob sizes its
-    arrays, not its duration, so the iteration count carries it)."""
-    probe = StreamWorkload(machine, n_threads=n_threads, scale=1.0, iterations=1)
-    _phase, t0, t1 = probe.phase_spans()[-1]  # one triad iteration
-    iter_s = t1 - t0
-    target_s = COLO_TIMELINE_SECONDS * scale
-    return max(2, int(round(target_s / iter_s)))
-
-
-def _colo_runners(
-    machine: MachineSpec, names: tuple[str, ...], n_threads: int, scale: float
-) -> list[CoRunnerSpec]:
-    runners = []
-    for name in names:
-        if name == "stream":
-            runners.append(
-                CoRunnerSpec(
-                    "stream",
-                    n_threads=n_threads,
-                    scale=1.0,
-                    kwargs={
-                        "iterations": _stream_iterations(machine, n_threads, scale)
-                    },
-                )
-            )
-        else:
-            runners.append(CoRunnerSpec(name, n_threads=n_threads, scale=scale))
-    return runners
-
-
-def _colo_point(machine: MachineSpec, spec: TrialSpec) -> dict:
-    """One co-location scenario (module-level for the process pool)."""
-    cfg = spec.config
-    names = tuple(cfg["workloads"])
-    settings = NmoSettings(
-        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"]
+    spec = fig10_spec(
+        thread_counts=thread_counts, period=period, scale=scale, seed=seed
     )
-    res = run_colocation(
-        _colo_runners(machine, names, cfg["n_threads"], cfg["scale"]),
-        machine=machine,
-        settings=settings,
-        seed=spec.seed,
-    )
-    runners = [
-        {
-            "workload": r.workload,
-            "slowdown": float(r.slowdown),
-            "demand_gibs": float(r.demand_bps / GiB),
-            "granted_gibs": float(r.granted_bps / GiB),
-            "accuracy": float(r.profile.accuracy),
-            "overhead": float(r.profile.time_overhead),
-            "collisions": int(r.profile.collisions),
-            "samples": int(r.profile.samples_processed),
-        }
-        for r in res.runners
-    ]
-    return {
-        "scenario": "+".join(names),
-        "n_corunners": len(names),
-        "runners": runners,
-        "wall_seconds": float(res.wall_seconds),
-        "granted_sum_gibs": float(res.granted_sum_bps() / GiB),
-        "usable_gibs": float(res.usable_bandwidth / GiB),
-    }
+    return Session(machine=machine, workers=workers, cache=cache).run(spec).results
 
 
 def colo_interference(
@@ -571,23 +282,11 @@ def colo_interference(
     shared channel apportions bandwidth between them.  Reports each
     runner's slowdown, bandwidth grant, and profiling quality.
     """
-    machine = machine or ampere_altra_max()
-    specs = [
-        TrialSpec(
-            experiment="colo_interference",
-            config={
-                "workloads": list(names),
-                "scale": scale,
-                "period": period,
-                "n_threads": n_threads,
-                "machine": canonical_config(machine),
-            },
-            seed=seed,
-        )
-        for names in colo_scenarios(max_corunners)
-    ]
-    runner = ParallelRunner(workers=workers, cache=cache)
-    return runner.map(partial(_colo_point, machine), specs)
+    spec = colo_interference_spec(
+        max_corunners=max_corunners, scale=scale, period=period,
+        n_threads=n_threads, seed=seed,
+    )
+    return Session(machine=machine, workers=workers, cache=cache).run(spec).results
 
 
 # --------------------------------------------------------------------------

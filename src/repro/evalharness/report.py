@@ -2,187 +2,25 @@
 
 Turns experiment outputs into the same rows/series the paper reports,
 as aligned text tables and ASCII charts.
+
+The sweep/colo renderers live in :mod:`repro.scenarios.report` (the
+declarative scenario layer renders through the same code path) and are
+re-exported here for compatibility; this module keeps the temporal
+exhibits (figs. 2-3) that have no scenario kind.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis.plotting import line_plot, table
-from repro.evalharness.experiments import SweepPoint
+from repro.analysis.plotting import line_plot
 from repro.machine.spec import GiB
-
-
-def render_sweep_table(points: list[SweepPoint], title: str) -> str:
-    """Fig. 7/8-style rows: one line per (workload, period)."""
-    rows = []
-    for p in points:
-        rows.append(
-            [
-                p.workload,
-                p.period,
-                f"{p.samples_mean:.3e}",
-                f"{p.samples_std:.2e}",
-                f"{p.accuracy_mean * 100:.1f}%",
-                f"{p.overhead_mean * 100:.2f}%",
-                f"{p.collisions_mean:.1f}",
-            ]
-        )
-    return table(
-        ["workload", "period", "samples", "std", "accuracy", "overhead", "collisions"],
-        rows,
-        title=title,
-    )
-
-
-def render_fig7(results: dict[str, list[SweepPoint]]) -> str:
-    """Samples vs period per workload, log-x chart + table."""
-    parts = []
-    series = {}
-    for name, pts in results.items():
-        x = np.array([p.period for p in pts], dtype=float)
-        y = np.array([max(p.samples_mean, 1.0) for p in pts])
-        series[name] = (x, np.log10(y))
-        parts.append(render_sweep_table(pts, f"Fig.7 ({name})"))
-    parts.append(
-        line_plot(series, title="Fig.7: log10(samples) vs period", logx=True)
-    )
-    return "\n\n".join(parts)
-
-
-def render_fig8(results: dict[str, list[SweepPoint]]) -> str:
-    parts = []
-    for metric, label, scale in (
-        ("accuracy_mean", "accuracy %", 100.0),
-        ("overhead_mean", "time overhead %", 100.0),
-        ("collisions_mean", "sample collisions", 1.0),
-    ):
-        series = {}
-        for name, pts in results.items():
-            x = np.array([p.period for p in pts], dtype=float)
-            y = np.array([getattr(p, metric) * scale for p in pts])
-            series[name] = (x, y)
-        parts.append(line_plot(series, title=f"Fig.8: {label} vs period", logx=True))
-    for name, pts in results.items():
-        parts.append(render_sweep_table(pts, f"Fig.8 ({name})"))
-    return "\n\n".join(parts)
-
-
-def render_fig9(rows: list[dict]) -> str:
-    tbl = table(
-        ["aux pages", "accuracy", "overhead", "samples", "wakeups", "working"],
-        [
-            [
-                r["aux_pages"],
-                f"{r['accuracy'] * 100:.1f}%",
-                f"{r['overhead'] * 100:.2f}%",
-                r["samples"],
-                r["wakeups"],
-                "yes" if r["working"] else "no",
-            ]
-            for r in rows
-        ],
-        title="Fig.9: aux buffer size sweep (STREAM)",
-    )
-    x = np.array([r["aux_pages"] for r in rows], dtype=float)
-    chart = line_plot(
-        {
-            "accuracy%": (x, np.array([r["accuracy"] * 100 for r in rows])),
-            "overhead%x10": (x, np.array([r["overhead"] * 1000 for r in rows])),
-        },
-        title="Fig.9 (overhead scaled x10 for visibility)",
-        logx=True,
-    )
-    return tbl + "\n\n" + chart
-
-
-def render_fig10_fig11(rows: list[dict]) -> str:
-    tbl = table(
-        [
-            "threads", "accuracy", "overhead", "collisions",
-            "throttle events", "samples",
-        ],
-        [
-            [
-                r["threads"],
-                f"{r['accuracy'] * 100:.1f}%",
-                f"{r['overhead'] * 100:.2f}%",
-                r["collisions"],
-                r["throttle_events"],
-                r["samples"],
-            ]
-            for r in rows
-        ],
-        title="Fig.10/11: thread sweep (STREAM, 16-page aux)",
-    )
-    x = np.array([r["threads"] for r in rows], dtype=float)
-    chart = line_plot(
-        {
-            "accuracy%": (x, np.array([r["accuracy"] * 100 for r in rows])),
-            "overhead%x100": (x, np.array([r["overhead"] * 1e4 for r in rows])),
-        },
-        title="Fig.10: accuracy / overhead vs threads",
-    )
-    chart2 = line_plot(
-        {
-            "collisions": (x, np.array([r["collisions"] for r in rows], dtype=float)),
-            "throttles": (
-                x,
-                np.array([r["throttle_events"] for r in rows], dtype=float),
-            ),
-        },
-        title="Fig.11: collisions and throttling vs threads",
-    )
-    return "\n\n".join([tbl, chart, chart2])
-
-
-def render_colo(rows: list[dict]) -> str:
-    """Colo: per-runner interference table + slowdown-vs-corunners chart."""
-    tbl_rows = []
-    for row in rows:
-        for r in row["runners"]:
-            tbl_rows.append(
-                [
-                    row["scenario"],
-                    r["workload"],
-                    f"{r['demand_gibs']:.1f}",
-                    f"{r['granted_gibs']:.1f}",
-                    f"{r['slowdown']:.2f}x",
-                    f"{r['accuracy'] * 100:.1f}%",
-                    f"{r['collisions']}",
-                    f"{r['samples']}",
-                ]
-            )
-    usable = rows[0]["usable_gibs"] if rows else 0.0
-    tbl = table(
-        [
-            "scenario", "runner", "demand GiB/s", "granted GiB/s",
-            "slowdown", "accuracy", "collisions", "samples",
-        ],
-        tbl_rows,
-        title=(
-            "Colo: co-located processes on the contended channel "
-            f"(usable {usable:.1f} GiB/s)"
-        ),
-    )
-    homogeneous = [r for r in rows if set(r["scenario"].split("+")) == {"stream"}]
-    if len(homogeneous) < 2:
-        return tbl
-    x = np.array([r["n_corunners"] for r in homogeneous], dtype=float)
-    chart = line_plot(
-        {
-            "stream slowdown": (
-                x,
-                np.array([r["runners"][0]["slowdown"] for r in homogeneous]),
-            ),
-            "granted sum GiB/s /100": (
-                x,
-                np.array([r["granted_sum_gibs"] / 100 for r in homogeneous]),
-            ),
-        },
-        title="Colo: STREAMxN slowdown and aggregate grant vs co-runners",
-    )
-    return tbl + "\n\n" + chart
+from repro.scenarios.report import (  # noqa: F401 — compatibility re-exports
+    render_colo,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10_fig11,
+    render_sweep_table,
+)
 
 
 def render_capacity(results: dict[str, dict]) -> str:

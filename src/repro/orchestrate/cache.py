@@ -38,6 +38,8 @@ import tempfile
 from pathlib import Path
 from typing import Any
 
+import numpy as np
+
 #: default on-disk location when $REPRO_CACHE_DIR is unset
 DEFAULT_CACHE_DIR = Path.home() / ".cache" / "repro"
 
@@ -56,10 +58,21 @@ def canonical_config(obj: Any) -> Any:
     """Reduce a trial configuration to JSON-stable primitives.
 
     Dataclasses flatten to their field dict, enums to ``[type, value]``,
-    numpy scalars to Python numbers; anything else falls back to
-    ``repr`` so exotic values still key deterministically within one
-    version.
+    numpy scalars to Python numbers, arrays to (shape, dtype, content
+    digest); anything else falls back to ``repr`` so exotic values
+    still key deterministically within one version.
     """
+    if isinstance(obj, np.ndarray):
+        # never repr: numpy truncates large arrays with "...", so two
+        # different arrays could collide on one key.  Object arrays
+        # have no stable byte view; canonicalise their elements.
+        if obj.dtype == object:
+            return ["ndarray", list(obj.shape), "object",
+                    canonical_config(obj.tolist())]
+        digest = hashlib.sha256(
+            np.ascontiguousarray(obj).tobytes()
+        ).hexdigest()
+        return ["ndarray", list(obj.shape), str(obj.dtype), digest]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
         return {
             f.name: canonical_config(getattr(obj, f.name))
@@ -256,13 +269,17 @@ class ResultCache:
 
 
 def make_cache(
-    enabled: bool, cache_dir: str | Path | None = None
+    enabled: bool | None, cache_dir: str | Path | None = None
 ) -> ResultCache | None:
-    """CLI/bench helper: a cache when asked for, else ``None``.
+    """CLI/bench helper resolving the three-state ``--cache`` opt-in.
 
-    Passing an explicit ``cache_dir`` implies caching — asking *where*
-    to cache is asking *to* cache.
+    ``enabled`` is ``True`` (``--cache``), ``False`` (an explicit
+    ``--no-cache``, which always wins), or ``None`` (flag unset).  When
+    unset, passing a ``cache_dir`` implies caching — asking *where* to
+    cache is asking *to* cache.
     """
-    if not enabled and cache_dir is None:
+    if enabled is False:
+        return None
+    if enabled is None and cache_dir is None:
         return None
     return ResultCache(cache_dir)

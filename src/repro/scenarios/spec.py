@@ -1,0 +1,410 @@
+"""Declarative scenario specifications (the `what` of an evaluation run).
+
+A :class:`ScenarioSpec` describes one paper-style evaluation scenario —
+machine preset, one-or-many workloads by registry name, the NMO
+settings, an optional sweep axis, an optional co-location block — as a
+plain, serializable value object.  ``to_json``/``from_json`` round-trip
+losslessly (``from_json(to_json(spec)) == spec``), so scenario files
+can be checked in, diffed, and shipped to other machines; the spec hash
+over the canonical JSON is the provenance anchor every
+:class:`~repro.scenarios.session.RunReport` carries.
+
+The spec is deliberately *dumb*: it holds no machinery, only enough
+structure for :class:`~repro.scenarios.session.Session` to plan the
+trial grid.  Validation happens eagerly at construction so a bad
+scenario file fails at load time, with the workload registry's
+"known: ..." error for unknown workload names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ScenarioError
+from repro.machine.spec import (
+    MachineSpec,
+    ampere_altra_max,
+    small_test_machine,
+    x86_pebs_machine,
+)
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.workloads.registry import get_workload_class
+
+#: scenario kinds a Session knows how to plan
+KINDS = ("profile", "period_sweep", "aux_sweep", "thread_sweep", "colocation")
+
+#: sweepable axis parameters, per kind
+AXIS_PARAMS = {
+    "period_sweep": "period",
+    "aux_sweep": "aux_pages",
+    "thread_sweep": "threads",
+}
+
+#: machine preset names a spec may reference (JSON stays portable)
+MACHINE_PRESETS: dict[str, Callable[[], MachineSpec]] = {
+    "ampere_altra_max": ampere_altra_max,
+    "small_test_machine": small_test_machine,
+    "x86_pebs_machine": x86_pebs_machine,
+}
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ScenarioError(message)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload by registry name plus its sizing knobs.
+
+    ``scale=None`` means "use the kind's default" (the per-workload
+    :data:`~repro.scenarios.trials.SWEEP_SCALES` for period sweeps, 1.0
+    for profile runs); sweep kinds that have no default require an
+    explicit scale.
+    """
+
+    name: str
+    n_threads: int = 32
+    scale: float | None = None
+    kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        get_workload_class(self.name)  # unknown names raise "known: ..."
+        _require(self.n_threads >= 1, "workload needs at least one thread")
+        if self.scale is not None:
+            _require(self.scale > 0, "workload scale must be positive")
+            object.__setattr__(self, "scale", float(self.scale))
+        _require(
+            isinstance(self.kwargs, dict),
+            "workload kwargs must be a JSON object",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_threads": self.n_threads,
+            "scale": self.scale,
+            "kwargs": dict(self.kwargs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WorkloadSpec":
+        _check_keys(d, {"name"}, {"n_threads", "scale", "kwargs"}, "workload")
+        return cls(
+            name=d["name"],
+            n_threads=int(d.get("n_threads", 32)),
+            scale=d.get("scale"),
+            kwargs=dict(d.get("kwargs") or {}),
+        )
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """The swept parameter and its grid values."""
+
+    param: str
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        _require(
+            self.param in AXIS_PARAMS.values(),
+            f"unknown sweep axis {self.param!r}; "
+            f"known: {', '.join(sorted(set(AXIS_PARAMS.values())))}",
+        )
+        values = tuple(int(v) for v in self.values)
+        _require(len(values) >= 1, "sweep axis needs at least one value")
+        _require(all(v > 0 for v in values), "sweep values must be positive")
+        object.__setattr__(self, "values", values)
+
+    def to_dict(self) -> dict:
+        return {"param": self.param, "values": list(self.values)}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SweepAxis":
+        _check_keys(d, {"param", "values"}, set(), "sweep")
+        return cls(param=d["param"], values=tuple(d["values"]))
+
+
+@dataclass(frozen=True)
+class ColocationSpec:
+    """Co-location block: sweep 1..N co-runner line-ups on one machine.
+
+    Line-ups come from :func:`~repro.scenarios.trials.colo_scenarios`
+    (all-STREAM plus the mixed CloudSuite pairing per count); every
+    runner shares ``n_threads`` and ``scale`` while seeds stay
+    per-runner.
+    """
+
+    max_corunners: int = 4
+    n_threads: int = 8
+    scale: float = 0.02
+
+    def __post_init__(self) -> None:
+        _require(self.max_corunners >= 1, "max_corunners must be >= 1")
+        _require(self.n_threads >= 1, "co-runners need at least one thread")
+        _require(self.scale > 0, "co-location scale must be positive")
+        object.__setattr__(self, "scale", float(self.scale))
+
+    def to_dict(self) -> dict:
+        return {
+            "max_corunners": self.max_corunners,
+            "n_threads": self.n_threads,
+            "scale": self.scale,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ColocationSpec":
+        _check_keys(
+            d, set(), {"max_corunners", "n_threads", "scale"}, "colocation"
+        )
+        return cls(
+            max_corunners=int(d.get("max_corunners", 4)),
+            n_threads=int(d.get("n_threads", 8)),
+            scale=d.get("scale", 0.02),
+        )
+
+
+def _check_keys(
+    d: dict, required: set[str], optional: set[str], what: str
+) -> None:
+    if not isinstance(d, dict):
+        raise ScenarioError(f"{what} block must be a JSON object, got {d!r}")
+    missing = required - set(d)
+    _require(not missing, f"{what} block missing keys: {sorted(missing)}")
+    unknown = set(d) - required - optional
+    _require(not unknown, f"{what} block has unknown keys: {sorted(unknown)}")
+
+
+def _default_settings() -> NmoSettings:
+    return NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=4096)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One declarative evaluation scenario.
+
+    ``settings.period`` is the sampling period used by every trial;
+    for ``period_sweep`` kinds the sweep axis overrides it per grid
+    point (the stored value is only the template).  ``seed`` is the
+    base seed: sweep trials use ``seed + trial_index``.
+    """
+
+    name: str
+    kind: str
+    workloads: tuple[WorkloadSpec, ...] = ()
+    settings: NmoSettings = field(default_factory=_default_settings)
+    machine: str = "ampere_altra_max"
+    sweep: SweepAxis | None = None
+    colocation: ColocationSpec | None = None
+    trials: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(bool(self.name), "scenario needs a name")
+        _require(
+            self.kind in KINDS,
+            f"unknown scenario kind {self.kind!r}; known: {', '.join(KINDS)}",
+        )
+        _require(
+            self.machine in MACHINE_PRESETS,
+            f"unknown machine preset {self.machine!r}; "
+            f"known: {', '.join(sorted(MACHINE_PRESETS))}",
+        )
+        object.__setattr__(self, "workloads", tuple(self.workloads))
+        _require(
+            all(isinstance(w, WorkloadSpec) for w in self.workloads),
+            "workloads must be WorkloadSpec instances",
+        )
+        _require(
+            isinstance(self.settings, NmoSettings),
+            "settings must be an NmoSettings",
+        )
+        _require(self.trials >= 1, "trials must be >= 1")
+        _require(isinstance(self.seed, int), "seed must be an integer")
+        getattr(self, f"_check_{self.kind}")()
+
+    # -- per-kind structural rules ---------------------------------------
+
+    def _check_sampling_template(self) -> None:
+        """Sweep/colo trials pin the legacy recipe: only ``NMO_PERIOD``
+        of the settings block (and no workload kwargs) reaches the
+        trial, so reject anything that would be silently dropped — the
+        spec hash must only cover what actually runs."""
+        template = dataclasses.replace(
+            _default_settings(), period=self.settings.period
+        )
+        _require(
+            self.settings == template,
+            f"{self.kind} honours only NMO_PERIOD of the settings block; "
+            "the other fields must keep their Table I defaults",
+        )
+        _require(
+            all(not w.kwargs for w in self.workloads),
+            f"{self.kind} does not pass workload kwargs; remove them",
+        )
+
+    def _check_axis(self) -> None:
+        want = AXIS_PARAMS[self.kind]
+        _require(
+            self.sweep is not None and self.sweep.param == want,
+            f"{self.kind} scenarios need a sweep over {want!r}",
+        )
+        _require(
+            self.colocation is None, f"{self.kind} takes no colocation block"
+        )
+        self._check_sampling_template()
+
+    def _check_period_sweep(self) -> None:
+        self._check_axis()
+        _require(len(self.workloads) >= 1, "period_sweep needs >= 1 workload")
+        # the axis supplies every trial's period; pin the template to
+        # the first axis value so the spec hash never covers a period
+        # that did not run
+        _require(
+            self.settings.period == self.sweep.values[0],
+            "period_sweep takes its periods from the sweep axis; set "
+            "NMO_PERIOD to the first axis value",
+        )
+
+    def _check_single_workload_axis(self) -> None:
+        self._check_axis()
+        _require(
+            len(self.workloads) == 1,
+            f"{self.kind} sweeps exactly one workload",
+        )
+        _require(
+            self.workloads[0].scale is not None,
+            f"{self.kind} needs an explicit workload scale",
+        )
+        _require(self.trials == 1, f"{self.kind} supports a single trial")
+
+    _check_aux_sweep = _check_single_workload_axis
+
+    def _check_thread_sweep(self) -> None:
+        self._check_single_workload_axis()
+        # the axis IS the thread count; a pinned n_threads would be
+        # silently ignored (and falsely enter the spec hash)
+        _require(
+            self.workloads[0].n_threads == 32,
+            "thread_sweep sweeps the thread count; leave the workload's "
+            "n_threads at its default",
+        )
+
+    def _check_colocation(self) -> None:
+        _require(
+            self.colocation is not None,
+            "colocation scenarios need a colocation block",
+        )
+        _require(self.sweep is None, "colocation takes no sweep axis")
+        _require(
+            not self.workloads,
+            "colocation line-ups are derived from the colocation block; "
+            "leave workloads empty",
+        )
+        _require(self.trials == 1, "colocation supports a single trial")
+        self._check_sampling_template()
+
+    def _check_profile(self) -> None:
+        _require(self.sweep is None, "profile takes no sweep axis")
+        _require(self.colocation is None, "profile takes no colocation block")
+        _require(len(self.workloads) >= 1, "profile needs >= 1 workload")
+
+    # -- resolution -------------------------------------------------------
+
+    def machine_spec(self) -> MachineSpec:
+        """Instantiate the referenced machine preset."""
+        return MACHINE_PRESETS[self.machine]()
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "machine": self.machine,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "settings": self.settings.to_env(),
+            "sweep": self.sweep.to_dict() if self.sweep else None,
+            "colocation": (
+                self.colocation.to_dict() if self.colocation else None
+            ),
+            "trials": self.trials,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ScenarioSpec":
+        _check_keys(
+            d,
+            {"name", "kind"},
+            {"machine", "workloads", "settings", "sweep", "colocation",
+             "trials", "seed"},
+            "scenario",
+        )
+        settings = d.get("settings")
+        try:
+            return cls._build_from_dict(d, settings)
+        except (TypeError, ValueError) as e:
+            # bare coercion failures (non-list sweep values, "three"
+            # trials, ...) become the clean scenario error the CLI shows
+            raise ScenarioError(f"malformed scenario value: {e}") from None
+
+    @classmethod
+    def _build_from_dict(cls, d: dict, settings) -> "ScenarioSpec":
+        return cls(
+            name=d["name"],
+            kind=d["kind"],
+            machine=d.get("machine", "ampere_altra_max"),
+            workloads=tuple(
+                WorkloadSpec.from_dict(w) for w in d.get("workloads") or ()
+            ),
+            settings=(
+                NmoSettings.from_env(settings)
+                if settings is not None
+                else _default_settings()
+            ),
+            sweep=(
+                SweepAxis.from_dict(d["sweep"])
+                if d.get("sweep") is not None
+                else None
+            ),
+            colocation=(
+                ColocationSpec.from_dict(d["colocation"])
+                if d.get("colocation") is not None
+                else None
+            ),
+            trials=int(d.get("trials", 1)),
+            seed=int(d.get("seed", 0)),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        try:
+            d = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise ScenarioError(f"scenario is not valid JSON: {e}") from None
+        return cls.from_dict(d)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ScenarioSpec":
+        p = Path(path)
+        try:
+            text = p.read_text()
+        except OSError as e:
+            raise ScenarioError(f"cannot read scenario file {p}: {e}") from None
+        return cls.from_json(text)
+
+    def spec_hash(self) -> str:
+        """SHA-256 over the canonical JSON rendering (provenance anchor)."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -44,6 +44,37 @@ class TestCanonicalConfig:
         assert canonical_config(np.int64(3)) == 3
         assert canonical_config(np.float64(0.5)) == 0.5
 
+    def test_large_arrays_do_not_collide(self):
+        # repr truncates big arrays with "..." — two arrays differing
+        # only in the elided middle must still key differently
+        np = pytest.importorskip("numpy")
+        a = np.zeros(10_000)
+        b = np.zeros(10_000)
+        b[5_000] = 1.0
+        assert repr(a) == repr(b)  # the trap this guards against
+        assert canonical_config(a) != canonical_config(b)
+
+    def test_array_canonical_form_carries_shape_and_dtype(self):
+        np = pytest.importorskip("numpy")
+        a = np.arange(6, dtype=np.int32)
+        tag, shape, dtype, digest = canonical_config(a)
+        assert (tag, shape, dtype) == ("ndarray", [6], "int32")
+        assert canonical_config(a.reshape(2, 3)) != canonical_config(a)
+        assert canonical_config(a.astype(np.int64)) != canonical_config(a)
+        # equal content and dtype: same canonical form, even if one is
+        # a non-contiguous view
+        c = np.arange(12, dtype=np.int32)[::2]
+        assert canonical_config(c) == canonical_config(c.copy())
+
+    def test_object_arrays_canonicalise_elements(self):
+        np = pytest.importorskip("numpy")
+        a = np.array(["x", "y"], dtype=object)
+        b = np.array(["x", "z"], dtype=object)
+        assert canonical_config(a) != canonical_config(b)
+        assert canonical_config(a) == canonical_config(
+            np.array(["x", "y"], dtype=object)
+        )
+
 
 class TestKeys:
     def test_stable_across_calls(self):
@@ -203,13 +234,29 @@ class TestDefaultDir:
 
 
 class TestMakeCache:
-    def test_disabled_is_none(self):
-        assert make_cache(False) is None
+    """The three-state --cache/--no-cache/--cache-dir interaction."""
+
+    def test_unset_without_dir_is_none(self):
+        assert make_cache(None) is None
+
+    def test_unset_with_dir_implies_enabled(self, tmp_path):
+        c = make_cache(None, tmp_path)
+        assert isinstance(c, ResultCache)
+        assert c.dir == tmp_path
 
     def test_enabled_builds_cache(self, tmp_path):
         c = make_cache(True, tmp_path)
         assert isinstance(c, ResultCache)
         assert c.dir == tmp_path
 
-    def test_explicit_dir_implies_enabled(self, tmp_path):
-        assert isinstance(make_cache(False, tmp_path), ResultCache)
+    def test_enabled_without_dir_uses_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        c = make_cache(True)
+        assert isinstance(c, ResultCache)
+        assert c.dir == tmp_path / "env"
+
+    def test_explicit_no_cache_is_none(self):
+        assert make_cache(False) is None
+
+    def test_explicit_no_cache_wins_over_dir(self, tmp_path):
+        assert make_cache(False, tmp_path) is None

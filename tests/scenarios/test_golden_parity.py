@@ -1,0 +1,145 @@
+"""Golden parity: legacy entry points == their ScenarioSpec equivalents.
+
+Each legacy ``evalharness`` figure function and its declarative spec
+must produce
+
+* equal in-memory results,
+* identical rendered tables,
+* **byte-identical cached payloads under the same keys** — two runs
+  against two cache directories must leave the same set of entry
+  files with the same bytes.
+
+That last property is what lets a fleet mix legacy callers and
+``repro run`` invocations against one shared cache.
+"""
+
+import pytest
+
+from repro.evalharness.experiments import (
+    colo_interference,
+    fig7_samples_vs_period,
+    fig8_accuracy_overhead_collisions,
+    fig9_aux_buffer,
+    fig10_fig11_threads,
+)
+from repro.evalharness.report import (
+    render_colo,
+    render_fig7,
+    render_fig8,
+    render_fig9,
+    render_fig10_fig11,
+)
+from repro.orchestrate import ResultCache
+from repro.scenarios import (
+    Session,
+    colo_interference_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    fig10_spec,
+)
+
+
+def cache_blobs(cache: ResultCache) -> dict[str, bytes]:
+    """Map entry filename (the key) -> raw pickled payload bytes."""
+    return {p.name: p.read_bytes() for p in cache.entries()}
+
+
+def assert_cache_parity(a: ResultCache, b: ResultCache) -> None:
+    blobs_a, blobs_b = cache_blobs(a), cache_blobs(b)
+    assert blobs_a.keys() == blobs_b.keys()
+    assert blobs_a  # something was actually cached
+    for name in blobs_a:
+        assert blobs_a[name] == blobs_b[name], f"payload differs: {name}"
+
+
+class TestFig7Parity:
+    def test_results_render_and_cache(self, tmp_path):
+        kwargs = dict(periods=(2048, 8192), trials=2, workloads=("bfs",),
+                      scale=0.2)
+        ca, cb = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        legacy = fig7_samples_vs_period(cache=ca, **kwargs)
+        spec = Session(cache=cb).run(fig7_spec(**kwargs)).results
+        assert legacy == spec
+        assert render_fig7(legacy) == render_fig7(spec)
+        assert_cache_parity(ca, cb)
+
+
+class TestFig8Parity:
+    def test_results_render_and_cache(self, tmp_path):
+        kwargs = dict(periods=(2048, 8192), trials=2, workloads=("bfs",),
+                      scale=0.2)
+        ca, cb = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        legacy = fig8_accuracy_overhead_collisions(cache=ca, **kwargs)
+        spec = Session(cache=cb).run(fig8_spec(**kwargs)).results
+        assert legacy == spec
+        assert render_fig8(legacy) == render_fig8(spec)
+        assert_cache_parity(ca, cb)
+
+
+class TestFig9Parity:
+    def test_results_render_and_cache(self, tmp_path):
+        kwargs = dict(aux_pages=(4, 16), period=2048, scale=0.2, n_threads=2)
+        ca, cb = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        legacy = fig9_aux_buffer(cache=ca, **kwargs)
+        spec = Session(cache=cb).run(fig9_spec(**kwargs)).results
+        assert legacy == spec
+        assert render_fig9(legacy) == render_fig9(spec)
+        assert_cache_parity(ca, cb)
+
+
+class TestFig10Parity:
+    def test_results_render_and_cache(self, tmp_path):
+        kwargs = dict(thread_counts=(2, 8), scale=0.25)
+        ca, cb = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        legacy = fig10_fig11_threads(cache=ca, **kwargs)
+        spec = Session(cache=cb).run(fig10_spec(**kwargs)).results
+        assert legacy == spec
+        assert render_fig10_fig11(legacy) == render_fig10_fig11(spec)
+        assert_cache_parity(ca, cb)
+
+
+class TestColoParity:
+    def test_results_render_and_cache(self, tmp_path):
+        kwargs = dict(max_corunners=2, scale=0.002, period=65536, n_threads=4)
+        ca, cb = ResultCache(tmp_path / "a"), ResultCache(tmp_path / "b")
+        legacy = colo_interference(cache=ca, **kwargs)
+        spec = Session(cache=cb).run(colo_interference_spec(**kwargs)).results
+        assert legacy == spec
+        assert render_colo(legacy) == render_colo(spec)
+        assert_cache_parity(ca, cb)
+
+
+class TestSharedCacheAcrossPaths:
+    def test_spec_run_hits_entries_stored_by_legacy_path(self, tmp_path):
+        # one cache directory, legacy writes, the Session run must be a
+        # full cache hit (zero executions)
+        cache = ResultCache(tmp_path)
+        kwargs = dict(periods=(2048,), trials=2, workloads=("bfs",), scale=0.2)
+        fig8_accuracy_overhead_collisions(cache=cache, **kwargs)
+        session = Session(cache=ResultCache(tmp_path))
+        report = session.run(fig8_spec(**kwargs))
+        assert report.execution["cache_hits"] == report.execution["total_trials"]
+        assert report.execution["executed"] == 0
+
+
+@pytest.mark.parametrize(
+    "legacy, spec_factory",
+    [
+        (fig7_samples_vs_period, fig7_spec),
+        (fig8_accuracy_overhead_collisions, fig8_spec),
+        (fig9_aux_buffer, fig9_spec),
+        (fig10_fig11_threads, fig10_spec),
+        (colo_interference, colo_interference_spec),
+    ],
+    ids=["fig7", "fig8", "fig9", "fig10", "colo"],
+)
+def test_legacy_defaults_match_spec_defaults(legacy, spec_factory):
+    """Shim defaults and preset defaults must describe the same grid."""
+    import inspect
+
+    legacy_params = inspect.signature(legacy).parameters
+    spec_params = inspect.signature(spec_factory).parameters
+    for name, p in spec_params.items():
+        if name in legacy_params:
+            assert legacy_params[name].default == p.default, name

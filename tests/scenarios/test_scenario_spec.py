@@ -1,0 +1,258 @@
+"""ScenarioSpec: validation, JSON round-trip, hashing, presets."""
+
+import json
+
+import pytest
+
+from repro.errors import ScenarioError, WorkloadError
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.scenarios import (
+    SCENARIO_PRESETS,
+    ColocationSpec,
+    ScenarioSpec,
+    SweepAxis,
+    WorkloadSpec,
+    colo_interference_spec,
+    fig7_spec,
+    fig8_spec,
+    fig9_spec,
+    fig10_spec,
+    load_scenario,
+    named_scenario,
+    quickstart_spec,
+    scenario_names,
+)
+
+ALL_PRESETS = [
+    fig7_spec(), fig8_spec(), fig9_spec(), fig10_spec(),
+    colo_interference_spec(), quickstart_spec(),
+]
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_PRESETS, ids=lambda s: s.name)
+    def test_every_preset_round_trips(self, spec):
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("spec", ALL_PRESETS, ids=lambda s: s.name)
+    def test_hash_stable_across_round_trip(self, spec):
+        assert ScenarioSpec.from_json(spec.to_json()).spec_hash() == \
+            spec.spec_hash()
+
+    def test_workload_kwargs_round_trip(self):
+        spec = ScenarioSpec(
+            name="custom",
+            kind="profile",
+            workloads=(
+                WorkloadSpec("stream", n_threads=2, scale=0.5,
+                             kwargs={"iterations": 3}),
+            ),
+        )
+        rt = ScenarioSpec.from_json(spec.to_json())
+        assert rt == spec
+        assert rt.workloads[0].kwargs == {"iterations": 3}
+
+    def test_settings_survive_via_table1_env(self):
+        spec = ScenarioSpec(
+            name="custom",
+            kind="profile",
+            workloads=(WorkloadSpec("stream"),),
+            settings=NmoSettings(
+                enable=True, mode=NmoMode.SAMPLING, period=777,
+                auxbufsize_mib=2, track_rss=True,
+            ),
+        )
+        rt = ScenarioSpec.from_json(spec.to_json())
+        assert rt.settings == spec.settings
+        assert json.loads(spec.to_json())["settings"]["NMO_PERIOD"] == "777"
+
+    def test_json_is_plain_data(self):
+        d = json.loads(colo_interference_spec().to_json())
+        assert d["kind"] == "colocation"
+        assert d["workloads"] == []
+        assert d["colocation"]["max_corunners"] == 4
+
+    def test_hash_changes_with_any_field(self):
+        base = fig9_spec()
+        assert fig9_spec(period=2048).spec_hash() != base.spec_hash()
+        assert fig9_spec(seed=1).spec_hash() != base.spec_hash()
+        assert fig9_spec(aux_pages=(2, 4)).spec_hash() != base.spec_hash()
+
+
+class TestValidation:
+    def test_unknown_workload_raises_registry_error(self):
+        with pytest.raises(WorkloadError, match="known:"):
+            WorkloadSpec("nope")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ScenarioError, match="unknown scenario kind"):
+            ScenarioSpec(name="x", kind="nope")
+
+    def test_unknown_machine_preset(self):
+        with pytest.raises(ScenarioError, match="machine preset"):
+            ScenarioSpec(
+                name="x", kind="profile",
+                workloads=(WorkloadSpec("stream"),), machine="cray",
+            )
+
+    def test_unknown_axis_param(self):
+        with pytest.raises(ScenarioError, match="unknown sweep axis"):
+            SweepAxis("voltage", (1, 2))
+
+    def test_kind_axis_mismatch(self):
+        with pytest.raises(ScenarioError, match="sweep over 'period'"):
+            ScenarioSpec(
+                name="x", kind="period_sweep",
+                workloads=(WorkloadSpec("stream"),),
+                sweep=SweepAxis("threads", (1, 2)),
+            )
+
+    def test_colocation_requires_block_and_no_workloads(self):
+        with pytest.raises(ScenarioError, match="colocation block"):
+            ScenarioSpec(name="x", kind="colocation")
+        with pytest.raises(ScenarioError, match="leave workloads empty"):
+            ScenarioSpec(
+                name="x", kind="colocation",
+                workloads=(WorkloadSpec("stream"),),
+                colocation=ColocationSpec(),
+            )
+
+    def test_sweep_rejects_settings_it_would_not_honour(self):
+        # sweep trials pin the legacy recipe: only NMO_PERIOD is used,
+        # so knobs that would be silently dropped must not validate
+        with pytest.raises(ScenarioError, match="only NMO_PERIOD"):
+            ScenarioSpec(
+                name="x", kind="period_sweep",
+                workloads=(WorkloadSpec("stream"),),
+                settings=NmoSettings(
+                    enable=True, mode=NmoMode.SAMPLING, period=1024,
+                    auxbufsize_mib=2,
+                ),
+                sweep=SweepAxis("period", (1024,)),
+            )
+
+    def test_colocation_rejects_settings_it_would_not_honour(self):
+        with pytest.raises(ScenarioError, match="only NMO_PERIOD"):
+            ScenarioSpec(
+                name="x", kind="colocation",
+                settings=NmoSettings(
+                    enable=True, mode=NmoMode.SAMPLING, period=1024,
+                    track_rss=True,
+                ),
+                colocation=ColocationSpec(),
+            )
+
+    def test_sweep_rejects_workload_kwargs(self):
+        with pytest.raises(ScenarioError, match="kwargs"):
+            ScenarioSpec(
+                name="x", kind="period_sweep",
+                workloads=(
+                    WorkloadSpec("stream", kwargs={"iterations": 3}),
+                ),
+                sweep=SweepAxis("period", (1024,)),
+            )
+
+    def test_profile_keeps_full_settings_freedom(self):
+        # profile trials honour the whole settings block, so the knobs
+        # the sweep kinds reject are fine here
+        ScenarioSpec(
+            name="x", kind="profile",
+            workloads=(WorkloadSpec("stream", kwargs={"iterations": 2}),),
+            settings=NmoSettings(
+                enable=True, mode=NmoMode.SAMPLING, period=1024,
+                auxbufsize_mib=2, track_rss=True,
+            ),
+        )
+
+    def test_single_workload_sweeps_need_explicit_scale(self):
+        with pytest.raises(ScenarioError, match="explicit workload scale"):
+            ScenarioSpec(
+                name="x", kind="aux_sweep",
+                workloads=(WorkloadSpec("stream"),),
+                sweep=SweepAxis("aux_pages", (4, 16)),
+            )
+
+    def test_unknown_json_keys_rejected(self):
+        d = json.loads(fig9_spec().to_json())
+        d["frobnicate"] = 1
+        with pytest.raises(ScenarioError, match="unknown keys"):
+            ScenarioSpec.from_dict(d)
+
+    def test_invalid_json_text(self):
+        with pytest.raises(ScenarioError, match="not valid JSON"):
+            ScenarioSpec.from_json("{nope")
+
+    def test_malformed_values_become_scenario_errors(self):
+        # bare TypeError/ValueError from coercion must not escape
+        base = json.loads(fig9_spec().to_json())
+        bad_values = dict(base, sweep={"param": "aux_pages", "values": 4096})
+        with pytest.raises(ScenarioError, match="malformed scenario value"):
+            ScenarioSpec.from_dict(bad_values)
+        bad_trials = dict(base, trials="three")
+        with pytest.raises(ScenarioError, match="malformed scenario value"):
+            ScenarioSpec.from_dict(bad_trials)
+
+    def test_thread_sweep_rejects_pinned_n_threads(self):
+        # the axis is the thread count; a pinned n_threads would be
+        # silently ignored
+        with pytest.raises(ScenarioError, match="thread count"):
+            ScenarioSpec(
+                name="x", kind="thread_sweep",
+                workloads=(WorkloadSpec("stream", n_threads=64, scale=1.0),),
+                sweep=SweepAxis("threads", (2, 4)),
+            )
+
+    def test_empty_period_grid_rejected_cleanly(self):
+        with pytest.raises(ScenarioError, match="at least one value"):
+            fig8_spec(periods=())
+
+    def test_period_sweep_template_must_match_first_axis_value(self):
+        # NMO_PERIOD never reaches a period-sweep trial (the axis does),
+        # so a divergent value would hash without running
+        with pytest.raises(ScenarioError, match="first axis value"):
+            ScenarioSpec(
+                name="x", kind="period_sweep",
+                workloads=(WorkloadSpec("stream"),),
+                settings=NmoSettings(
+                    enable=True, mode=NmoMode.SAMPLING, period=8192
+                ),
+                sweep=SweepAxis("period", (1024, 2048)),
+            )
+
+    def test_bad_trials(self):
+        with pytest.raises(ScenarioError, match="trials"):
+            fig8_spec(trials=0)
+
+
+class TestPresets:
+    def test_registry_names_sorted(self):
+        assert scenario_names() == sorted(SCENARIO_PRESETS)
+
+    def test_named_scenario_resolves(self):
+        assert named_scenario("fig8") == fig8_spec()
+
+    def test_named_scenario_unknown(self):
+        with pytest.raises(ScenarioError, match="known:"):
+            named_scenario("fig99")
+
+    def test_load_scenario_from_file(self, tmp_path):
+        p = tmp_path / "s.json"
+        p.write_text(fig9_spec().to_json())
+        assert load_scenario(p) == fig9_spec()
+
+    def test_load_scenario_falls_back_to_name(self):
+        assert load_scenario("colo_interference") == colo_interference_spec()
+
+    def test_preset_name_wins_over_local_file_or_dir(self, tmp_path,
+                                                     monkeypatch):
+        # a stray local file or directory named like a preset must not
+        # shadow it
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "fig8").mkdir()
+        (tmp_path / "fig9").write_text("not json")
+        assert load_scenario("fig8") == fig8_spec()
+        assert load_scenario("fig9") == fig9_spec()
+
+    def test_load_scenario_missing_json_file(self):
+        with pytest.raises(ScenarioError, match="cannot read"):
+            load_scenario("missing/file.json")

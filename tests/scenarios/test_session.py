@@ -1,0 +1,214 @@
+"""Session: trial planning, the canonical cache-key path, RunReport."""
+
+import json
+
+import pytest
+
+from repro.machine.spec import ampere_altra_max
+from repro.orchestrate import ResultCache, cache_key, canonical_config
+from repro.scenarios import (
+    EXPERIMENT_NAMES,
+    RunReport,
+    ScenarioSpec,
+    Session,
+    SweepAxis,
+    WorkloadSpec,
+    colo_interference_spec,
+    colo_scenarios,
+    fig8_spec,
+    fig9_spec,
+    fig10_spec,
+    quickstart_spec,
+)
+from repro.errors import ScenarioError
+
+
+class TestPlanning:
+    def test_period_sweep_grid_order_and_configs(self):
+        spec = fig8_spec(
+            periods=(1000, 2000), trials=2, workloads=("stream", "bfs"),
+            scale=0.1,
+        )
+        plan = Session().plan(spec)
+        assert len(plan) == 2 * 2 * 2  # workloads x periods x trials
+        mc = canonical_config(ampere_altra_max())
+        # workload-major, period-middle, trial-minor; seeds are trial ids
+        assert [
+            (t.config["workload"], t.config["period"], t.seed) for t in plan
+        ] == [
+            ("stream", 1000, 0), ("stream", 1000, 1),
+            ("stream", 2000, 0), ("stream", 2000, 1),
+            ("bfs", 1000, 0), ("bfs", 1000, 1),
+            ("bfs", 2000, 0), ("bfs", 2000, 1),
+        ]
+        assert plan[0].experiment == "period_sweep"
+        assert plan[0].config == {
+            "workload": "stream", "period": 1000, "scale": 0.1,
+            "n_threads": 32, "machine": mc,
+        }
+
+    def test_period_sweep_default_scales(self):
+        spec = fig8_spec(periods=(1000,), trials=1, workloads=("cfd",))
+        plan = Session().plan(spec)
+        assert plan[0].config["scale"] == 1 / 256  # SWEEP_SCALES default
+
+    def test_period_sweep_no_default_scale_raises(self):
+        spec = fig8_spec(periods=(1000,), trials=1, workloads=("pagerank",))
+        with pytest.raises(ScenarioError, match="no default sweep scale"):
+            Session().plan(spec)
+
+    def test_aux_and_thread_sweep_configs_match_legacy_shape(self):
+        plan9 = Session().plan(fig9_spec(aux_pages=(4, 16)))
+        assert [t.config["aux_pages"] for t in plan9] == [4, 16]
+        assert set(plan9[0].config) == {
+            "aux_pages", "period", "scale", "n_threads", "machine",
+        }  # STREAM default carries no workload key (legacy cache keys)
+        plan10 = Session().plan(fig10_spec(thread_counts=(2, 8)))
+        assert [t.config["threads"] for t in plan10] == [2, 8]
+        assert set(plan10[0].config) == {
+            "threads", "period", "scale", "machine",
+        }
+
+    def test_non_stream_axis_sweep_adds_workload_key(self):
+        spec = ScenarioSpec(
+            name="bfs_threads", kind="thread_sweep",
+            workloads=(WorkloadSpec("bfs", scale=0.5),),
+            sweep=SweepAxis("threads", (2, 4)),
+        )
+        plan = Session().plan(spec)
+        assert all(t.config["workload"] == "bfs" for t in plan)
+
+    def test_colocation_grid_is_the_lineup_sweep(self):
+        spec = colo_interference_spec(max_corunners=2, scale=0.002)
+        plan = Session().plan(spec)
+        assert [tuple(t.config["workloads"]) for t in plan] == \
+            colo_scenarios(2)
+        assert plan[0].experiment == "colo_interference"
+        assert plan[0].config["n_threads"] == 8
+
+    def test_profile_configs_carry_full_settings(self):
+        spec = quickstart_spec(n_threads=2, scale=0.05, trials=2)
+        plan = Session().plan(spec)
+        assert len(plan) == 2
+        assert [t.seed for t in plan] == [0, 1]
+        assert plan[0].config["settings"]["NMO_PERIOD"] == "4096"
+        assert plan[0].experiment == "profile"
+
+    def test_experiment_names_cover_all_kinds(self):
+        from repro.scenarios import KINDS
+
+        assert set(EXPERIMENT_NAMES) == set(KINDS)
+
+
+class TestPinnedCacheKeys:
+    """The canonical cache-key path, pinned against accidental drift.
+
+    If one of these fails, every user's on-disk cache silently
+    invalidates — change them only on purpose.
+    """
+
+    def test_period_sweep_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = fig8_spec(
+            periods=(2048,), trials=1, workloads=("bfs",), scale=0.2
+        )
+        Session(cache=cache).run(spec)
+        expected = cache_key(
+            "period_sweep",
+            {
+                "workload": "bfs", "period": 2048, "scale": 0.2,
+                "n_threads": 32,
+                "machine": canonical_config(ampere_altra_max()),
+            },
+            seed=0,
+        )
+        assert cache.contains(expected)
+
+    def test_colocation_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = colo_interference_spec(max_corunners=1, scale=0.002)
+        Session(cache=cache).run(spec)
+        expected = cache_key(
+            "colo_interference",
+            {
+                "workloads": ["stream"], "scale": 0.002, "period": 16384,
+                "n_threads": 8,
+                "machine": canonical_config(ampere_altra_max()),
+            },
+            seed=0,
+        )
+        assert cache.contains(expected)
+
+
+class TestRun:
+    def test_profile_report(self):
+        spec = quickstart_spec(n_threads=2, scale=0.02, trials=2)
+        report = Session().run(spec)
+        assert isinstance(report, RunReport)
+        (row,) = report.results
+        assert row["workload"] == "stream"
+        assert row["trials"] == 2
+        assert 0.0 <= row["metrics"]["accuracy"] <= 1.0
+        assert row["stds"]["accuracy"] >= 0.0
+        rendered = report.render()
+        assert "Profile:" in rendered
+        assert f"sha256:{spec.spec_hash()[:12]}" in rendered
+
+    def test_provenance_and_execution_fields(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = colo_interference_spec(max_corunners=1, scale=0.002)
+        report = Session(cache=cache).run(spec)
+        p = report.provenance
+        assert p["spec_hash"] == spec.spec_hash()
+        assert p["machine"] == "ampere_altra_max"
+        assert p["scales"] == {"colocation": 0.002}
+        assert p["version"]
+        e = report.execution
+        assert e["total_trials"] == 1 and e["executed"] == 1
+        assert e["cache_hits"] == 0 and e["cached"] is True
+        # second run: same provenance, all hits
+        report2 = Session(cache=ResultCache(tmp_path)).run(spec)
+        assert report2.provenance == p
+        assert report2.execution["cache_hits"] == 1
+
+    def test_report_json_round_trips_through_json_module(self):
+        spec = fig8_spec(
+            periods=(2048,), trials=1, workloads=("bfs",), scale=0.2
+        )
+        report = Session().run(spec)
+        d = json.loads(report.to_json())
+        assert d["spec"] == spec.to_dict()
+        pts = d["results"]["bfs"]
+        assert pts[0]["period"] == 2048
+        assert isinstance(pts[0]["samples_trials"], list)
+
+    def test_dump_writes_file(self, tmp_path):
+        spec = colo_interference_spec(max_corunners=1, scale=0.002)
+        report = Session().run(spec)
+        out = report.dump(tmp_path / "r.json")
+        assert json.loads(out.read_text())["provenance"]["kind"] == "colocation"
+
+    def test_exhibit_name_with_other_kind_renders_by_kind(self):
+        # a custom profile scenario may reuse an exhibit name; rendering
+        # must dispatch on kind, not crash in the exhibit's renderer
+        spec = ScenarioSpec(
+            name="fig7", kind="profile",
+            workloads=(WorkloadSpec("stream", n_threads=2, scale=0.02),),
+        )
+        rendered = Session().run(spec).render()
+        assert "Profile:" in rendered
+
+    def test_custom_machine_marks_provenance(self):
+        from repro.machine.spec import small_test_machine
+
+        spec = quickstart_spec(n_threads=2, scale=0.2)
+        report = Session(machine=small_test_machine()).run(spec)
+        assert report.provenance["machine"] == "custom:test-arm"
+
+    def test_parallel_run_byte_identical_to_serial(self):
+        spec = fig8_spec(
+            periods=(2048, 8192), trials=2, workloads=("bfs",), scale=0.2
+        )
+        serial = Session(workers=1).run(spec).results
+        parallel = Session(workers=2).run(spec).results
+        assert serial == parallel

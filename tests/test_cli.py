@@ -3,7 +3,7 @@
 import pytest
 
 from repro.__main__ import COMMANDS, EXPERIMENTS, PARALLEL_EXPERIMENTS, main
-from repro.orchestrate import ResultCache
+from repro.orchestrate import ResultCache, make_cache
 
 
 class TestCli:
@@ -91,7 +91,7 @@ class TestOrchestrationFlags:
 
         def stub(args):
             seen["workers"] = args.workers
-            seen["cache"] = cli._cache_of(args)
+            seen["cache"] = make_cache(args.cache, args.cache_dir)
             return "ok"
 
         monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
@@ -105,7 +105,7 @@ class TestOrchestrationFlags:
         seen = {}
 
         def stub(args):
-            seen["cache"] = cli._cache_of(args)
+            seen["cache"] = make_cache(args.cache, args.cache_dir)
             return "ok"
 
         monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
@@ -119,12 +119,108 @@ class TestOrchestrationFlags:
         seen = {}
 
         def stub(args):
-            seen["cache"] = cli._cache_of(args)
+            seen["cache"] = make_cache(args.cache, args.cache_dir)
             return "ok"
 
         monkeypatch.setitem(cli.COMMANDS, "fig9", (stub, "stub"))
         assert main(["fig9", "--no-cache", "--cache-dir", str(tmp_path)]) == 0
         assert seen["cache"] is None
+
+
+class TestRunCommand:
+    def test_requires_scenario_argument(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_unknown_scenario_name_fails_cleanly(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err and "fig8" in err
+
+    def test_runs_scenario_json_end_to_end(self, capsys, tmp_path):
+        from repro.scenarios import colo_interference_spec
+
+        spec = colo_interference_spec(max_corunners=1, scale=0.002)
+        path = tmp_path / "tiny_colo.json"
+        path.write_text(spec.to_json())
+        assert main(["run", str(path), "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "contended channel" in out
+        assert f"sha256:{spec.spec_hash()[:12]}" in out
+        # rerun is a full cache hit and prints byte-identical output
+        assert main(["run", str(path), "--cache-dir", str(tmp_path / "c")]) == 0
+        assert capsys.readouterr().out == out
+
+    def test_report_json_dumped(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios import colo_interference_spec
+
+        spec = colo_interference_spec(max_corunners=1, scale=0.002)
+        path = tmp_path / "tiny_colo.json"
+        path.write_text(spec.to_json())
+        report_path = tmp_path / "report.json"
+        assert main(["run", str(path), "--report-json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["provenance"]["spec_hash"] == spec.spec_hash()
+        assert report["spec"] == spec.to_dict()
+        assert report["results"][0]["runners"][0]["workload"] == "stream"
+
+    def test_missing_json_file_fails_cleanly(self, capsys):
+        assert main(["run", "does/not/exist.json"]) == 2
+        assert "cannot read scenario file" in capsys.readouterr().err
+
+    def test_unknown_workload_in_file_fails_cleanly(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios import quickstart_spec
+
+        d = json.loads(quickstart_spec().to_json())
+        d["workloads"][0]["name"] = "nope"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(d))
+        assert main(["run", str(path)]) == 2
+        assert "known:" in capsys.readouterr().err
+
+    def test_report_json_rejected_outside_run(self):
+        with pytest.raises(SystemExit):
+            main(["table1", "--report-json", "out.json"])
+
+    def test_malformed_scenario_values_fail_cleanly(self, capsys, tmp_path):
+        import json
+
+        from repro.scenarios import fig9_spec
+
+        d = json.loads(fig9_spec().to_json())
+        d["sweep"]["values"] = 4096  # non-list: a bare TypeError inside
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(d))
+        assert main(["run", str(path)]) == 2
+        assert "malformed scenario value" in capsys.readouterr().err
+
+    def test_grid_flags_rejected_for_run(self):
+        # the grid comes from the spec; flags that would be silently
+        # ignored must be refused
+        for flags in (["--trials", "2"], ["--workload-scale", "0.1"],
+                      ["--corunners", "2"], ["--scale", "0.5"]):
+            with pytest.raises(SystemExit):
+                main(["run", "fig8", *flags])
+
+
+class TestScenariosCommand:
+    def test_requires_list_action(self):
+        with pytest.raises(SystemExit):
+            main(["scenarios"])
+        with pytest.raises(SystemExit):
+            main(["scenarios", "nuke"])
+
+    def test_list_names_presets(self, capsys):
+        from repro.scenarios import SCENARIO_PRESETS
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name, (_factory, desc) in SCENARIO_PRESETS.items():
+            assert name in out and desc in out
 
 
 class TestCacheSubcommand:

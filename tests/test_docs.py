@@ -27,8 +27,13 @@ class TestCliDoc:
         doc = self.doc()
         for flag in ("--workers", "--cache", "--no-cache", "--cache-dir",
                      "--trials", "--scale", "--workload-scale",
-                     "--corunners"):
+                     "--corunners", "--report-json"):
             assert flag in doc, flag
+
+    def test_run_command_examples_present(self):
+        doc = self.doc()
+        assert "python -m repro run" in doc
+        assert "scenarios list" in doc
 
     def test_cache_actions_documented(self):
         doc = self.doc()
@@ -73,7 +78,7 @@ class TestArchitectureDoc:
         for pkg in ("repro.spe", "repro.kernel", "repro.machine",
                     "repro.nmo", "repro.workloads", "repro.evalharness",
                     "repro.orchestrate", "repro.analysis",
-                    "repro.colocation"):
+                    "repro.colocation", "repro.scenarios"):
             assert pkg in doc, pkg
 
     def test_parallel_exhibits_invariants_stated(self):
@@ -104,3 +109,48 @@ class TestPackaging:
         text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
         assert "colo_interference" in text
         assert "--workers 2" in text
+
+    def test_ci_workflow_runs_example_scenario(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "repro run examples/scenarios/colo_smoke.json" in text
+        assert "--report-json" in text
+
+
+class TestScenariosDoc:
+    def doc(self) -> str:
+        return (ROOT / "docs" / "scenarios.md").read_text()
+
+    def test_schema_keys_documented(self):
+        doc = self.doc()
+        for key in ("name", "kind", "machine", "workloads", "settings",
+                    "sweep", "colocation", "trials", "seed"):
+            assert f"`{key}`" in doc, key
+
+    def test_every_kind_documented(self):
+        from repro.scenarios import KINDS
+
+        doc = self.doc()
+        for kind in KINDS:
+            assert kind in doc, kind
+
+    def test_migration_table_names_every_shim_and_spec(self):
+        doc = self.doc()
+        for name in (
+            "fig7_samples_vs_period", "fig8_accuracy_overhead_collisions",
+            "fig9_aux_buffer", "fig10_fig11_threads", "colo_interference",
+            "fig7_spec", "fig8_spec", "fig9_spec", "fig10_spec",
+            "colo_interference_spec",
+        ):
+            assert name in doc, name
+
+    def test_example_scenario_file_exists_and_loads(self):
+        from repro.scenarios import ScenarioSpec
+
+        for path in sorted((ROOT / "examples" / "scenarios").glob("*.json")):
+            spec = ScenarioSpec.from_file(path)
+            assert ScenarioSpec.from_json(spec.to_json()) == spec, path.name
+
+    def test_readme_mentions_declarative_api(self):
+        text = (ROOT / "README.md").read_text()
+        assert "repro.scenarios" in text or "docs/scenarios.md" in text
+        assert "python -m repro run" in text

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.nmo",
     "repro.analysis",
+    "repro.scenarios",
     "repro.evalharness",
     "repro.orchestrate",
 ]
