@@ -7,7 +7,11 @@ from repro.machine.cache import SetAssociativeCache
 from repro.machine.spec import CacheSpec, ampere_altra_max
 from repro.spe.packets import decode_buffer, encode_batch
 from repro.spe.records import SampleBatch
-from repro.spe.sampler import collision_scan, sample_positions
+from repro.spe.sampler import (
+    _reference_collision_scan,
+    collision_scan,
+    sample_positions,
+)
 
 
 def _batch(n):
@@ -54,6 +58,25 @@ def test_collision_scan_dense(benchmark):
     lat = rng.uniform(1, 500, 100_000)
     keep, n = benchmark(collision_scan, t, lat)
     assert keep[0]
+
+
+def _overlapping_inputs(n=100_000):
+    """Fig. 8c worst case: ~100-cycle gaps under saturated-DRAM latencies."""
+    rng = np.random.default_rng(0)
+    return np.sort(rng.uniform(0, n * 100.0, n)), rng.uniform(2000.0, 8000.0, n)
+
+
+def test_collision_scan_overlapping(benchmark):
+    t, lat = _overlapping_inputs()
+    keep, n = benchmark(collision_scan, t, lat)
+    assert n > 90_000  # collision-heavy by construction
+
+
+def test_collision_scan_overlapping_reference(benchmark):
+    """The retained scalar loop on the same input, for comparison."""
+    t, lat = _overlapping_inputs()
+    keep, n = benchmark(_reference_collision_scan, t, lat)
+    assert n > 90_000
 
 
 def test_cache_sim_throughput(benchmark):

@@ -86,9 +86,10 @@ class PipelineModel:
         if dram_scale < 1.0:
             raise MachineError("dram_scale must be >= 1")
         kinds = np.asarray(kinds, dtype=np.uint8)
-        lat = np.empty(kinds.shape, dtype=np.float64)
+        issue_lut = np.zeros(256, dtype=np.float64)
         for kind, cost in self.issue_cycles.items():
-            lat[kinds == kind] = cost
+            issue_lut[int(kind)] = cost
+        lat = issue_lut.take(kinds)
         is_mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
         if is_mem.any():
             if levels is None:

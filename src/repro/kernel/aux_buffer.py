@@ -56,11 +56,17 @@ class AuxBuffer:
     def write(self, data: bytes | np.ndarray) -> int:
         """Append sample bytes; returns bytes accepted.
 
-        Bytes beyond the free space are dropped (SPE raises a buffer-full
-        event and discards in hardware); callers learn about the loss via
-        the return value and :attr:`bytes_dropped`.
+        Accepts ``bytes`` or a uint8 ndarray (views are written without
+        an intermediate copy).  Bytes beyond the free space are dropped
+        (SPE raises a buffer-full event and discards in hardware);
+        callers learn about the loss via the return value and
+        :attr:`bytes_dropped`.
         """
-        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray, memoryview))
+            else np.asarray(data, dtype=np.uint8)
+        )
         n = int(arr.shape[0])
         accept = min(n, self.free)
         if accept:
@@ -103,10 +109,81 @@ class AuxBuffer:
         self._last_signal = self.head
         return offset, size
 
+    # -- bulk producer/consumer (epoch-planned driver) ---------------------------
+
+    def stream_paced(
+        self, data: np.ndarray, n_drains: int, drain_bytes: int
+    ) -> list[tuple[int, int]]:
+        """Append ``data`` as if written incrementally with a consumer
+        fully draining ``drain_bytes`` at each of ``n_drains`` paced
+        service points (``take_signal`` + ``advance_tail`` each time).
+
+        Byte-identical end state to the incremental write/drain loop as
+        long as the paced drains keep the ring from overflowing: no byte
+        is ever dropped, every byte ``i`` lands at ``(head + i) % size``,
+        and the final buffer content is simply the last ``size`` bytes of
+        the stream laid down circularly.  A schedule whose in-flight
+        occupancy would exceed the buffer (where the incremental path
+        would start dropping) is rejected with :class:`BufferError_`
+        rather than silently corrupting the ring.  Returns the
+        ``(aux_offset, aux_size)`` pair of each drain — the fields of the
+        ``PERF_RECORD_AUX`` records the kernel would have posted.
+        """
+        arr = np.asarray(data, dtype=np.uint8)
+        total = int(arr.shape[0])
+        base = max(self._last_signal, self.tail)
+        drained = n_drains * drain_bytes
+        if n_drains < 0:
+            raise BufferError_("need n_drains >= 0")
+        if n_drains and not 0 < drain_bytes <= self.size:
+            raise BufferError_(
+                f"paced drain of {drain_bytes} outside (0, {self.size}]"
+            )
+        if drained > (self.head - base) + total:
+            raise BufferError_(
+                f"cannot drain {drained} bytes: only "
+                f"{self.head - base + total} flow through this stream"
+            )
+        # peak in-flight occupancy: just before each drain the ring holds
+        # the undrained prefix plus one drain's worth; after the last
+        # drain it fills monotonically to the final level
+        final_used = (self.head + total) - (base + drained if n_drains else self.tail)
+        pre_drain_used = (base - self.tail) + drain_bytes if n_drains else 0
+        if max(final_used, pre_drain_used) > self.size:
+            raise BufferError_(
+                f"paced stream would overflow the ring: peak occupancy "
+                f"{max(final_used, pre_drain_used)} > size {self.size} "
+                f"(the incremental path would drop bytes here)"
+            )
+        if total:
+            start = (self.head + max(0, total - self.size)) % self.size
+            last = arr[-self.size :] if total > self.size else arr
+            m = last.shape[0]
+            first = min(m, self.size - start)
+            self._buf[start : start + first] = last[:first]
+            if first < m:
+                self._buf[: m - first] = last[first:]
+            self.head += total
+            self.bytes_written += total
+        signals = [
+            (base + k * drain_bytes, drain_bytes) for k in range(n_drains)
+        ]
+        if n_drains:
+            self._last_signal = base + drained
+            self.tail = base + drained
+        return signals
+
     # -- consumer (profiler) ---------------------------------------------------------
 
     def read(self, offset: int, n: int) -> bytes:
         """Copy ``n`` bytes at free-running ``offset`` (wrapping read)."""
+        return self.read_view(offset, n).tobytes()
+
+    def read_view(self, offset: int, n: int) -> np.ndarray:
+        """Like :meth:`read` but returns a uint8 ndarray — a copy-free
+        view into the ring when the span does not wrap.  The view aliases
+        the buffer: decode or copy it before the producer writes again.
+        """
         if n < 0:
             raise BufferError_("cannot read negative length")
         if offset < self.tail or offset + n > self.head:
@@ -116,11 +193,9 @@ class AuxBuffer:
             )
         pos = offset % self.size
         first = min(n, self.size - pos)
-        out = bytearray(n)
-        out[:first] = self._buf[pos : pos + first].tobytes()
-        if first < n:
-            out[first:] = self._buf[: n - first].tobytes()
-        return bytes(out)
+        if first == n:
+            return self._buf[pos : pos + n]
+        return np.concatenate([self._buf[pos:], self._buf[: n - first]])
 
     def advance_tail(self, new_tail: int) -> None:
         """Publish consumption up to ``new_tail`` (frees producer space)."""

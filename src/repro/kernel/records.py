@@ -15,6 +15,8 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import PerfError
 
 # perf_event_type values (uapi)
@@ -162,6 +164,43 @@ class ItraceStartRecord:
     def unpack_payload(buf: bytes | memoryview, offset: int) -> "ItraceStartRecord":
         p, t = _ITRACE_PAYLOAD.unpack_from(buf, offset)
         return ItraceStartRecord(p, t)
+
+
+#: serialised size of one ``PERF_RECORD_AUX`` (header + 3 u64 fields)
+AUX_RECORD_BYTES = HEADER_SIZE + _AUX_PAYLOAD.size
+
+
+def pack_aux_records(
+    offsets: np.ndarray, sizes: np.ndarray | int, flags: np.ndarray | int
+) -> np.ndarray:
+    """Serialise many ``PERF_RECORD_AUX`` records into an ``(n, 32)``
+    uint8 matrix, byte-identical to ``AuxRecord(...).pack()`` per row.
+
+    The epoch-planned SPE driver posts one AUX record per planned
+    service point; packing them in one vectorised pass (and writing them
+    with :meth:`RingBuffer.write_records_packed`) removes the per-wakeup
+    ``struct.pack`` round-trips.
+    """
+    offsets = np.ascontiguousarray(offsets, dtype="<u8")
+    n = offsets.shape[0]
+    mat = np.zeros((n, AUX_RECORD_BYTES), dtype=np.uint8)
+    # perf_event_header: type u32 = PERF_RECORD_AUX, misc u16 = 0, size u16
+    mat[:, 0] = PERF_RECORD_AUX
+    mat[:, 6] = AUX_RECORD_BYTES
+    mat[:, 8:16] = offsets.view(np.uint8).reshape(n, 8)
+    mat[:, 16:24] = (
+        np.broadcast_to(np.asarray(sizes, dtype="<u8"), (n,))
+        .astype("<u8")
+        .view(np.uint8)
+        .reshape(n, 8)
+    )
+    mat[:, 24:32] = (
+        np.broadcast_to(np.asarray(flags, dtype="<u8"), (n,))
+        .astype("<u8")
+        .view(np.uint8)
+        .reshape(n, 8)
+    )
+    return mat
 
 
 Record = AuxRecord | LostRecord | ThrottleRecord | ItraceStartRecord

@@ -93,10 +93,42 @@ class RingBuffer:
         self.records_written += 1
         return True
 
-    def _write_bytes(self, payload: bytes) -> None:
+    def write_records_packed(self, packed: np.ndarray) -> int:
+        """Append ``packed`` (an ``(n, rec_size)`` uint8 matrix of
+        pre-serialised equal-size records) with the exact semantics of
+        ``n`` sequential :meth:`write_record` calls: the pending-LOST
+        flush can only succeed on the first write (nothing frees space
+        mid-batch), then records fit until ``free`` runs out and every
+        later one is dropped and counted.  One wrapped copy instead of a
+        Python loop; returns the number of records written.
+        """
+        packed = np.asarray(packed, dtype=np.uint8)
+        n_rec, rec_size = packed.shape
+        if n_rec == 0:
+            return 0
+        if self._pending_lost:
+            lost = LostRecord(event_id=0, lost=self._pending_lost).pack()
+            if len(lost) + rec_size <= self.free:
+                self._write_bytes(lost)
+                self._pending_lost = 0
+        n_fit = min(n_rec, self.free // rec_size) if rec_size else n_rec
+        if n_fit:
+            self._write_bytes(packed[:n_fit].reshape(-1))
+            self.records_written += n_fit
+        dropped = n_rec - n_fit
+        if dropped:
+            self.records_lost += dropped
+            self._pending_lost += dropped
+        return n_fit
+
+    def _write_bytes(self, payload: bytes | np.ndarray) -> None:
+        arr = (
+            np.frombuffer(payload, dtype=np.uint8)
+            if isinstance(payload, (bytes, bytearray, memoryview))
+            else np.asarray(payload, dtype=np.uint8)
+        )
         pos = self.meta.data_head % self.size
-        n = len(payload)
-        arr = np.frombuffer(payload, dtype=np.uint8)
+        n = int(arr.shape[0])
         first = min(n, self.size - pos)
         self._buf[pos : pos + first] = arr[:first]
         if first < n:

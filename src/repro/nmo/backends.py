@@ -93,17 +93,27 @@ class FixedAuxPagesBackend(ArmSpeBackend):
 
     Table I sizes the aux buffer in whole MiB; the Fig. 9 sweep also
     probes sub-MiB sizes (2-8 pages of 64 KiB), which this backend
-    injects by rebuilding the session's aux buffer.  Module-level (not
-    a closure) so fig9 trials can cross a process-pool boundary.
+    injects by rebuilding the session's aux buffer.  ``aux_watermark``
+    optionally overrides the ``PERF_RECORD_AUX`` threshold (perf's
+    ``aux_watermark`` attr; default half the buffer) — small watermarks
+    reproduce the interrupt-bound corner of the Fig. 9 sweep, where the
+    wakeup path itself dominates.  Module-level (not a closure) so fig9
+    trials can cross a process-pool boundary.
     """
 
     name = "arm_spe_fixed_aux"
 
-    def __init__(self, aux_pages: int, config: SpeConfig | None = None) -> None:
+    def __init__(
+        self,
+        aux_pages: int,
+        config: SpeConfig | None = None,
+        aux_watermark: int | None = None,
+    ) -> None:
         super().__init__(config)
         if aux_pages <= 0:
             raise NmoError(f"aux_pages must be > 0, got {aux_pages}")
         self.aux_pages = aux_pages
+        self.aux_watermark = aux_watermark
 
     def open_session(self, perf, core, settings, pipeline, timer, rng, cost):
         from repro.kernel.aux_buffer import AuxBuffer
@@ -113,7 +123,9 @@ class FixedAuxPagesBackend(ArmSpeBackend):
         )
         ev = session.event
         ev.aux = AuxBuffer(
-            n_pages=self.aux_pages, page_size=perf.machine.page_size
+            n_pages=self.aux_pages,
+            page_size=perf.machine.page_size,
+            watermark=self.aux_watermark,
         )
         ev.ring.meta.aux_size = ev.aux.size
         return session

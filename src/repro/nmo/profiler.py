@@ -237,7 +237,7 @@ class NmoProfiler:
 
         stats = [ThreadStats(core=i) for i in range(w.n_threads)]
         batches: list[SampleBatch] = []
-        batch_cores: list[np.ndarray] = []
+        batch_core_ids: list[int] = []
         decode_skipped = 0
         truncated = 0
         phase_spans: list[tuple[str, str, float, float]] = []
@@ -273,9 +273,7 @@ class NmoProfiler:
                         decode_skipped += res.decode.n_skipped
                     if len(res.batch):
                         batches.append(res.batch)
-                        batch_cores.append(
-                            np.full(len(res.batch), tidx, dtype=np.int32)
-                        )
+                        batch_core_ids.append(tidx)
                     thread.charge_overhead(res.overhead_cycles)
                 thread.advance(phase.duration_cycles())
                 n_flops = phase.n_mem_ops * phase.flops_per_group
@@ -292,11 +290,16 @@ class NmoProfiler:
                 res = sess.driver.flush()
                 if len(res.batch):
                     batches.append(res.batch)
-                    batch_cores.append(np.full(len(res.batch), tidx, dtype=np.int32))
+                    batch_core_ids.append(tidx)
 
         batch = SampleBatch.concat(batches) if batches else SampleBatch()
         cores = (
-            np.concatenate(batch_cores) if batch_cores else np.zeros(0, dtype=np.int32)
+            np.repeat(
+                np.asarray(batch_core_ids, dtype=np.int32),
+                np.asarray([len(b) for b in batches], dtype=np.int64),
+            )
+            if batches
+            else np.zeros(0, dtype=np.int32)
         )
 
         baseline = self.run_baseline()

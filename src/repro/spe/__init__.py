@@ -10,15 +10,25 @@ from repro.spe.config import (
     CONFIG_LOADS_AND_STORES,
     SpeConfig,
 )
-from repro.spe.driver import DriverResult, SpeCostModel, SpeDriver, ThrottleModel
+from repro.spe.driver import (
+    DriverResult,
+    FeedPlan,
+    SpeCostModel,
+    SpeDriver,
+    ThrottleModel,
+    feed_written_mask,
+    plan_feed_epochs,
+)
 from repro.spe.packets import (
     RECORD_SIZE,
     DecodeStats,
     corrupt_records,
     decode_buffer,
     encode_batch,
+    encode_records,
 )
 from repro.spe.records import SampleBatch
+from repro.spe.refpath import reference_path
 from repro.spe.sampler import (
     OpSource,
     SamplerOutput,
@@ -32,6 +42,7 @@ __all__ = [
     "CONFIG_LOADS_AND_STORES",
     "DecodeStats",
     "DriverResult",
+    "FeedPlan",
     "OpSource",
     "RECORD_SIZE",
     "SampleBatch",
@@ -46,5 +57,9 @@ __all__ = [
     "corrupt_records",
     "decode_buffer",
     "encode_batch",
+    "encode_records",
+    "feed_written_mask",
+    "plan_feed_epochs",
+    "reference_path",
     "sample_positions",
 ]

@@ -33,9 +33,11 @@ from repro.kernel.records import (
     PERF_AUX_FLAG_COLLISION,
     PERF_AUX_FLAG_TRUNCATED,
     AuxRecord,
+    pack_aux_records,
 )
-from repro.spe.packets import RECORD_SIZE, DecodeStats, decode_buffer, encode_batch
+from repro.spe.packets import RECORD_SIZE, DecodeStats, decode_buffer, encode_records
 from repro.spe.records import SampleBatch
+from repro.spe.refpath import reference_active
 from repro.spe.sampler import SamplerOutput
 
 
@@ -71,6 +73,91 @@ class SpeCostModel:
     idle_overhead_cycles: float = 50_000.0
     #: aggregate interrupt rate beyond which perf throttles sampling
     max_irq_rate_hz: float = 11_000.0
+
+
+@dataclass(frozen=True)
+class FeedPlan:
+    """Closed-form epoch schedule for one :meth:`SpeDriver.feed` call.
+
+    The per-watermark service loop is fully determined by five integers:
+    the stream length ``n``, the watermark in records ``wm_rec``, the
+    sub-watermark carry ``pending_rec``, the carried torn-loss budget
+    ``pending_loss``, and the per-service torn window ``loss_window``.
+    The stream decomposes into *epochs*::
+
+        [d0 torn] [w_first written] SERVICE
+                  [loss torn] [wm_rec written] SERVICE   (x n_services-1)
+                  [d_tail torn] [w_tail written]          (partial epoch)
+
+    so service points, wakeup counts, losses, and flag schedules all
+    follow arithmetically — no iteration required.
+    """
+
+    n: int
+    wm_rec: int
+    loss_window: int
+    d0: int            #: records torn by the carried loss window
+    w_first: int       #: records written before the first service
+    n_services: int    #: watermark crossings (wakeups) in this feed
+    d_tail: int        #: records torn in the trailing partial epoch
+    w_tail: int        #: records written after the last service
+    lost: int          #: total records torn (never reach the buffer)
+    written: int       #: total records written to the aux buffer
+    pending_rec_end: int   #: sub-watermark carry into the next feed
+    pending_loss_end: int  #: torn-loss budget carried into the next feed
+
+
+def plan_feed_epochs(
+    n: int, wm_rec: int, pending_rec: int, pending_loss: int, loss_window: int
+) -> FeedPlan:
+    """Compute the :class:`FeedPlan` for a feed of ``n`` records."""
+    d0 = min(pending_loss, n)
+    avail = n - d0
+    w_room = wm_rec - pending_rec
+    if avail >= w_room:
+        stride = loss_window + wm_rec
+        after = avail - w_room
+        n_services = 1 + after // stride
+        rem = after % stride
+        d_tail = min(rem, loss_window)
+        w_tail = rem - d_tail
+        w_first = w_room
+        lost = d0 + (n_services - 1) * loss_window + d_tail
+        pending_loss_end = loss_window - d_tail
+    else:
+        n_services = 0
+        d_tail = 0
+        w_tail = 0
+        w_first = avail
+        lost = d0
+        pending_loss_end = pending_loss - d0
+    written = n - lost
+    return FeedPlan(
+        n=n,
+        wm_rec=wm_rec,
+        loss_window=loss_window,
+        d0=d0,
+        w_first=w_first,
+        n_services=n_services,
+        d_tail=d_tail,
+        w_tail=w_tail,
+        lost=lost,
+        written=written,
+        pending_rec_end=pending_rec + written - n_services * wm_rec,
+        pending_loss_end=pending_loss_end,
+    )
+
+
+def feed_written_mask(plan: FeedPlan) -> np.ndarray:
+    """Boolean mask over the ``n`` input records of those written (i.e.
+    not torn by a loss window), in arrival order."""
+    mask = np.zeros(plan.n, dtype=bool)
+    mask[plan.d0 : plan.d0 + plan.w_first] = True
+    start = plan.d0 + plan.w_first
+    if plan.n_services and start < plan.n:
+        q = np.arange(plan.n - start, dtype=np.int64)
+        mask[start:] = q % (plan.loss_window + plan.wm_rec) >= plan.loss_window
+    return mask
 
 
 @dataclass
@@ -157,12 +244,33 @@ class SpeDriver:
         through the buffer and packet decoder), interrupt and processing
         costs are charged, and a torn window of in-flight records is lost
         while SPE restarts (TRUNCATED on the next AUX record).
+
+        The schedule of services, losses, and flags is computed in closed
+        form by :func:`plan_feed_epochs` and executed with bulk buffer
+        operations (:meth:`_planned_feed`); the original per-watermark
+        loop is retained as :meth:`_reference_feed` and pinned
+        byte-identical by the differential suite.  Degenerate geometries
+        the planner does not model (a watermark smaller than one record
+        relative to a sub-record buffer, or an aux ring whose signal
+        state was moved externally) fall back to the reference loop.
         """
         aux = self.event.aux
-        ring = self.event.ring
-        assert aux is not None and ring is not None
-        self.total_collisions += out.n_collisions
+        assert aux is not None
+        if reference_active():
+            return self._reference_feed(out)
+        if max(1, aux.watermark // RECORD_SIZE) * RECORD_SIZE > aux.size:
+            return self._reference_feed(out)
+        if aux.pending_signal() != self._pending_rec * RECORD_SIZE or (
+            aux.head - aux.tail != aux.pending_signal()
+        ):
+            # someone moved the ring out from under the session
+            return self._reference_feed(out)
+        return self._planned_feed(out)
 
+    def _preamble(self, out: SamplerOutput) -> DriverResult | None:
+        """Account the stream and handle the inert/empty cases (shared
+        by both feed implementations); None means 'proceed'."""
+        self.total_collisions += out.n_collisions
         n = out.n_kept
         self.total_input += n
         if not self.working or not self.event.enabled:
@@ -192,12 +300,23 @@ class SpeDriver:
                 overhead_cycles=0.0,
                 truncated_records=0,
             )
+        return None
+
+    def _reference_feed(self, out: SamplerOutput) -> DriverResult:
+        """Scalar reference for :meth:`feed`: the original per-watermark
+        loop, retained verbatim for differential testing (and as the
+        fallback for ring geometries the planner does not model)."""
+        aux = self.event.aux
+        ring = self.event.ring
+        assert aux is not None and ring is not None
+        early = self._preamble(out)
+        if early is not None:
+            return early
+        n = out.n_kept
 
         order = np.argsort(out.arrival_cycles, kind="stable")
         batch = out.batch.select(order)
-        encoded = np.frombuffer(encode_batch(batch), dtype=np.uint8).reshape(
-            n, RECORD_SIZE
-        )
+        encoded = encode_records(batch)
 
         wm_rec = max(1, aux.watermark // RECORD_SIZE)
         loss_window = max(
@@ -225,7 +344,7 @@ class SpeDriver:
                 continue
             take = min(wm_rec - self._pending_rec, n - i)
             chunk = encoded[i : i + take].reshape(-1)
-            accepted = aux.write(chunk.tobytes())
+            accepted = aux.write(chunk)
             if accepted != chunk.shape[0]:
                 raise SpeError("aux overflow despite watermark-paced writes")
             self._pending_rec += take
@@ -265,6 +384,122 @@ class SpeDriver:
                 n_skipped=decode_skipped,
                 trailing_bytes=0,
             ),
+            aux_records=aux_records,
+        )
+
+    def _planned_feed(self, out: SamplerOutput) -> DriverResult:
+        """Epoch-planned :meth:`feed`: one plan, bulk buffer round-trips.
+
+        Executes the :class:`FeedPlan` with a single encode, one paced
+        aux-buffer stream (:meth:`AuxBuffer.stream_paced`), one packed
+        ring write, and one decode over every serviced byte — the bytes
+        still physically round-trip the aux ring, just without a Python
+        iteration per watermark crossing.
+        """
+        aux = self.event.aux
+        ring = self.event.ring
+        assert aux is not None and ring is not None
+        early = self._preamble(out)
+        if early is not None:
+            return early
+        n = out.n_kept
+
+        order = np.argsort(out.arrival_cycles, kind="stable")
+        batch = out.batch.select(order)
+        encoded = encode_records(batch)
+
+        wm_rec = max(1, aux.watermark // RECORD_SIZE)
+        loss_window = max(
+            0, int(round(self.cost.service_loss_records * self.cost.service_loss_scale))
+        )
+        plan = plan_feed_epochs(
+            n, wm_rec, self._pending_rec, self._pending_loss, loss_window
+        )
+        n_services = plan.n_services
+        wm_bytes = wm_rec * RECORD_SIZE
+        carry_rec = self._pending_rec
+
+        rows = encoded[feed_written_mask(plan)]
+        if n_services:
+            # bytes drained this feed: the sub-watermark carry already in
+            # the ring plus this feed's writes, minus the new trailing
+            # carry — read the carried bytes *before* the bulk write can
+            # lap them, then decode everything in one pass
+            served = rows[: n_services * wm_rec - carry_rec]
+            if carry_rec:
+                carried = aux.read_view(aux.tail, carry_rec * RECORD_SIZE)
+                stream = np.concatenate([carried, served.reshape(-1)])
+            else:
+                stream = served.reshape(-1)
+        signals = aux.stream_paced(
+            rows.reshape(-1), n_drains=n_services, drain_bytes=wm_bytes
+        )
+
+        first_lost = self._prev_lost or plan.d0 > 0
+        first_flags = PERF_AUX_FLAG_TRUNCATED if first_lost else 0
+        later_flags = PERF_AUX_FLAG_TRUNCATED if loss_window > 0 else 0
+        if n_services and self.total_collisions and not self._announced_collisions:
+            first_flags |= PERF_AUX_FLAG_COLLISION
+            self._announced_collisions = True
+        aux_records = [
+            AuxRecord(
+                aux_offset=off,
+                aux_size=size,
+                flags=first_flags if k == 0 else later_flags,
+            )
+            for k, (off, size) in enumerate(signals)
+        ]
+        truncated = 0
+        if n_services:
+            got, stats = decode_buffer(stream)
+            offsets = np.asarray([off for off, _ in signals], dtype=np.uint64)
+            flags = np.full(n_services, later_flags, dtype=np.uint64)
+            flags[0] = first_flags
+            ring.write_records_packed(pack_aux_records(offsets, wm_bytes, flags))
+            self.event.wakeups += n_services
+            self.total_wakeups += n_services
+            truncated = int(first_lost) + (n_services - 1) * int(loss_window > 0)
+            decode_stats = DecodeStats(
+                n_records=stats.n_records,
+                n_valid=stats.n_valid,
+                n_skipped=stats.n_skipped,
+                trailing_bytes=0,
+            )
+        else:
+            got = SampleBatch()
+            decode_stats = DecodeStats(0, 0, 0, 0)
+
+        # overhead accumulates in the reference's exact order (per-epoch
+        # record processing, then the service IRQ): np.cumsum runs the
+        # same sequential float64 additions, so the result is bit-equal
+        urc = self.cost.user_record_cycles
+        if n_services == 0:
+            overhead = plan.written * urc if plan.written else 0.0
+        else:
+            terms = np.empty(2 * n_services + 1, dtype=np.float64)
+            terms[0] = plan.w_first * urc
+            terms[1 : 2 * n_services : 2] = self.cost.irq_cycles
+            terms[2 : 2 * n_services : 2] = wm_rec * urc
+            terms[2 * n_services] = plan.w_tail * urc
+            overhead = float(np.cumsum(terms)[-1])
+
+        self._pending_rec = plan.pending_rec_end
+        self._pending_loss = plan.pending_loss_end
+        if n_services:
+            self._prev_lost = plan.d_tail > 0
+        else:
+            self._prev_lost = self._prev_lost or plan.d0 > 0
+        self.total_lost += plan.lost
+        self.total_written += plan.written
+        return DriverResult(
+            batch=got,
+            n_input=n,
+            n_written=plan.written,
+            n_lost_stall=plan.lost,
+            n_wakeups=n_services,
+            overhead_cycles=overhead,
+            truncated_records=truncated,
+            decode=decode_stats,
             aux_records=aux_records,
         )
 

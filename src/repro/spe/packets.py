@@ -83,10 +83,20 @@ def _get_u16(mat: np.ndarray, off: int) -> np.ndarray:
 
 def encode_batch(batch: SampleBatch) -> bytes:
     """Encode a batch into concatenated 64-byte records."""
+    return encode_records(batch).tobytes()
+
+
+def encode_records(batch: SampleBatch) -> np.ndarray:
+    """Encode a batch into an ``(n, 64)`` uint8 record matrix.
+
+    Same bytes as :func:`encode_batch` without the ``bytes`` round-trip:
+    the driver writes rows (or row ranges) straight into the aux buffer
+    and decodes slices of the same matrix, copy-free.
+    """
     n = len(batch)
     mat = np.zeros((n, RECORD_SIZE), dtype=np.uint8)
     if n == 0:
-        return b""
+        return mat
     mat[:, OFF_OP_TYPE_HDR] = HDR_OP_TYPE
     mat[:, OFF_OP_TYPE] = batch.kind
     mat[:, OFF_EVENTS_HDR] = HDR_EVENTS
@@ -105,7 +115,7 @@ def encode_batch(batch: SampleBatch) -> bytes:
     _put_u64(mat, OFF_VADDR, batch.addr)
     mat[:, OFF_TS_HDR] = HDR_TIMESTAMP
     _put_u64(mat, OFF_TS, batch.ts)
-    return mat.tobytes()
+    return mat
 
 
 @dataclass(frozen=True)

@@ -62,14 +62,22 @@ class SampleBatch:
 
     @staticmethod
     def concat(batches: list["SampleBatch"]) -> "SampleBatch":
+        """Column-wise concatenation into one pre-allocated batch (no
+        per-column N-way ``np.concatenate`` temporaries)."""
         if not batches:
             return SampleBatch()
-        return SampleBatch(
-            **{
-                c: np.concatenate([getattr(b, c) for b in batches])
-                for c in SampleBatch._COLUMNS
-            }
-        )
+        lens = [len(b) for b in batches]
+        total = sum(lens)
+        cols: dict[str, np.ndarray] = {}
+        for c in SampleBatch._COLUMNS:
+            col = np.empty(total, dtype=SampleBatch._DTYPES[c])
+            off = 0
+            for b, k in zip(batches, lens):
+                if k:
+                    col[off : off + k] = getattr(b, c)
+                    off += k
+            cols[c] = col
+        return SampleBatch(**cols)
 
     def sorted_by_time(self) -> "SampleBatch":
         order = np.argsort(self.ts, kind="stable")

@@ -23,6 +23,7 @@ with 10^10+ operations.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Protocol
 
@@ -34,6 +35,7 @@ from repro.cpu.pipeline import PipelineModel
 from repro.errors import SpeError
 from repro.spe.config import SpeConfig
 from repro.spe.records import SampleBatch
+from repro.spe.refpath import reference_active
 
 
 class OpSource(Protocol):
@@ -130,25 +132,30 @@ def sample_positions(
         return np.zeros(0, dtype=np.int64), first
     if first > n_ops:
         return np.zeros(0, dtype=np.int64), first - n_ops
-    # draw enough intervals to exceed n_ops, then trim
+    # draw enough intervals to exceed n_ops, then trim; a short draw is
+    # topped up chunk by chunk (accumulated in a list and joined once at
+    # the end, so the already-drawn prefix is never re-copied and the
+    # total grows geometrically instead of quadratically)
     n_est = int((n_ops - first) // max(1, period - window)) + 2
-    pos = first - 1 + np.concatenate([[0], np.cumsum(draw(n_est))])
-    while pos[-1] < n_ops - 1:
-        pos = np.concatenate([pos, pos[-1] + np.cumsum(draw(n_est))])
+    chunks = [first - 1 + np.concatenate([[0], np.cumsum(draw(n_est))])]
+    last = int(chunks[-1][-1])
+    while last < n_ops - 1:
+        more = last + np.cumsum(draw(n_est))
+        chunks.append(more)
+        last = int(more[-1])
+    pos = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
     past = pos[pos >= n_ops]
     residue = int(past[0]) - (n_ops - 1) if past.size else int(draw(1)[0])
     return pos[pos < n_ops], residue
 
 
-def collision_scan(
+def _reference_collision_scan(
     select_cycles: np.ndarray, latencies: np.ndarray
 ) -> tuple[np.ndarray, int]:
-    """Greedy in-flight tracking: drop samples that arrive while busy.
+    """Scalar reference for :func:`collision_scan`.
 
-    ``select_cycles`` are the (sorted) cycle times at which the interval
-    counter fired; ``latencies`` the pipeline lifetime of each selected
-    op.  Only a *kept* sample occupies the tracker.  Returns (keep mask,
-    number of collisions).
+    The original O(n) Python loop, retained verbatim: the differential
+    suite pins the vectorized scan bit-identical to this implementation.
     """
     n = select_cycles.shape[0]
     if n == 0:
@@ -168,6 +175,109 @@ def collision_scan(
         else:
             busy_until = t[j] + lat[j]
     return keep, collisions
+
+
+#: block size for the vectorized successor-map computation
+_SCAN_BLOCK = 16384
+#: estimated keep fraction below which the lazy per-step search wins
+_SCAN_SPARSE_FRAC = 1 / 16
+
+
+def _successor_blocks(t: np.ndarray, end: np.ndarray) -> np.ndarray:
+    """Successor map ``f[j]`` = first index whose select time clears the
+    tracker freed by a kept sample at ``j`` (computed vectorized in
+    blocks; clamped strictly forward so zero-latency ties cannot stall
+    the chain)."""
+    n = t.shape[0]
+    f = np.empty(n, dtype=np.int64)
+    for s in range(0, n, _SCAN_BLOCK):
+        eb = end[s : s + _SCAN_BLOCK]
+        f[s : s + eb.shape[0]] = np.searchsorted(t, eb, side="left")
+    np.maximum(f, np.arange(1, n + 1, dtype=np.int64), out=f)
+    return f
+
+
+def collision_scan(
+    select_cycles: np.ndarray, latencies: np.ndarray
+) -> tuple[np.ndarray, int]:
+    """Greedy in-flight tracking: drop samples that arrive while busy.
+
+    ``select_cycles`` are the (sorted) cycle times at which the interval
+    counter fired; ``latencies`` the pipeline lifetime of each selected
+    op.  Only a *kept* sample occupies the tracker.  Returns (keep mask,
+    number of collisions).
+
+    Bit-identical to :func:`_reference_collision_scan` but never walks
+    the full stream in Python.  The key structural fact: because
+    ``select_cycles`` is sorted, a kept sample at ``j`` drops exactly
+    the *contiguous* run of following samples with ``t < t[j] + lat[j]``
+    — so the kept set is the orbit of index 0 under a "next kept"
+    successor map, and only the ``n_kept`` chain nodes need any scalar
+    work.  Two exact strategies, picked by a cheap density probe:
+
+    * **dense** (many survivors): the successor map is materialised with
+      blocked vectorized ``searchsorted`` passes and the chain is walked
+      through a memoryview (O(1) per *kept* sample);
+    * **sparse** (collision-heavy): the successor of each chain node is
+      found lazily with a C ``bisect`` per kept sample, skipping the
+      per-element ``searchsorted`` cost entirely.  A bail-out bound
+      (chain much longer than the probe predicted) falls back to the
+      dense strategy, so adversarial inputs degrade gracefully.
+    """
+    if reference_active():
+        return _reference_collision_scan(select_cycles, latencies)
+    n = select_cycles.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool), 0
+    gaps = np.diff(select_cycles)
+    if gaps.size == 0 or gaps.min() >= latencies.max():
+        return np.ones(n, dtype=bool), 0  # fast path: no overlap possible
+    t = np.ascontiguousarray(select_cycles, dtype=np.float64)
+    end = t + np.asarray(latencies, dtype=np.float64)
+
+    kept: list[int] | None = None
+    if n >= 4096:
+        # strided probe of the overlap ratio: keep rate of the renewal
+        # process is ~ 1 / (1 + E[lat] / E[gap])
+        stride = max(1, n // 512)
+        probe = np.arange(0, n - 1, stride)
+        gap_mean = float(np.mean(t[probe + 1] - t[probe]))
+        lat_mean = float(np.mean(end[probe] - t[probe]))
+        est_frac = 1.0 / (1.0 + lat_mean / max(gap_mean, 1e-300))
+        if est_frac <= _SCAN_SPARSE_FRAC:
+            kept = _sparse_chain_walk(
+                t, end, bail=int(2.5 * est_frac * n) + 1024
+            )
+    if kept is None:
+        f = memoryview(_successor_blocks(t, end))
+        kept = []
+        append = kept.append
+        j = 0
+        while j < n:
+            append(j)
+            j = f[j]
+    keep = np.zeros(n, dtype=bool)
+    keep[kept] = True
+    return keep, n - len(kept)
+
+
+def _sparse_chain_walk(
+    t: np.ndarray, end: np.ndarray, bail: int
+) -> list[int] | None:
+    """Kept-chain indices via lazy per-node bisect; None past ``bail``."""
+    haystack = memoryview(t)
+    targets = memoryview(end)
+    n = t.shape[0]
+    kept: list[int] = []
+    append = kept.append
+    search = bisect.bisect_left
+    j = 0
+    while j < n:
+        if len(kept) > bail:
+            return None  # probe misjudged the density: redo vectorized
+        append(j)
+        j = search(haystack, targets[j], j + 1)
+    return kept
 
 
 @dataclass

@@ -1,0 +1,75 @@
+"""The perf-smoke gate (benchmarks/check_regression.py) logic."""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_regression", ROOT / "benchmarks" / "check_regression.py"
+    )
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def report(**entries):
+    return {"schema": "repro-bench-substrate/1", "entries": entries}
+
+
+class TestCheck:
+    def setup_method(self):
+        self.check = load_checker().check
+
+    def test_clean_run_passes(self):
+        base = report(a={"metric": "ops_per_s", "value": 100.0})
+        cur = report(a={"metric": "ops_per_s", "value": 95.0})
+        assert self.check(cur, base, 2.0) == []
+
+    def test_ops_regression_fails(self):
+        base = report(a={"metric": "ops_per_s", "value": 100.0})
+        cur = report(a={"metric": "ops_per_s", "value": 40.0})
+        failures = self.check(cur, base, 2.0)
+        assert len(failures) == 1 and "a:" in failures[0]
+
+    def test_seconds_regression_fails(self):
+        base = report(a={"metric": "seconds", "value": 1.0})
+        cur = report(a={"metric": "seconds", "value": 2.5})
+        assert len(self.check(cur, base, 2.0)) == 1
+
+    def test_seconds_improvement_passes(self):
+        base = report(a={"metric": "seconds", "value": 1.0})
+        cur = report(a={"metric": "seconds", "value": 0.2})
+        assert self.check(cur, base, 2.0) == []
+
+    def test_speedup_floor_enforced_without_baseline_entry(self):
+        cur = report(
+            a={
+                "metric": "ops_per_s",
+                "value": 1.0,
+                "speedup_vs_reference": 2.4,
+                "min_speedup": 5.0,
+            }
+        )
+        failures = self.check(cur, report(), 2.0)
+        assert len(failures) == 1 and "floor" in failures[0]
+
+    def test_missing_entry_reported(self):
+        base = report(gone={"metric": "ops_per_s", "value": 1.0})
+        failures = self.check(report(), base, 2.0)
+        assert len(failures) == 1 and "missing" in failures[0]
+
+    def test_new_entry_tolerated(self):
+        cur = report(new={"metric": "ops_per_s", "value": 1.0})
+        assert self.check(cur, report(), 2.0) == []
+
+    def test_checked_in_baseline_passes_against_itself(self):
+        import json
+
+        base = json.loads(
+            (ROOT / "benchmarks" / "baselines" / "BENCH_substrate.baseline.json")
+            .read_text()
+        )
+        assert self.check(base, base, 2.0) == []
