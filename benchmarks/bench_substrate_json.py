@@ -31,7 +31,8 @@ from repro.cpu.clock import GenericTimer
 from repro.cpu.pipeline import PipelineModel
 from repro.cpu.ops import OpKind
 from repro.machine.hierarchy import MemLevel
-from repro.machine.spec import ampere_altra_max
+from repro.machine.spec import ampere_altra_max, tiered_altra_max
+from repro.machine.tiers import PagePlacement
 from repro.nmo.backends import FixedAuxPagesBackend
 from repro.nmo.env import NmoMode, NmoSettings
 from repro.nmo.profiler import NmoProfiler
@@ -180,6 +181,34 @@ def bench_simple_rates() -> dict[str, dict]:
     }
 
 
+def bench_tiering_remap() -> dict:
+    """The tier-attribution hot path: 1M sampled addresses through
+    ``PagePlacement.tier_of`` (sorted-page ``searchsorted`` lookup) on a
+    1M-page map — the per-record cost the tiered-memory model adds to
+    every DRAM-class sample (docs/memory-tiers.md)."""
+    machine = tiered_altra_max()
+    rng = np.random.default_rng(0)
+    n_pages, n_addrs = 1_000_000, 1_000_000
+    shift = int(machine.page_size).bit_length() - 1
+    pages = np.sort(
+        rng.choice(np.uint64(8 * n_pages), size=n_pages, replace=False)
+    ).astype(np.uint64)
+    tiers = rng.integers(0, 3, n_pages, dtype=np.uint8)
+    placement = PagePlacement(pages, tiers, shift, 3)
+    addrs = (
+        pages[rng.integers(0, n_pages, n_addrs)] << np.uint64(shift)
+    ) + np.uint64(64)
+    out = placement.tier_of(addrs)
+    counts = np.bincount(out, minlength=3)
+    return {
+        "metric": "ops_per_s",
+        "value": n_addrs / best_seconds(lambda: placement.tier_of(addrs)),
+        "n": n_addrs,
+        "n_pages": n_pages,
+        "tier_counts": [int(c) for c in counts],
+    }
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--out", default="BENCH_substrate.json", help="output path")
@@ -196,6 +225,8 @@ def main(argv=None) -> int:
     entries["spe_feed_fig9_small_aux_profile"] = bench_feed_profile(min_speedup=3.0)
     print("simple substrate rates...")
     entries.update(bench_simple_rates())
+    print("tiering placement remap (1m samples over a 1m-page map)...")
+    entries["tiering_placement_remap_1m"] = bench_tiering_remap()
 
     report = {
         "schema": "repro-bench-substrate/1",

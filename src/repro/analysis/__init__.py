@@ -23,9 +23,15 @@ from repro.analysis.temporal import (
     resample,
     saturation_point,
 )
+from repro.analysis.tiering import (
+    TierUsage,
+    render_tier_usage,
+    tiering_breakdown,
+)
 
 __all__ = [
     "BiasReport",
+    "TierUsage",
     "TrialStats",
     "aggregate_trials",
     "analyse_bias",
@@ -38,10 +44,12 @@ __all__ = [
     "linearity_check",
     "phase_segments",
     "rate_of",
+    "render_tier_usage",
     "resample",
     "sampling_accuracy",
     "saturation_point",
     "scatter_plot",
     "table",
+    "tiering_breakdown",
     "time_overhead",
 ]

@@ -1,0 +1,151 @@
+"""Per-tier breakdowns of profiled runs (the placement-analysis view).
+
+Given a :class:`~repro.nmo.profiler.ProfileResult` from a tiered
+machine, this module renders the question the paper's multi-level
+profiling exists to answer: *how much of the run's latency and traffic
+does each memory tier carry, and did the placement policy put the hot
+pages near the core?*
+
+Sample counts scale to traffic the standard SPE way: at period ``P``
+each kept sample stands for ``P`` operations, and each DRAM-class
+access moves one cache line, so a tier's estimated traffic is
+``samples * P * line_size`` bytes.  Latency is read straight off the
+records' ``total_lat`` field (the per-op pipeline latency SPE tracked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.plotting import table
+from repro.errors import AnalysisError
+from repro.machine.hierarchy import MemLevel, tier_level
+from repro.machine.spec import GiB, MachineSpec
+
+
+@dataclass(frozen=True)
+class TierUsage:
+    """One tier's share of a profiled run."""
+
+    tier: int                 #: tier index (0 = near/local)
+    name: str                 #: tier label from the machine spec
+    level: MemLevel           #: SPE memory level the tier reports
+    samples: int              #: DRAM-class samples serviced here
+    sample_share: float       #: fraction of all DRAM-class samples
+    mean_latency_cycles: float  #: mean sampled total latency
+    est_bytes: float          #: samples * period * line_size
+    est_bandwidth_gibs: float  #: est_bytes / profiled wall time
+    page_share: float         #: fraction of mapped pages placed here
+
+
+def tiering_breakdown(
+    result,
+    machine: MachineSpec,
+    placement=None,
+) -> list[TierUsage]:
+    """Per-tier usage rows for one profiled run on a tiered machine.
+
+    ``placement`` (a :class:`~repro.machine.tiers.PagePlacement`)
+    supplies each tier's page share when given; without it the page
+    column reads 0.  Tiers with no samples still get a row, so sweeps
+    render rectangular tables.
+    """
+    if machine.tiers is None:
+        raise AnalysisError(
+            "tiering_breakdown needs a tiered machine (MachineSpec.tiers); "
+            "use a tiered preset such as tiered_altra_max"
+        )
+    levels = np.asarray(result.batch.level)
+    lats = np.asarray(result.batch.total_lat, dtype=np.float64)
+    dram_class = levels >= np.uint8(MemLevel.DRAM)
+    total_dram = int(dram_class.sum())
+    period = max(int(result.settings.period), 1)
+    duration_s = result.profiled_cycles / machine.frequency_hz
+    page_shares = (
+        placement.fractions() if placement is not None
+        else np.zeros(len(machine.tiers))
+    )
+
+    rows: list[TierUsage] = []
+    for i, tier in enumerate(machine.tiers):
+        level = tier_level(i)
+        mask = levels == np.uint8(level)
+        n = int(mask.sum())
+        est_bytes = float(n * period * machine.line_size)
+        rows.append(
+            TierUsage(
+                tier=i,
+                name=tier.name,
+                level=level,
+                samples=n,
+                sample_share=n / total_dram if total_dram else 0.0,
+                mean_latency_cycles=float(lats[mask].mean()) if n else 0.0,
+                est_bytes=est_bytes,
+                est_bandwidth_gibs=(
+                    est_bytes / duration_s / GiB if duration_s > 0 else 0.0
+                ),
+                page_share=float(page_shares[i]) if i < len(page_shares) else 0.0,
+            )
+        )
+    return rows
+
+
+def render_tier_rows(rows: list[dict], title: str = "Tier usage") -> str:
+    """Format per-tier dict rows as the standard exhibit table.
+
+    The one formatter behind both :func:`render_tier_usage` and the
+    scenario report's per-trial breakdowns, so the analysis view and
+    ``repro run`` output can never drift apart.  Row keys match what
+    the tiering trial recipe emits: ``name``, ``level`` (pretty
+    string), ``pages`` (page share), ``samples``, ``sample_share``,
+    ``mean_latency``, ``est_gibs``.
+    """
+    return table(
+        ["tier", "level", "pages", "samples", "share", "mean lat", "est GiB/s"],
+        [
+            [
+                r["name"],
+                r["level"],
+                f"{r['pages'] * 100:.0f}%",
+                r["samples"],
+                f"{r['sample_share'] * 100:.1f}%",
+                f"{r['mean_latency']:.0f}cy",
+                f"{r['est_gibs']:.2f}",
+            ]
+            for r in rows
+        ],
+        title=title,
+    )
+
+
+def tier_usage_rows(rows: list[TierUsage]) -> list[dict]:
+    """Flatten :class:`TierUsage` values to the shared dict-row shape."""
+    return [
+        {
+            "tier": r.tier,
+            "name": r.name,
+            "level": r.level.pretty,
+            "pages": r.page_share,
+            "samples": r.samples,
+            "sample_share": r.sample_share,
+            "mean_latency": r.mean_latency_cycles,
+            "est_gibs": r.est_bandwidth_gibs,
+        }
+        for r in rows
+    ]
+
+
+def render_tier_usage(rows: list[TierUsage], title: str = "Tier usage") -> str:
+    """Format per-tier usage rows as the standard exhibit table."""
+    return render_tier_rows(tier_usage_rows(rows), title=title)
+
+
+__all__ = [
+    "TierUsage",
+    "render_tier_rows",
+    "render_tier_usage",
+    "tier_usage_rows",
+    "tiering_breakdown",
+]

@@ -60,13 +60,21 @@ class PipelineModel:
     # -- per-op latencies (SPE tracking window) ---------------------------------
 
     def level_latency(self, level: MemLevel | int) -> int:
+        """Load-to-use latency of a data source, in core cycles.
+
+        DRAM-class levels resolve through the machine's memory-tier
+        table (``MachineSpec.tiers``); on a flat machine every tier
+        degenerates to the one DRAM channel's latency.
+        """
+        level = MemLevel(level)
         lut = {
             MemLevel.L1: self.spec.l1d.latency_cycles,
             MemLevel.L2: self.spec.l2.latency_cycles,
             MemLevel.SLC: self.spec.slc.latency_cycles,
-            MemLevel.DRAM: self.spec.dram.latency_cycles,
         }
-        return lut[MemLevel(level)]
+        if level in lut:
+            return lut[level]
+        return self.spec.tier_latency_cycles(level.tier)
 
     def op_latencies(
         self,
@@ -97,10 +105,14 @@ class PipelineModel:
             levels = np.asarray(levels, dtype=np.uint8)
             if levels.shape != kinds.shape:
                 raise MachineError("levels array must match kinds shape")
-            lut = np.zeros(int(MemLevel.DRAM) + 1, dtype=np.float64)
+            lut = np.zeros(int(MemLevel.DRAM_CXL) + 1, dtype=np.float64)
             for lv in MemLevel:
                 lut[int(lv)] = self.level_latency(lv)
-            lut[int(MemLevel.DRAM)] *= dram_scale
+            # queueing stretches every DRAM-class tier: loaded latency
+            # scales with channel pressure wherever the line lives
+            for lv in MemLevel:
+                if lv.is_dram_class:
+                    lut[int(lv)] *= dram_scale
             lat[is_mem] += lut[levels[is_mem]]
         if rng is not None and self.jitter > 0:
             lat *= rng.uniform(1.0 - self.jitter, 1.0 + self.jitter, size=lat.shape)

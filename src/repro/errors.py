@@ -78,5 +78,9 @@ class ScenarioError(ReproError):
     """Invalid declarative scenario (unknown kind, bad axis, bad JSON...)."""
 
 
+class AnalysisError(ReproError):
+    """Post-processing request the profile data cannot answer."""
+
+
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""

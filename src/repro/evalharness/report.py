@@ -24,6 +24,7 @@ from repro.scenarios.report import (  # noqa: F401 — compatibility re-exports
 
 
 def render_capacity(results: dict[str, dict]) -> str:
+    """Render the Fig. 2 capacity view: one RSS-over-time chart per run."""
     parts = []
     for name, r in results.items():
         t, v = r["series"]
@@ -40,6 +41,7 @@ def render_capacity(results: dict[str, dict]) -> str:
 
 
 def render_bandwidth(results: dict[str, dict]) -> str:
+    """Render the Fig. 3 bandwidth view: bus-event rate charts per run."""
     parts = []
     for name, r in results.items():
         t, v = r["series"]

@@ -6,25 +6,53 @@ Table II).  See ``DESIGN.md`` section 1 for the substitution rationale.
 
 from repro.machine.address_space import Mapping, VirtualAddressSpace
 from repro.machine.cache import SetAssociativeCache
-from repro.machine.hierarchy import MemLevel, MemoryHierarchy
+from repro.machine.hierarchy import (
+    CORE_LEVELS,
+    DRAM_LEVELS,
+    MemLevel,
+    MemoryHierarchy,
+    tier_level,
+)
 from repro.machine.memory import ContendedChannel, DramModel
 from repro.machine.spec import (
     CACHE_LINE,
+    MAX_MEMORY_TIERS,
     CacheSpec,
     DramSpec,
     GiB,
     KiB,
     MachineSpec,
+    MemoryTierSpec,
     MiB,
     ampere_altra_max,
     small_test_machine,
+    tiered_altra_max,
+    tiered_test_machine,
     x86_pebs_machine,
 )
 from repro.machine.statcache import AccessClass, StatCacheModel
+from repro.machine.tiers import (
+    PLACEMENT_POLICIES,
+    MemoryTier,
+    PagePlacement,
+    TieredMemory,
+    apply_tiering,
+    first_touch_placement,
+    hotness_placement,
+    interleave_placement,
+    mapped_page_ids,
+    page_hotness,
+    placement_for,
+    tier_budgets,
+)
 from repro.machine.tlb import Tlb
 
 __all__ = [
     "CACHE_LINE",
+    "CORE_LEVELS",
+    "DRAM_LEVELS",
+    "MAX_MEMORY_TIERS",
+    "PLACEMENT_POLICIES",
     "AccessClass",
     "CacheSpec",
     "ContendedChannel",
@@ -36,12 +64,27 @@ __all__ = [
     "Mapping",
     "MemLevel",
     "MemoryHierarchy",
+    "MemoryTier",
+    "MemoryTierSpec",
     "MiB",
+    "PagePlacement",
     "SetAssociativeCache",
     "StatCacheModel",
+    "TieredMemory",
     "Tlb",
     "VirtualAddressSpace",
     "ampere_altra_max",
+    "apply_tiering",
+    "first_touch_placement",
+    "hotness_placement",
+    "interleave_placement",
+    "mapped_page_ids",
+    "page_hotness",
+    "placement_for",
     "small_test_machine",
+    "tier_budgets",
+    "tier_level",
+    "tiered_altra_max",
+    "tiered_test_machine",
     "x86_pebs_machine",
 ]

@@ -24,16 +24,57 @@ from repro.machine.spec import MachineSpec
 
 
 class MemLevel(enum.IntEnum):
-    """Data source of a memory access, ordered core-outwards."""
+    """Data source of a memory access, ordered core-outwards.
+
+    ``DRAM`` and beyond are the DRAM-class levels: on a tiered machine
+    (``MachineSpec.tiers``) memory tier *i* is reported as level
+    ``DRAM + i`` — local DDR, then remote-NUMA, then CXL-class far
+    memory.  On a flat machine only levels up to ``DRAM`` ever appear
+    in sample records, which keeps the single-tier encoding unchanged.
+    """
 
     L1 = 1
     L2 = 2
     SLC = 3
     DRAM = 4
+    DRAM_REMOTE = 5
+    DRAM_CXL = 6
 
     @property
     def pretty(self) -> str:
-        return {1: "L1", 2: "L2", 3: "SLC", 4: "DRAM"}[int(self)]
+        """Short human label ("L1" ... "DRAM-CXL")."""
+        return {
+            1: "L1", 2: "L2", 3: "SLC",
+            4: "DRAM", 5: "DRAM-remote", 6: "DRAM-CXL",
+        }[int(self)]
+
+    @property
+    def is_dram_class(self) -> bool:
+        """Whether this level is serviced by main memory (any tier)."""
+        return int(self) >= int(MemLevel.DRAM)
+
+    @property
+    def tier(self) -> int | None:
+        """Memory tier index for DRAM-class levels, else ``None``."""
+        return int(self) - int(MemLevel.DRAM) if self.is_dram_class else None
+
+
+#: the levels the cache model can produce before tier attribution —
+#: iterate these (not ``MemLevel``) wherever sampled-level distributions
+#: are built, so the flat-DRAM path stays bit-identical
+CORE_LEVELS = (MemLevel.L1, MemLevel.L2, MemLevel.SLC, MemLevel.DRAM)
+
+#: DRAM-class levels, near to far (tier 0, 1, 2)
+DRAM_LEVELS = (MemLevel.DRAM, MemLevel.DRAM_REMOTE, MemLevel.DRAM_CXL)
+
+
+def tier_level(tier: int) -> MemLevel:
+    """The :class:`MemLevel` reported for memory tier ``tier``."""
+    if not 0 <= tier < len(DRAM_LEVELS):
+        raise MachineError(
+            f"tier must be in [0, {len(DRAM_LEVELS)}), got {tier}"
+        )
+    return DRAM_LEVELS[tier]
 
 
 class MemoryHierarchy:
@@ -67,7 +108,11 @@ class MemoryHierarchy:
             MemLevel.L1: spec.l1d.latency_cycles,
             MemLevel.L2: spec.l2.latency_cycles,
             MemLevel.SLC: spec.slc.latency_cycles,
-            MemLevel.DRAM: spec.dram.latency_cycles,
+            # DRAM-class levels resolve through the tier table: on a flat
+            # machine every tier degenerates to the one DRAM channel
+            MemLevel.DRAM: spec.tier_latency_cycles(0),
+            MemLevel.DRAM_REMOTE: spec.tier_latency_cycles(1),
+            MemLevel.DRAM_CXL: spec.tier_latency_cycles(2),
         }
 
     # -- access path -----------------------------------------------------------
@@ -101,7 +146,7 @@ class MemoryHierarchy:
     def latencies_for(self, levels: np.ndarray) -> np.ndarray:
         """Map a level array to per-access latencies (vectorised)."""
         levels = np.asarray(levels, dtype=np.uint8)
-        lut = np.zeros(int(MemLevel.DRAM) + 1, dtype=np.int64)
+        lut = np.zeros(int(MemLevel.DRAM_CXL) + 1, dtype=np.int64)
         for lv, lat in self._latency.items():
             lut[int(lv)] = lat
         return lut[levels]

@@ -89,6 +89,67 @@ class DramSpec:
             raise MachineError("DRAM capacity and bandwidth must be positive")
 
 
+#: Most memory tiers a machine may declare: tier *i* is reported as SPE
+#: memory level ``MemLevel.DRAM + i`` and the record encoding reserves
+#: exactly three DRAM-class data-source codes (local / remote / CXL).
+MAX_MEMORY_TIERS = 3
+
+
+@dataclass(frozen=True)
+class MemoryTierSpec:
+    """One level of a tiered main-memory system.
+
+    A tier is a DRAM-class destination with its own distance from the
+    core: local DDR, a remote NUMA node, or CXL-attached far memory.
+    Each tier gets a private :class:`~repro.machine.memory.ContendedChannel`
+    at runtime (see :mod:`repro.machine.tiers`), so bandwidth saturation
+    and stream contention are per-tier.
+
+    Parameters
+    ----------
+    name:
+        Tier label used in reports ("local", "remote", "cxl", ...).
+    capacity:
+        Tier capacity in bytes.
+    peak_bandwidth:
+        Peak bytes/second of the tier's channel.
+    latency_cycles:
+        Loaded latency seen by the core for an access serviced here.
+    efficiency:
+        Achievable fraction of peak bandwidth (the roofline knob of
+        :class:`~repro.machine.memory.DramModel`).
+    knee:
+        Saturation-knee fraction of the tier's contended channel.
+    """
+
+    name: str
+    capacity: int
+    peak_bandwidth: float
+    latency_cycles: int
+    efficiency: float = 0.85
+    knee: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise MachineError("memory tier needs a name")
+        if self.capacity <= 0 or self.peak_bandwidth <= 0:
+            raise MachineError("tier capacity and bandwidth must be positive")
+        if self.latency_cycles <= 0:
+            raise MachineError("tier latency must be positive")
+        if not 0.0 < self.efficiency <= 1.0:
+            raise MachineError("tier efficiency must be in (0, 1]")
+        if not 0.0 < self.knee <= 1.0:
+            raise MachineError("tier knee must be in (0, 1]")
+
+    def to_dram_spec(self) -> DramSpec:
+        """The tier as a plain :class:`DramSpec` (channel construction)."""
+        return DramSpec(
+            capacity=self.capacity,
+            peak_bandwidth=self.peak_bandwidth,
+            latency_cycles=self.latency_cycles,
+        )
+
+
 @dataclass(frozen=True)
 class MachineSpec:
     """Full machine description used by every substrate layer.
@@ -122,6 +183,15 @@ class MachineSpec:
     has_spe: bool = True
     #: Architecture string reported to NMO's backend selection.
     arch: str = "aarch64"
+    #: Optional tiered main memory: tier 0 is the near/local tier and
+    #: must mirror ``dram`` (so single-tier code paths stay calibrated);
+    #: ``None`` means the classic flat single-channel DRAM.
+    tiers: tuple[MemoryTierSpec, ...] | None = None
+
+    #: fields omitted from cache keys while at their ``None`` default —
+    #: see :func:`repro.orchestrate.cache.canonical_config`.  Adding a
+    #: defaulted field here keeps every pre-existing cache entry valid.
+    __cache_optional__ = frozenset({"tiers"})
 
     def __post_init__(self) -> None:
         if self.n_cores <= 0:
@@ -134,6 +204,28 @@ class MachineSpec:
         for c in (self.l1i, self.l2, self.slc):
             if c.line_size != line:
                 raise MachineError("all cache levels must share one line size")
+        if self.tiers is not None:
+            object.__setattr__(self, "tiers", tuple(self.tiers))
+            if not 1 <= len(self.tiers) <= MAX_MEMORY_TIERS:
+                raise MachineError(
+                    f"machine supports 1..{MAX_MEMORY_TIERS} memory tiers, "
+                    f"got {len(self.tiers)}"
+                )
+            if any(not isinstance(t, MemoryTierSpec) for t in self.tiers):
+                raise MachineError("tiers must be MemoryTierSpec instances")
+            names = [t.name for t in self.tiers]
+            if len(set(names)) != len(names):
+                raise MachineError(f"tier names must be unique, got {names}")
+            near = self.tiers[0]
+            if (
+                near.latency_cycles != self.dram.latency_cycles
+                or near.peak_bandwidth != self.dram.peak_bandwidth
+            ):
+                raise MachineError(
+                    "tier 0 is the near tier and must mirror the dram spec "
+                    "(latency and peak bandwidth), so single-tier paths stay "
+                    "bit-identical"
+                )
 
     # -- derived quantities -------------------------------------------------
 
@@ -162,6 +254,25 @@ class MachineSpec:
     def with_cores(self, n_cores: int) -> "MachineSpec":
         """Return a copy of this spec with a different core count."""
         return replace(self, n_cores=n_cores)
+
+    @property
+    def n_tiers(self) -> int:
+        """Number of main-memory tiers (1 for the flat DRAM model)."""
+        return len(self.tiers) if self.tiers is not None else 1
+
+    def tier_latency_cycles(self, tier: int) -> int:
+        """Loaded latency of memory tier ``tier`` (0 = near/local).
+
+        On a flat machine every DRAM-class level degenerates to the one
+        channel, so any tier index maps to the ``dram`` latency.
+        """
+        if tier < 0 or tier >= MAX_MEMORY_TIERS:
+            raise MachineError(
+                f"tier must be in [0, {MAX_MEMORY_TIERS}), got {tier}"
+            )
+        if self.tiers is None or tier >= len(self.tiers):
+            return self.dram.latency_cycles
+        return self.tiers[tier].latency_cycles
 
     def describe(self) -> dict[str, str]:
         """Human-readable spec rows mirroring Table II of the paper."""
@@ -200,6 +311,45 @@ def small_test_machine(n_cores: int = 4) -> MachineSpec:
         l2=CacheSpec(8 * KiB, 4, latency_cycles=13),
         slc=CacheSpec(64 * KiB, 8, latency_cycles=55, shared=True),
         dram=DramSpec(256 * MiB, 10e9, latency_cycles=200),
+    )
+
+
+def tiered_altra_max() -> MachineSpec:
+    """The Altra Max testbed with a three-tier main-memory system.
+
+    Tier 0 mirrors the Table II DDR4 channel exactly; tier 1 is a
+    remote-NUMA hop (roughly 1.5x latency, half the bandwidth); tier 2
+    is CXL-class far memory (~3x latency, a quarter of the bandwidth) —
+    the hyperscale tiering regime of Mahar et al. (see PAPERS.md).
+    """
+    base = ampere_altra_max()
+    return replace(
+        base,
+        name="ARM Ampere Altra Max 64-Bit (tiered memory)",
+        tiers=(
+            MemoryTierSpec("local", 256 * GiB, 200e9, 330),
+            MemoryTierSpec("remote", 256 * GiB, 100e9, 500),
+            MemoryTierSpec("cxl", 512 * GiB, 50e9, 990),
+        ),
+    )
+
+
+def tiered_test_machine(n_cores: int = 4) -> MachineSpec:
+    """The tiny test machine with local / remote / CXL memory tiers.
+
+    Geometry mirrors :func:`small_test_machine` (tier 0 is its DRAM
+    channel bit-for-bit) so tier-disabled runs on this spec compare
+    directly against the flat machine.
+    """
+    base = small_test_machine(n_cores=n_cores)
+    return replace(
+        base,
+        name="test-arm-tiered",
+        tiers=(
+            MemoryTierSpec("local", 256 * MiB, 10e9, 200),
+            MemoryTierSpec("remote", 256 * MiB, 5e9, 320),
+            MemoryTierSpec("cxl", 512 * MiB, 2.5e9, 600),
+        ),
     )
 
 

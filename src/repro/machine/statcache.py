@@ -40,7 +40,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MachineError
-from repro.machine.hierarchy import MemLevel
+from repro.machine.hierarchy import CORE_LEVELS, MemLevel
 from repro.machine.spec import MachineSpec
 
 
@@ -136,6 +136,11 @@ class StatCacheModel:
             probs[level] = residual * p
             residual *= 1.0 - p
         probs[MemLevel.DRAM] = residual
+        # the statistical model stops at "reached main memory"; which
+        # *tier* serviced the access is a property of the page, applied
+        # downstream by the placement map (repro.machine.tiers)
+        probs[MemLevel.DRAM_REMOTE] = 0.0
+        probs[MemLevel.DRAM_CXL] = 0.0
         return probs
 
     def mixture_probabilities(
@@ -169,7 +174,10 @@ class StatCacheModel:
         if n < 0:
             raise MachineError("n must be >= 0")
         probs = self.mixture_probabilities(classes, sharers=sharers)
-        levels = np.array([int(lv) for lv in MemLevel], dtype=np.uint8)
+        # draw over the core levels only: tier attribution is a pure
+        # post-hoc remap of DRAM draws, so the RNG stream (and hence
+        # every flat-machine profile) stays bit-identical
+        levels = np.array([int(lv) for lv in CORE_LEVELS], dtype=np.uint8)
         pvec = np.array([probs[MemLevel(lv)] for lv in levels], dtype=np.float64)
         pvec = pvec / pvec.sum()
         return rng.choice(levels, size=n, p=pvec)
@@ -185,7 +193,7 @@ class StatCacheModel:
             MemLevel.SLC: self.spec.slc.latency_cycles,
             MemLevel.DRAM: self.spec.dram.latency_cycles,
         }
-        return sum(probs[lv] * lat[lv] for lv in MemLevel)
+        return sum(probs[lv] * lat[lv] for lv in CORE_LEVELS)
 
     def dram_fraction(self, classes: list[AccessClass], sharers: int = 1) -> float:
         """Share of accesses that reach DRAM (drives bandwidth estimates)."""

@@ -1,0 +1,528 @@
+"""Tiered main memory: per-tier channels and the page-placement engine.
+
+The paper's premise is *memory-centric* profiling: SPE samples attribute
+latency and traffic to the level of the memory hierarchy that serviced
+each access, precisely so that data can be **placed** where it hurts
+least.  This module adds the placement half of that loop to the
+simulated machine:
+
+* :class:`TieredMemory` — the runtime model of a
+  ``MachineSpec.tiers`` declaration: each
+  :class:`~repro.machine.spec.MemoryTierSpec` (local DRAM, remote-NUMA,
+  CXL-class far memory) gets its own latency and a private
+  :class:`~repro.machine.memory.ContendedChannel`, so bandwidth
+  rooflines and stream contention are per-tier;
+* :class:`PagePlacement` — an immutable page→tier map over a
+  process's :class:`~repro.machine.address_space.VirtualAddressSpace`,
+  with vectorised ``tier_of`` lookup used to tag sampled addresses;
+* placement **policies** — :func:`interleave_placement` (static
+  spread), :func:`first_touch_placement` (allocation order fills the
+  near tier first), and :func:`hotness_placement` (SPE sample counts
+  rank pages; the hottest pages win the near tier — the paper's
+  "profile, then place" loop, see :func:`page_hotness`);
+* :func:`apply_tiering` — re-times a workload's phases for its
+  placement: the DRAM share of each phase's expected latency is
+  re-weighted by where its pages actually live, and per-tier bandwidth
+  rooflines stretch (or relieve) saturated phases.
+
+Placement is expressed against a **far-memory ratio** ``r``: the near
+tier is budgeted ``(1 - r)`` of the workload's pages and the far tiers
+split the remainder — the capacity-pressure axis swept by the
+``tiering_sweep`` scenario (Mahar et al.'s hyperscale regime, see
+PAPERS.md).
+
+Single-tier calibration: a flat machine never constructs these objects,
+and a tiered machine with ``far_ratio == 0`` places every page in tier
+0, whose latency and bandwidth must mirror the ``dram`` spec — both
+paths are pinned bit-identical by ``tests/machine/test_tiers.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineError
+from repro.machine.hierarchy import MemLevel, tier_level
+from repro.machine.memory import ContendedChannel, DramModel
+from repro.machine.spec import MachineSpec, MemoryTierSpec
+
+#: salt separating the interleave hash from workload address hashes
+_INTERLEAVE_SALT = 0x7165
+
+#: placement policy names accepted by :func:`placement_for` (and the
+#: scenario layer's ``TieringSpec.policies``)
+PLACEMENT_POLICIES = ("interleave", "first_touch", "hotness")
+
+
+def _page_uniform(page_ids: np.ndarray, salt: int) -> np.ndarray:
+    """Deterministic pseudo-uniform floats in [0, 1) from page indices.
+
+    Same splitmix64-style mixer as the workloads' address hashing
+    (reimplemented here so ``repro.machine`` stays import-independent
+    of ``repro.workloads``): the same page always lands in the same
+    tier, across runs and processes.
+    """
+    x = (np.asarray(page_ids, dtype=np.uint64) + np.uint64(salt)) * np.uint64(
+        0x9E3779B97F4A7C15
+    )
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x.astype(np.float64) / float(2**64)
+
+
+class MemoryTier:
+    """Runtime state of one memory tier: its spec plus a private channel."""
+
+    def __init__(self, spec: MemoryTierSpec) -> None:
+        self.spec = spec
+        self.channel = ContendedChannel(
+            spec.to_dram_spec(), efficiency=spec.efficiency, knee=spec.knee
+        )
+
+    @property
+    def name(self) -> str:
+        """Tier label ("local", "remote", "cxl", ...)."""
+        return self.spec.name
+
+    @property
+    def latency_cycles(self) -> int:
+        """Loaded latency of an access serviced by this tier."""
+        return self.spec.latency_cycles
+
+    @property
+    def usable_bandwidth(self) -> float:
+        """Achievable bytes/second of this tier's channel."""
+        return self.channel.usable_bandwidth
+
+    def solo_roofline(self) -> DramModel:
+        """A fresh solo :class:`DramModel` over this tier's spec."""
+        return DramModel(self.spec.to_dram_spec(), self.spec.efficiency)
+
+
+class TieredMemory:
+    """The machine's main-memory tiers as runtime channel models.
+
+    Requires a :class:`~repro.machine.spec.MachineSpec` with a
+    ``tiers`` declaration; tier *i* reports SPE memory level
+    ``MemLevel.DRAM + i``.
+    """
+
+    def __init__(self, machine: MachineSpec) -> None:
+        if machine.tiers is None:
+            raise MachineError(
+                f"machine {machine.name!r} declares no memory tiers; "
+                "use a tiered preset (e.g. tiered_altra_max) or set "
+                "MachineSpec.tiers"
+            )
+        self.machine = machine
+        self.tiers = [MemoryTier(t) for t in machine.tiers]
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def __getitem__(self, tier: int) -> MemoryTier:
+        return self.tiers[tier]
+
+    def level_of(self, tier: int) -> MemLevel:
+        """The :class:`MemLevel` a sample serviced by ``tier`` reports."""
+        if not 0 <= tier < len(self.tiers):
+            raise MachineError(f"tier {tier} out of range [0, {len(self.tiers)})")
+        return tier_level(tier)
+
+    def latency_cycles(self, tier: int) -> int:
+        """Loaded latency of tier ``tier`` in core cycles."""
+        return self.tiers[tier].latency_cycles
+
+    def latencies(self) -> np.ndarray:
+        """Per-tier loaded latencies (cycles), near to far."""
+        return np.array([t.latency_cycles for t in self.tiers], dtype=np.float64)
+
+    def usable_bandwidths(self) -> np.ndarray:
+        """Per-tier achievable bandwidth (bytes/second)."""
+        return np.array([t.usable_bandwidth for t in self.tiers], dtype=np.float64)
+
+    def apportion(self, tier: int, demands) -> np.ndarray:
+        """Grant demand streams their share of one tier's channel.
+
+        Delegates to the tier's :class:`ContendedChannel`, so a single
+        active stream goes through the exact solo-roofline path
+        (bit-identical to :class:`DramModel`; pinned by the
+        single-stream regression tests).
+        """
+        if not 0 <= tier < len(self.tiers):
+            raise MachineError(f"tier {tier} out of range [0, {len(self.tiers)})")
+        return self.tiers[tier].channel.apportion(demands)
+
+
+# ---------------------------------------------------------------------------
+# Page placement
+# ---------------------------------------------------------------------------
+
+class PagePlacement:
+    """Immutable page→tier map over one process's mapped pages.
+
+    ``page_ids`` are global page indices (``vaddr >> page_shift``),
+    sorted ascending; ``tiers`` assigns each page a tier index.  Lookups
+    are vectorised (``searchsorted``) so tagging a whole sample batch is
+    one call; addresses outside the map resolve to tier 0 (the kernel
+    backs unmapped faults from near memory).
+    """
+
+    def __init__(
+        self,
+        page_ids: np.ndarray,
+        tiers: np.ndarray,
+        page_shift: int,
+        n_tiers: int,
+    ) -> None:
+        self.page_ids = np.asarray(page_ids, dtype=np.uint64)
+        self.tiers = np.asarray(tiers, dtype=np.uint8)
+        if self.page_ids.ndim != 1 or self.page_ids.shape != self.tiers.shape:
+            raise MachineError("page_ids and tiers must be equal-length 1-D")
+        if self.page_ids.size > 1 and not (
+            self.page_ids[1:] > self.page_ids[:-1]  # uint64-safe, no diff wrap
+        ).all():
+            raise MachineError("page_ids must be strictly increasing")
+        if n_tiers < 1:
+            raise MachineError("placement needs at least one tier")
+        if self.tiers.size and int(self.tiers.max()) >= n_tiers:
+            raise MachineError(
+                f"placement references tier {int(self.tiers.max())} but the "
+                f"machine has {n_tiers}"
+            )
+        self.page_shift = int(page_shift)
+        self.n_tiers = int(n_tiers)
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages covered by the map."""
+        return int(self.page_ids.size)
+
+    def tier_of_pages(self, page_ids: np.ndarray) -> np.ndarray:
+        """Tier index per page id (uint8; unmapped pages → tier 0)."""
+        page_ids = np.asarray(page_ids, dtype=np.uint64)
+        if self.page_ids.size == 0:
+            return np.zeros(page_ids.shape, dtype=np.uint8)
+        idx = np.searchsorted(self.page_ids, page_ids)
+        idx = np.minimum(idx, self.page_ids.size - 1)
+        out = self.tiers[idx].copy()
+        out[self.page_ids[idx] != page_ids] = 0
+        return out
+
+    def tier_of(self, addrs: np.ndarray) -> np.ndarray:
+        """Tier index per virtual address (uint8)."""
+        addrs = np.asarray(addrs, dtype=np.uint64)
+        return self.tier_of_pages(addrs >> np.uint64(self.page_shift))
+
+    def counts(self) -> np.ndarray:
+        """Pages per tier (int64, length ``n_tiers``)."""
+        return np.bincount(self.tiers, minlength=self.n_tiers).astype(np.int64)
+
+    def fractions(self) -> np.ndarray:
+        """Share of mapped pages per tier (sums to 1; all-near if empty)."""
+        c = self.counts().astype(np.float64)
+        total = c.sum()
+        if total <= 0:
+            out = np.zeros(self.n_tiers, dtype=np.float64)
+            out[0] = 1.0
+            return out
+        return c / total
+
+    def weighted_fractions(
+        self, page_ids: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Share of *access weight* per tier (hotness-aware fractions).
+
+        ``weights`` scores each page in ``page_ids`` (e.g. SPE sample
+        counts from :func:`page_hotness`); the result is the fraction
+        of accesses each tier services — what distinguishes a hotness
+        placement (cold pages far, near-tier access share ~1) from the
+        same page split under uniform access.  Zero total weight falls
+        back to the page fractions.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        page_ids = np.asarray(page_ids, dtype=np.uint64)
+        if weights.shape != page_ids.shape:
+            raise MachineError("weights must align with page_ids")
+        total = weights.sum()
+        if total <= 0:
+            return self.fractions()
+        tiers = self.tier_of_pages(page_ids)
+        return np.bincount(
+            tiers, weights=weights, minlength=self.n_tiers
+        ) / total
+
+
+def mapped_page_ids(aspace) -> np.ndarray:
+    """Global page indices of every live mapping, allocation-ordered.
+
+    Allocation order (not address order) is what the first-touch policy
+    fills by; guard pages between mappings are not part of any mapping
+    and therefore carry no placement.
+    """
+    shift = aspace.page_shift
+    chunks = [
+        (np.uint64(m.start) >> np.uint64(shift)) + np.arange(m.n_pages, dtype=np.uint64)
+        for m in aspace.mappings()
+    ]
+    if not chunks:
+        return np.zeros(0, dtype=np.uint64)
+    return np.concatenate(chunks)
+
+
+def tier_budgets(n_pages: int, far_ratio: float, n_tiers: int) -> np.ndarray:
+    """Page budget per tier for a far-memory ratio ``r`` in [0, 1).
+
+    The near tier holds ``(1 - r)`` of the pages; far tiers split the
+    remainder evenly, with the last tier absorbing rounding (and any
+    overflow, so every page always has a home).
+    """
+    if not 0.0 <= far_ratio < 1.0:
+        raise MachineError(f"far_ratio must be in [0, 1), got {far_ratio}")
+    if n_pages < 0 or n_tiers < 1:
+        raise MachineError("need n_pages >= 0 and n_tiers >= 1")
+    budgets = np.zeros(n_tiers, dtype=np.int64)
+    near = int(round((1.0 - far_ratio) * n_pages))
+    budgets[0] = near
+    if n_tiers == 1:
+        budgets[0] = n_pages
+        return budgets
+    rest = n_pages - near
+    per_far = rest // (n_tiers - 1)
+    budgets[1:] = per_far
+    budgets[-1] += rest - per_far * (n_tiers - 1)
+    return budgets
+
+
+def interleave_placement(
+    aspace, n_tiers: int, far_ratio: float
+) -> PagePlacement:
+    """Static interleave: pages spread across tiers by a content hash.
+
+    Each page lands in a tier with probability proportional to the
+    tier's :func:`tier_budgets` share, decided by a deterministic hash
+    of its page index — the address-space-agnostic analogue of round-
+    robin NUMA interleaving, immune to allocation order.
+    """
+    pages = np.sort(mapped_page_ids(aspace))
+    budgets = tier_budgets(pages.size, far_ratio, n_tiers).astype(np.float64)
+    total = budgets.sum()
+    cum = np.cumsum(budgets / total) if total > 0 else np.ones(n_tiers)
+    u = _page_uniform(pages, _INTERLEAVE_SALT)
+    tiers = np.searchsorted(cum, u, side="right").astype(np.uint8)
+    tiers = np.minimum(tiers, n_tiers - 1).astype(np.uint8)
+    return PagePlacement(pages, tiers, aspace.page_shift, n_tiers)
+
+
+def _budget_assignment(n_pages: int, budgets: np.ndarray) -> np.ndarray:
+    """Tier index per rank position, near-to-far by budget.
+
+    ``tier_budgets`` sums to exactly ``n_pages`` by construction; this
+    helper pins that invariant for both ordered policies.
+    """
+    assigned = np.repeat(
+        np.arange(budgets.size, dtype=np.uint8), budgets
+    )
+    if assigned.size != n_pages:
+        raise MachineError(
+            f"tier budgets cover {assigned.size} of {n_pages} pages"
+        )
+    return assigned
+
+
+def first_touch_placement(
+    aspace, n_tiers: int, far_ratio: float
+) -> PagePlacement:
+    """First-touch: allocation order fills the near tier until it is full.
+
+    Pages are budgeted in the order their mappings were created (the
+    order a single-threaded init loop would fault them in); once a
+    tier's budget is exhausted the next pages spill outward.
+    """
+    pages = mapped_page_ids(aspace)
+    budgets = tier_budgets(pages.size, far_ratio, n_tiers)
+    tiers = _budget_assignment(pages.size, budgets)
+    order = np.argsort(pages, kind="stable")
+    return PagePlacement(
+        pages[order], tiers[order], aspace.page_shift, n_tiers
+    )
+
+
+def hotness_placement(
+    aspace, n_tiers: int, far_ratio: float, hotness: np.ndarray
+) -> PagePlacement:
+    """Hotness-driven promote/demote: SPE-hot pages win the near tier.
+
+    ``hotness`` scores each mapped page (allocation order, as returned
+    by :func:`page_hotness`); pages are ranked hottest-first (ties
+    break towards lower addresses, deterministically) and fill the
+    tiers near-to-far by budget.  This is the paper's closed loop: a
+    pilot profile's sample counts decide the next run's placement.
+    """
+    pages = mapped_page_ids(aspace)
+    hotness = np.asarray(hotness, dtype=np.float64)
+    if hotness.shape != pages.shape:
+        raise MachineError(
+            f"hotness has {hotness.shape} scores for {pages.shape} pages"
+        )
+    budgets = tier_budgets(pages.size, far_ratio, n_tiers)
+    # hottest first; stable sort on (-hotness) keeps address order on ties
+    rank = np.argsort(-hotness, kind="stable")
+    tiers = np.empty(pages.size, dtype=np.uint8)
+    tiers[rank] = _budget_assignment(pages.size, budgets)
+    order = np.argsort(pages, kind="stable")
+    return PagePlacement(pages[order], tiers[order], aspace.page_shift, n_tiers)
+
+
+def page_hotness(aspace, addrs: np.ndarray) -> np.ndarray:
+    """SPE sample count per mapped page (allocation-ordered scores).
+
+    ``addrs`` are sampled data virtual addresses (e.g.
+    ``ProfileResult.batch.addr``); the result aligns with
+    :func:`mapped_page_ids` and feeds :func:`hotness_placement`.
+    Samples outside any mapping are ignored.
+    """
+    pages = mapped_page_ids(aspace)
+    if pages.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    addrs = np.asarray(addrs, dtype=np.uint64)
+    sample_pages = addrs >> np.uint64(aspace.page_shift)
+    sorted_pages = np.sort(pages)
+    idx = np.searchsorted(sorted_pages, sample_pages)
+    idx = np.minimum(idx, sorted_pages.size - 1)
+    valid = sorted_pages[idx] == sample_pages
+    counts_sorted = np.bincount(idx[valid], minlength=sorted_pages.size)
+    # map back from sorted order to allocation order
+    order = np.argsort(pages, kind="stable")
+    counts = np.empty(pages.size, dtype=np.int64)
+    counts[order] = counts_sorted
+    return counts
+
+
+def placement_for(
+    aspace,
+    n_tiers: int,
+    policy: str,
+    far_ratio: float,
+    hotness: np.ndarray | None = None,
+) -> PagePlacement:
+    """Build a placement by policy name (the scenario layer's front door)."""
+    if policy == "interleave":
+        return interleave_placement(aspace, n_tiers, far_ratio)
+    if policy == "first_touch":
+        return first_touch_placement(aspace, n_tiers, far_ratio)
+    if policy == "hotness":
+        if hotness is None:
+            raise MachineError(
+                "hotness placement needs per-page sample counts; run a "
+                "pilot profile and pass page_hotness(...)"
+            )
+        return hotness_placement(aspace, n_tiers, far_ratio, hotness)
+    raise MachineError(
+        f"unknown placement policy {policy!r}; "
+        f"known: {', '.join(PLACEMENT_POLICIES)}"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Phase re-timing
+# ---------------------------------------------------------------------------
+
+def apply_tiering(
+    workload,
+    placement: PagePlacement,
+    hotness: np.ndarray | None = None,
+    mlp: float = 4.0,
+) -> list[float]:
+    """Re-time a workload's phases for its page placement; returns stretches.
+
+    Two effects, per phase:
+
+    * **latency** — the DRAM share of the phase's expected access
+      latency is re-weighted by the placement's tier *access* fractions
+      (near pages stay cheap, far pages cost their tier's loaded
+      latency); the stretch is the ratio of
+      :meth:`PipelineModel.chunk_cycles` under the tiered vs the flat
+      mean latency;
+    * **bandwidth** — each tier's demand share is checked against its
+      own roofline, *relative to the all-local baseline*: a placement
+      whose worst tier is more saturated than the flat channel would be
+      stretches by the ratio, one that merely relieves the local
+      channel is not rewarded (the flat baseline never charged a
+      saturation duration penalty, so none is refunded — the floor
+      keeps the two models consistent).
+
+    ``hotness`` — per-page access scores in :func:`mapped_page_ids`
+    order (e.g. a pilot profile's :func:`page_hotness`) — makes the
+    tier fractions access-weighted: a hotness placement that fits every
+    hot page in the near tier then stretches (almost) nothing, which is
+    the whole point of the policy.  Without it, accesses are assumed
+    uniform across pages (exact for interleave on uniform workloads).
+
+    A placement with every page in tier 0 produces stretch exactly 1.0
+    for every phase and mutates nothing — the flat-machine calibration
+    survives (pinned by the tier parity tests).  Mirrors
+    :func:`repro.colocation.run.apply_contention`, which re-times for
+    channel contention the same way.
+    """
+    from repro.cpu.pipeline import PipelineModel
+
+    spec = workload.machine
+    tiered = TieredMemory(spec)
+    if placement.n_tiers != len(tiered):
+        raise MachineError(
+            f"placement has {placement.n_tiers} tiers, machine {len(tiered)}"
+        )
+    if hotness is not None:
+        fractions = placement.weighted_fractions(
+            mapped_page_ids(workload.process.address_space), hotness
+        )
+    else:
+        fractions = placement.fractions()
+    weighted_dram = float(fractions @ tiered.latencies())
+    local_lat = float(spec.dram.latency_cycles)
+    usable = tiered.usable_bandwidths()
+    pm = PipelineModel(spec)
+    freq = spec.frequency_hz
+
+    stretches: list[float] = []
+    for phase in workload.phases:
+        sharers = workload.phase_sharers(phase)
+        probs = workload.stat.mixture_probabilities(phase.classes, sharers=sharers)
+        p_dram = probs[MemLevel.DRAM]
+        lat_flat = workload.stat.expected_latency(phase.classes, sharers=sharers)
+        lat_tiered = lat_flat + p_dram * (weighted_dram - local_lat)
+        c_flat = pm.chunk_cycles(phase.n_ops, phase.n_mem_ops, lat_flat, mlp)
+        c_tier = pm.chunk_cycles(phase.n_ops, phase.n_mem_ops, lat_tiered, mlp)
+        stretch_lat = c_tier / c_flat if c_flat > 0 else 1.0
+
+        dur = phase.duration_cycles() / freq
+        demand = workload.phase_dram_bytes(phase) / dur if dur > 0 else 0.0
+        slow_flat = max(1.0, demand / usable[0])
+        slow_tiers = np.maximum(1.0, demand * fractions / usable)
+        stretch_bw = max(1.0, float(slow_tiers.max() / slow_flat))
+
+        stretch = stretch_lat * stretch_bw
+        stretches.append(stretch)
+        if stretch != 1.0:
+            phase.cpi *= stretch
+    return stretches
+
+
+__all__ = [
+    "PLACEMENT_POLICIES",
+    "MemoryTier",
+    "PagePlacement",
+    "TieredMemory",
+    "apply_tiering",
+    "first_touch_placement",
+    "hotness_placement",
+    "interleave_placement",
+    "mapped_page_ids",
+    "page_hotness",
+    "placement_for",
+    "tier_budgets",
+]

@@ -39,6 +39,12 @@ class BandwidthSummary:
 def summarise_bandwidth(
     series: tuple[np.ndarray, np.ndarray], machine: MachineSpec
 ) -> BandwidthSummary:
+    """Fold a bandwidth time series into its summary statistics.
+
+    Returns a :class:`BandwidthSummary` with the mean/peak rates and
+    the fraction of the machine's peak bandwidth they represent (the
+    headline numbers quoted alongside the paper's Fig. 3 view).
+    """
     t, v = np.asarray(series[0]), np.asarray(series[1])
     if t.shape != v.shape or t.ndim != 1 or t.size == 0:
         raise NmoError("bandwidth series must be two equal non-empty 1-D arrays")

@@ -25,6 +25,21 @@ from repro.nmo.profiler import ProfileResult
 LEVELS = (MemLevel.L1, MemLevel.L2, MemLevel.SLC, MemLevel.DRAM)
 
 
+def _level_mask(levels_col: np.ndarray, lv: MemLevel) -> np.ndarray:
+    """Sample mask for one view level.
+
+    The ``DRAM`` row aggregates every DRAM-class level: on tiered
+    machines samples report the tier that serviced them
+    (``DRAM_REMOTE``/``DRAM_CXL``, see :mod:`repro.machine.tiers`), and
+    these views answer "did main memory service it" — per-tier
+    granularity lives in :mod:`repro.analysis.tiering`.  Flat runs
+    never emit tier levels, so their masks are unchanged.
+    """
+    if lv is MemLevel.DRAM:
+        return levels_col >= np.uint8(MemLevel.DRAM)
+    return levels_col == np.uint8(lv)
+
+
 @dataclass(frozen=True)
 class CacheMixSeries:
     """Per-interval servicing-level shares (each row sums to ~1)."""
@@ -56,7 +71,7 @@ def cache_mix_over_time(
     shares: dict[MemLevel, np.ndarray] = {}
     for lv in LEVELS:
         lv_counts = np.bincount(
-            bins[result.batch.level == int(lv)], minlength=n_bins
+            bins[_level_mask(result.batch.level, lv)], minlength=n_bins
         )
         with np.errstate(invalid="ignore", divide="ignore"):
             shares[lv] = np.where(counts > 0, lv_counts / counts, 0.0)
@@ -80,7 +95,8 @@ def level_breakdown_by_object(
             continue
         lv_col = result.batch.level[mask]
         out[tag.name] = {
-            lv.pretty: float((lv_col == int(lv)).sum() / n) for lv in LEVELS
+            lv.pretty: float(_level_mask(lv_col, lv).sum() / n)
+            for lv in LEVELS
         }
     return out
 
@@ -102,7 +118,7 @@ def miss_latency_profile(result: ProfileResult) -> list[LatencyProfile]:
     total-latency counter packets)."""
     out = []
     for lv in LEVELS:
-        lat = result.batch.total_lat[result.batch.level == int(lv)]
+        lat = result.batch.total_lat[_level_mask(result.batch.level, lv)]
         if lat.size == 0:
             continue
         latf = lat.astype(np.float64)

@@ -74,9 +74,16 @@ def canonical_config(obj: Any) -> Any:
         ).hexdigest()
         return ["ndarray", list(obj.shape), str(obj.dtype), digest]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # forward-compatible keying: a dataclass may declare
+        # ``__cache_optional__`` (a set of field names) whose fields are
+        # omitted from the key while at their ``None`` default, so adding
+        # such a field never invalidates previously cached entries
+        # (e.g. ``MachineSpec.tiers``)
+        optional = getattr(type(obj), "__cache_optional__", frozenset())
         return {
             f.name: canonical_config(getattr(obj, f.name))
             for f in dataclasses.fields(obj)
+            if not (f.name in optional and getattr(obj, f.name) is None)
         }
     if isinstance(obj, enum.Enum):
         return [type(obj).__name__, canonical_config(obj.value)]

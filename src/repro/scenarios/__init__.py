@@ -49,6 +49,7 @@ from repro.scenarios.presets import (
     named_scenario,
     quickstart_spec,
     scenario_names,
+    tiering_sweep_spec,
 )
 from repro.scenarios.report import render_results
 from repro.scenarios.session import RunReport, Session
@@ -58,6 +59,7 @@ from repro.scenarios.spec import (
     ColocationSpec,
     ScenarioSpec,
     SweepAxis,
+    TieringSpec,
     WorkloadSpec,
 )
 from repro.scenarios.trials import (
@@ -87,6 +89,7 @@ __all__ = [
     "Session",
     "SweepAxis",
     "SweepPoint",
+    "TieringSpec",
     "WorkloadSpec",
     "colo_interference_spec",
     "colo_scenarios",
@@ -99,4 +102,5 @@ __all__ = [
     "quickstart_spec",
     "render_results",
     "scenario_names",
+    "tiering_sweep_spec",
 ]

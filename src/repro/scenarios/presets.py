@@ -18,6 +18,7 @@ from repro.scenarios.spec import (
     ColocationSpec,
     ScenarioSpec,
     SweepAxis,
+    TieringSpec,
     WorkloadSpec,
 )
 
@@ -137,6 +138,28 @@ def colo_interference_spec(
     )
 
 
+def tiering_sweep_spec(
+    workload: str = "stream",
+    n_threads: int = 8,
+    scale: float = 1 / 32,
+    period: int = 4096,
+    policies: tuple[str, ...] = ("interleave", "first_touch", "hotness"),
+    far_ratios: tuple[float, ...] = (0.0, 0.25, 0.5),
+    machine: str = "tiered_altra_max",
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Tiering: placement policies vs far-memory ratio on a tiered machine."""
+    return ScenarioSpec(
+        name="tiering_sweep",
+        kind="tiering",
+        workloads=(WorkloadSpec(workload, n_threads=n_threads, scale=scale),),
+        settings=_sampling(period),
+        machine=machine,
+        tiering=TieringSpec(policies=policies, far_ratios=far_ratios),
+        seed=seed,
+    )
+
+
 def quickstart_spec(
     workload: str = "stream",
     n_threads: int = 8,
@@ -168,6 +191,10 @@ SCENARIO_PRESETS: dict[str, tuple[Callable[[], ScenarioSpec], str]] = {
         "Colo: co-located processes on the contended DRAM channel",
     ),
     "quickstart": (quickstart_spec, "Profile: STREAM sampling quickstart"),
+    "tiering_sweep": (
+        tiering_sweep_spec,
+        "Tiering: page-placement policies vs far-memory ratio",
+    ),
 }
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis.plotting import line_plot, table
+from repro.analysis.tiering import render_tier_rows
 from repro.scenarios.trials import SweepPoint
 
 
@@ -55,6 +56,7 @@ def render_fig7(results: dict[str, list[SweepPoint]]) -> str:
 
 
 def render_fig8(results: dict[str, list[SweepPoint]]) -> str:
+    """Accuracy / overhead / collision charts plus tables, per workload."""
     parts = []
     for metric, label, scale in (
         ("accuracy_mean", "accuracy %", 100.0),
@@ -73,6 +75,7 @@ def render_fig8(results: dict[str, list[SweepPoint]]) -> str:
 
 
 def render_fig9(rows: list[dict]) -> str:
+    """Aux-buffer sweep table and chart (accuracy/overhead vs pages)."""
     tbl = table(
         ["aux pages", "accuracy", "overhead", "samples", "wakeups", "working"],
         [
@@ -101,6 +104,7 @@ def render_fig9(rows: list[dict]) -> str:
 
 
 def render_fig10_fig11(rows: list[dict]) -> str:
+    """Thread-sweep table plus the Fig. 10/11 overhead/throttle charts."""
     tbl = table(
         [
             "threads", "accuracy", "overhead", "collisions",
@@ -189,6 +193,61 @@ def render_colo(rows: list[dict]) -> str:
     return tbl + "\n\n" + chart
 
 
+def render_tiering(rows: list[dict]) -> str:
+    """Tiering sweep: per-trial placement table + per-tier breakdowns.
+
+    One summary row per (policy, far-ratio) grid point, then one
+    breakdown table per trial showing how the DRAM-class samples,
+    latency, and estimated traffic split across the memory tiers.
+    """
+    summary = table(
+        [
+            "policy", "far ratio", "slowdown", "accuracy", "overhead",
+            "collisions", "samples",
+        ],
+        [
+            [
+                r["policy"],
+                f"{r['far_ratio']:.2f}",
+                f"{r['slowdown']:.2f}x",
+                f"{r['accuracy'] * 100:.1f}%",
+                f"{r['overhead'] * 100:.2f}%",
+                r["collisions"],
+                r["samples"],
+            ]
+            for r in rows
+        ],
+        title="Tiering: placement policy vs far-memory ratio",
+    )
+    parts = [summary]
+    for r in rows:
+        parts.append(
+            render_tier_rows(
+                r["tiers"],
+                title=(
+                    f"Tier breakdown: {r['policy']} @ far ratio "
+                    f"{r['far_ratio']:.2f}"
+                ),
+            )
+        )
+    homogeneous = {}
+    for r in rows:
+        homogeneous.setdefault(r["policy"], []).append(r)
+    series = {
+        policy: (
+            np.array([p["far_ratio"] for p in pts], dtype=float),
+            np.array([p["slowdown"] for p in pts], dtype=float),
+        )
+        for policy, pts in homogeneous.items()
+        if len(pts) >= 2
+    }
+    if series:
+        parts.append(
+            line_plot(series, title="Tiering: slowdown vs far-memory ratio")
+        )
+    return "\n\n".join(parts)
+
+
 def render_period_sweep(results: dict[str, list[SweepPoint]]) -> str:
     """Generic period-sweep rendering for custom-named scenarios."""
     return "\n\n".join(
@@ -237,6 +296,7 @@ KIND_RENDERERS = {
     "aux_sweep": render_fig9,
     "thread_sweep": render_fig10_fig11,
     "colocation": render_colo,
+    "tiering": render_tiering,
 }
 
 

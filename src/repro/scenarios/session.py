@@ -223,6 +223,28 @@ class Session:
             config["workload"] = w.name
         return config
 
+    def _plan_tiering(self, spec, experiment, mc) -> list[TrialSpec]:
+        w = spec.workloads[0]
+        t = spec.tiering
+        return [
+            TrialSpec(
+                experiment=experiment,
+                config={
+                    "workload": w.name,
+                    "n_threads": w.n_threads,
+                    "scale": w.scale,
+                    "period": spec.settings.period,
+                    "policy": policy,
+                    "far_ratio": ratio,
+                    "pilot_period": t.pilot_period,
+                    "machine": mc,
+                },
+                seed=spec.seed,
+            )
+            for policy in t.policies
+            for ratio in t.far_ratios
+        ]
+
     def _plan_colocation(self, spec, experiment, mc) -> list[TrialSpec]:
         colo = spec.colocation
         return [

@@ -30,13 +30,19 @@ from repro.machine.spec import (
     MachineSpec,
     ampere_altra_max,
     small_test_machine,
+    tiered_altra_max,
+    tiered_test_machine,
     x86_pebs_machine,
 )
+from repro.machine.tiers import PLACEMENT_POLICIES
 from repro.nmo.env import NmoMode, NmoSettings
 from repro.workloads.registry import get_workload_class
 
 #: scenario kinds a Session knows how to plan
-KINDS = ("profile", "period_sweep", "aux_sweep", "thread_sweep", "colocation")
+KINDS = (
+    "profile", "period_sweep", "aux_sweep", "thread_sweep", "colocation",
+    "tiering",
+)
 
 #: sweepable axis parameters, per kind
 AXIS_PARAMS = {
@@ -49,6 +55,8 @@ AXIS_PARAMS = {
 MACHINE_PRESETS: dict[str, Callable[[], MachineSpec]] = {
     "ampere_altra_max": ampere_altra_max,
     "small_test_machine": small_test_machine,
+    "tiered_altra_max": tiered_altra_max,
+    "tiered_test_machine": tiered_test_machine,
     "x86_pebs_machine": x86_pebs_machine,
 }
 
@@ -169,6 +177,68 @@ class ColocationSpec:
         )
 
 
+@dataclass(frozen=True)
+class TieringSpec:
+    """Tiering block: sweep placement policies against far-memory ratios.
+
+    A ``tiering`` scenario profiles one workload on a tiered machine
+    preset under every ``(policy, far_ratio)`` grid point: the near
+    tier is budgeted ``1 - far_ratio`` of the workload's pages and the
+    far tiers split the rest (see
+    :func:`repro.machine.tiers.tier_budgets`).  The ``hotness`` policy
+    runs an SPE pilot profile at ``pilot_period`` first and promotes
+    the hottest pages — the paper's "use SPE to decide placement" loop.
+    """
+
+    policies: tuple[str, ...] = PLACEMENT_POLICIES
+    far_ratios: tuple[float, ...] = (0.0, 0.25, 0.5)
+    pilot_period: int = 2048
+
+    def __post_init__(self) -> None:
+        policies = tuple(str(p) for p in self.policies)
+        _require(len(policies) >= 1, "tiering needs at least one policy")
+        unknown = [p for p in policies if p not in PLACEMENT_POLICIES]
+        _require(
+            not unknown,
+            f"unknown placement policies {unknown}; "
+            f"known: {', '.join(PLACEMENT_POLICIES)}",
+        )
+        _require(
+            len(set(policies)) == len(policies),
+            "tiering policies must be unique",
+        )
+        object.__setattr__(self, "policies", policies)
+        ratios = tuple(float(r) for r in self.far_ratios)
+        _require(len(ratios) >= 1, "tiering needs at least one far ratio")
+        _require(
+            all(0.0 <= r < 1.0 for r in ratios),
+            "far ratios must be in [0, 1)",
+        )
+        _require(
+            len(set(ratios)) == len(ratios), "far ratios must be unique"
+        )
+        object.__setattr__(self, "far_ratios", ratios)
+        _require(self.pilot_period >= 1, "pilot_period must be >= 1")
+
+    def to_dict(self) -> dict:
+        return {
+            "policies": list(self.policies),
+            "far_ratios": list(self.far_ratios),
+            "pilot_period": self.pilot_period,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "TieringSpec":
+        _check_keys(
+            d, set(), {"policies", "far_ratios", "pilot_period"}, "tiering"
+        )
+        return cls(
+            policies=tuple(d.get("policies", PLACEMENT_POLICIES)),
+            far_ratios=tuple(d.get("far_ratios", (0.0, 0.25, 0.5))),
+            pilot_period=int(d.get("pilot_period", 2048)),
+        )
+
+
 def _check_keys(
     d: dict, required: set[str], optional: set[str], what: str
 ) -> None:
@@ -201,6 +271,7 @@ class ScenarioSpec:
     machine: str = "ampere_altra_max"
     sweep: SweepAxis | None = None
     colocation: ColocationSpec | None = None
+    tiering: TieringSpec | None = None
     trials: int = 1
     seed: int = 0
 
@@ -257,6 +328,7 @@ class ScenarioSpec:
         _require(
             self.colocation is None, f"{self.kind} takes no colocation block"
         )
+        _require(self.tiering is None, f"{self.kind} takes no tiering block")
         self._check_sampling_template()
 
     def _check_period_sweep(self) -> None:
@@ -301,6 +373,7 @@ class ScenarioSpec:
             "colocation scenarios need a colocation block",
         )
         _require(self.sweep is None, "colocation takes no sweep axis")
+        _require(self.tiering is None, "colocation takes no tiering block")
         _require(
             not self.workloads,
             "colocation line-ups are derived from the colocation block; "
@@ -309,9 +382,35 @@ class ScenarioSpec:
         _require(self.trials == 1, "colocation supports a single trial")
         self._check_sampling_template()
 
+    def _check_tiering(self) -> None:
+        _require(
+            self.tiering is not None,
+            "tiering scenarios need a tiering block",
+        )
+        _require(self.sweep is None, "tiering takes no sweep axis")
+        _require(
+            self.colocation is None, "tiering takes no colocation block"
+        )
+        _require(
+            len(self.workloads) == 1, "tiering profiles exactly one workload"
+        )
+        _require(
+            self.workloads[0].scale is not None,
+            "tiering needs an explicit workload scale",
+        )
+        _require(self.trials == 1, "tiering supports a single trial")
+        _require(
+            MACHINE_PRESETS[self.machine]().tiers is not None,
+            f"tiering needs a tiered machine preset; {self.machine!r} "
+            "declares no memory tiers (use tiered_altra_max or "
+            "tiered_test_machine)",
+        )
+        self._check_sampling_template()
+
     def _check_profile(self) -> None:
         _require(self.sweep is None, "profile takes no sweep axis")
         _require(self.colocation is None, "profile takes no colocation block")
+        _require(self.tiering is None, "profile takes no tiering block")
         _require(len(self.workloads) >= 1, "profile needs >= 1 workload")
 
     # -- resolution -------------------------------------------------------
@@ -323,7 +422,7 @@ class ScenarioSpec:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "name": self.name,
             "kind": self.kind,
             "machine": self.machine,
@@ -336,6 +435,11 @@ class ScenarioSpec:
             "trials": self.trials,
             "seed": self.seed,
         }
+        # the tiering key appears only when set: pre-tier scenario files
+        # keep their exact canonical JSON, and therefore their spec hash
+        if self.tiering is not None:
+            out["tiering"] = self.tiering.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, d: dict) -> "ScenarioSpec":
@@ -343,7 +447,7 @@ class ScenarioSpec:
             d,
             {"name", "kind"},
             {"machine", "workloads", "settings", "sweep", "colocation",
-             "trials", "seed"},
+             "tiering", "trials", "seed"},
             "scenario",
         )
         settings = d.get("settings")
@@ -376,6 +480,11 @@ class ScenarioSpec:
             colocation=(
                 ColocationSpec.from_dict(d["colocation"])
                 if d.get("colocation") is not None
+                else None
+            ),
+            tiering=(
+                TieringSpec.from_dict(d["tiering"])
+                if d.get("tiering") is not None
                 else None
             ),
             trials=int(d.get("trials", 1)),

@@ -21,8 +21,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.tiering import tier_usage_rows, tiering_breakdown
 from repro.colocation import CoRunnerSpec, run_colocation
+from repro.errors import ScenarioError
 from repro.machine.spec import GiB, MachineSpec
+from repro.machine.tiers import (
+    apply_tiering,
+    mapped_page_ids,
+    page_hotness,
+    placement_for,
+)
 from repro.nmo.env import NmoMode, NmoSettings
 from repro.nmo.profiler import NmoProfiler, ProfileResult
 from repro.orchestrate import TrialSpec
@@ -47,6 +55,7 @@ EXPERIMENT_NAMES = {
     "aux_sweep": "fig9_aux_buffer",
     "thread_sweep": "fig10_fig11_threads",
     "colocation": "colo_interference",
+    "tiering": "tiering",
 }
 
 
@@ -183,6 +192,95 @@ def profile_trial(machine: MachineSpec, spec: TrialSpec) -> dict:
         "overhead": float(r.time_overhead),
         "collisions": float(r.collisions),
         "wakeups": float(r.wakeups),
+    }
+
+
+# --------------------------------------------------------------------------
+# Tiered memory
+# --------------------------------------------------------------------------
+
+def tiering_trial(machine: MachineSpec, spec: TrialSpec) -> dict:
+    """One (policy, far-ratio) point of a tiering scenario.
+
+    Builds the workload, derives its page→tier placement (running an
+    SPE pilot profile first for the ``hotness`` policy — the paper's
+    profile-then-place loop), re-times the phases for the placement,
+    profiles the tiered run, and returns the per-tier breakdown plus
+    the placement-induced slowdown against the all-local baseline.
+    """
+    cfg = spec.config
+    policy, far_ratio = cfg["policy"], float(cfg["far_ratio"])
+    if machine.tiers is None:
+        # a Session machine override can bypass the spec's preset check;
+        # fail before any profiling rather than mid-trial in the analysis
+        raise ScenarioError(
+            f"tiering trials need a tiered machine; {machine.name!r} "
+            "declares no memory tiers"
+        )
+    n_tiers = len(machine.tiers)
+
+    def build():
+        return make_workload(
+            cfg["workload"], machine,
+            n_threads=cfg["n_threads"], scale=cfg["scale"],
+        )
+
+    hotness = None
+    if policy == "hotness" and far_ratio > 0.0:
+        # pilot: profile on the naive interleave placement at the same
+        # ratio; its per-page sample counts rank pages for the real run.
+        # At far_ratio 0 every page is near regardless of hotness, so
+        # the pilot would be pure waste and is skipped (hotness stays
+        # None; the all-zero-score placement below is identical).
+        pilot = build()
+        pilot_placement = placement_for(
+            pilot.process.address_space, n_tiers, "interleave", far_ratio
+        )
+        pilot.attach_tiering(pilot_placement)
+        apply_tiering(pilot, pilot_placement)
+        pilot_result = NmoProfiler(
+            pilot,
+            NmoSettings(
+                enable=True, mode=NmoMode.SAMPLING,
+                period=cfg["pilot_period"],
+            ),
+            seed=spec.seed,
+        ).run()
+        hotness = page_hotness(
+            pilot.process.address_space, pilot_result.batch.addr
+        )
+
+    w = build()
+    flat_seconds = w.baseline_seconds()
+    if policy == "hotness" and hotness is None:
+        # far_ratio 0, pilot skipped: all-zero scores place every page
+        # near, exactly what any score vector would have produced
+        hotness = np.zeros(
+            len(mapped_page_ids(w.process.address_space)), dtype=np.int64
+        )
+    placement = placement_for(
+        w.process.address_space, n_tiers, policy, far_ratio, hotness=hotness
+    )
+    w.attach_tiering(placement)
+    # the pilot's hotness also weights the re-timing: a placement that
+    # fits the hot pages near stretches (almost) nothing
+    apply_tiering(w, placement, hotness=hotness)
+    tiered_seconds = w.baseline_seconds()
+    settings = NmoSettings(
+        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"]
+    )
+    r = NmoProfiler(w, settings, seed=spec.seed).run()
+    tiers = tier_usage_rows(tiering_breakdown(r, machine, placement))
+    return {
+        "policy": policy,
+        "far_ratio": far_ratio,
+        "slowdown": float(tiered_seconds / flat_seconds),
+        "accuracy": float(r.accuracy),
+        "overhead": float(r.time_overhead),
+        "collisions": int(r.collisions),
+        "samples": int(r.samples_processed),
+        "wakeups": int(r.wakeups),
+        "tiers": tiers,
     }
 
 
@@ -324,4 +422,5 @@ TRIAL_FNS = {
     "aux_sweep": aux_buffer_trial,
     "thread_sweep": thread_trial,
     "colocation": colo_trial,
+    "tiering": tiering_trial,
 }

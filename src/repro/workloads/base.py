@@ -151,7 +151,13 @@ class Phase:
 
 
 class PhaseOpSource:
-    """Closed-form :class:`~repro.spe.sampler.OpSource` for one phase/thread."""
+    """Closed-form :class:`~repro.spe.sampler.OpSource` for one phase/thread.
+
+    ``placement`` (a :class:`~repro.machine.tiers.PagePlacement`, set by
+    :meth:`Workload.attach_tiering`) remaps DRAM-serviced samples to the
+    memory tier holding their page, so SPE records carry the tier that
+    serviced each access; ``None`` keeps the flat single-tier levels.
+    """
 
     def __init__(
         self,
@@ -159,11 +165,13 @@ class PhaseOpSource:
         thread: int,
         stat: StatCacheModel,
         sharers: int = 1,
+        placement=None,
     ) -> None:
         self.phase = phase
         self.thread = thread
         self.stat = stat
         self.sharers = sharers
+        self.placement = placement
         self.n_ops = phase.n_ops
         self.cpi = phase.cpi
         self.dram_latency_scale = phase.dram_latency_scale
@@ -208,6 +216,19 @@ class PhaseOpSource:
             levels[is_mem] = self.stat.draw_levels(
                 self.phase.classes, n_mem, rng, sharers=self.sharers
             )
+            if self.placement is not None:
+                # tier attribution: a DRAM-serviced sample reports the
+                # tier holding its page (DRAM + tier index); a pure
+                # post-hoc remap, so the RNG stream is untouched and the
+                # placement-free path stays bit-identical
+                from repro.machine.hierarchy import MemLevel
+
+                mem_levels = levels[is_mem]
+                dram = mem_levels == np.uint8(MemLevel.DRAM)
+                if dram.any():
+                    mem_addrs = addrs[is_mem]
+                    mem_levels[dram] += self.placement.tier_of(mem_addrs[dram])
+                    levels[is_mem] = mem_levels
         return levels
 
     def pcs_at(self, idx: np.ndarray) -> np.ndarray:
@@ -253,6 +274,8 @@ class Workload(abc.ABC):
         self.seed = seed
         self.process = SimProcess(machine, n_threads=n_threads, mem_limit=mem_limit)
         self.stat = StatCacheModel(machine)
+        #: page->tier placement set by :meth:`attach_tiering` (None = flat)
+        self.placement = None
         self._phases: list[Phase] = []
         self._build()
         if not self._phases:
@@ -306,13 +329,23 @@ class Workload(abc.ABC):
     def phase_threads(self, phase: Phase) -> int:
         return self.n_threads if phase.parallel else 1
 
+    def attach_tiering(self, placement) -> None:
+        """Attach a page→tier placement map for tiered-memory profiling.
+
+        Subsequent op sources report DRAM-serviced samples as the tier
+        holding their page (see :mod:`repro.machine.tiers`); pass
+        ``None`` to detach and restore flat single-tier levels.
+        """
+        self.placement = placement
+
     def op_source(self, phase: Phase, thread: int) -> PhaseOpSource:
         if not any(p is phase for p in self._phases):
             raise WorkloadError("phase does not belong to this workload")
         if not 0 <= thread < self.phase_threads(phase):
             raise WorkloadError(f"thread {thread} not active in phase {phase.name}")
         return PhaseOpSource(
-            phase, thread, self.stat, sharers=self.phase_sharers(phase)
+            phase, thread, self.stat, sharers=self.phase_sharers(phase),
+            placement=self.placement,
         )
 
     # -- aggregates (the "perf stat" ground truth) -----------------------------------

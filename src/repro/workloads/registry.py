@@ -28,6 +28,11 @@ def workload_names() -> list[str]:
 
 
 def get_workload_class(name: str) -> type[Workload]:
+    """Resolve a registry name to its :class:`Workload` subclass.
+
+    Unknown names raise with the sorted list of known names, so every
+    caller (CLI, scenarios, co-location) reports the same error.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:

@@ -1,0 +1,83 @@
+"""Per-tier breakdown analysis over profiled runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TierUsage, render_tier_usage, tiering_breakdown
+from repro.errors import AnalysisError
+from repro.machine import (
+    MemLevel,
+    apply_tiering,
+    placement_for,
+    small_test_machine,
+    tiered_test_machine,
+)
+from repro.nmo import NmoMode, NmoProfiler, NmoSettings
+from repro.workloads import StreamWorkload
+
+
+@pytest.fixture(scope="module")
+def profiled():
+    machine = tiered_test_machine()
+    w = StreamWorkload(machine, n_threads=2, n_elems=1 << 14, iterations=2)
+    pl = placement_for(w.process.address_space, 3, "interleave", 0.5)
+    w.attach_tiering(pl)
+    apply_tiering(w, pl)
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=256)
+    result = NmoProfiler(w, settings, seed=1).run()
+    return machine, result, pl
+
+
+class TestTieringBreakdown:
+    def test_requires_tiered_machine(self, profiled):
+        _machine, result, pl = profiled
+        with pytest.raises(AnalysisError):
+            tiering_breakdown(result, small_test_machine(), pl)
+
+    def test_one_row_per_tier(self, profiled):
+        machine, result, pl = profiled
+        rows = tiering_breakdown(result, machine, pl)
+        assert [r.tier for r in rows] == [0, 1, 2]
+        assert [r.name for r in rows] == ["local", "remote", "cxl"]
+        assert [r.level for r in rows] == [
+            MemLevel.DRAM, MemLevel.DRAM_REMOTE, MemLevel.DRAM_CXL,
+        ]
+        assert all(isinstance(r, TierUsage) for r in rows)
+
+    def test_samples_partition_dram_class(self, profiled):
+        machine, result, pl = profiled
+        rows = tiering_breakdown(result, machine, pl)
+        dram_class = int(
+            (result.batch.level >= int(MemLevel.DRAM)).sum()
+        )
+        assert sum(r.samples for r in rows) == dram_class
+        assert sum(r.sample_share for r in rows) == pytest.approx(1.0)
+
+    def test_traffic_scales_with_period_and_line(self, profiled):
+        machine, result, pl = profiled
+        rows = tiering_breakdown(result, machine, pl)
+        period = result.settings.period
+        for r in rows:
+            assert r.est_bytes == r.samples * period * machine.line_size
+
+    def test_page_shares_from_placement(self, profiled):
+        machine, result, pl = profiled
+        rows = tiering_breakdown(result, machine, pl)
+        assert [r.page_share for r in rows] == pytest.approx(
+            list(pl.fractions())
+        )
+        no_pl = tiering_breakdown(result, machine)
+        assert all(r.page_share == 0.0 for r in no_pl)
+
+    def test_far_tier_latency_higher(self, profiled):
+        machine, result, pl = profiled
+        rows = tiering_breakdown(result, machine, pl)
+        assert rows[2].mean_latency_cycles > rows[0].mean_latency_cycles
+
+    def test_render_table(self, profiled):
+        machine, result, pl = profiled
+        text = render_tier_usage(
+            tiering_breakdown(result, machine, pl), title="T"
+        )
+        assert "DRAM-remote" in text and "local" in text
+        assert text.startswith("T\n")

@@ -1,0 +1,415 @@
+"""Tiered memory model: specs, placement policies, and parity pins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MachineError
+from repro.machine import (
+    ContendedChannel,
+    DramModel,
+    MemLevel,
+    MemoryTierSpec,
+    PagePlacement,
+    TieredMemory,
+    apply_tiering,
+    first_touch_placement,
+    hotness_placement,
+    interleave_placement,
+    mapped_page_ids,
+    page_hotness,
+    placement_for,
+    small_test_machine,
+    tier_budgets,
+    tier_level,
+    tiered_altra_max,
+    tiered_test_machine,
+)
+from repro.workloads import StreamWorkload
+
+
+@pytest.fixture
+def tiered():
+    return tiered_test_machine()
+
+
+@pytest.fixture
+def workload(tiered):
+    return StreamWorkload(tiered, n_threads=2, n_elems=1 << 14, iterations=1)
+
+
+class TestMemLevelTiers:
+    def test_tier_levels_extend_dram(self):
+        assert int(MemLevel.DRAM_REMOTE) == int(MemLevel.DRAM) + 1
+        assert int(MemLevel.DRAM_CXL) == int(MemLevel.DRAM) + 2
+
+    def test_dram_class_and_tier(self):
+        assert MemLevel.DRAM.is_dram_class and MemLevel.DRAM.tier == 0
+        assert MemLevel.DRAM_CXL.is_dram_class and MemLevel.DRAM_CXL.tier == 2
+        assert not MemLevel.SLC.is_dram_class and MemLevel.SLC.tier is None
+
+    def test_tier_level_bounds(self):
+        assert tier_level(0) is MemLevel.DRAM
+        assert tier_level(2) is MemLevel.DRAM_CXL
+        with pytest.raises(MachineError):
+            tier_level(3)
+
+    def test_pretty_names(self):
+        assert MemLevel.DRAM_REMOTE.pretty == "DRAM-remote"
+        assert MemLevel.DRAM_CXL.pretty == "DRAM-CXL"
+
+
+class TestTierSpecs:
+    def test_tiered_presets_mirror_dram_near_tier(self):
+        for spec in (tiered_altra_max(), tiered_test_machine()):
+            near = spec.tiers[0]
+            assert near.latency_cycles == spec.dram.latency_cycles
+            assert near.peak_bandwidth == spec.dram.peak_bandwidth
+
+    def test_far_tiers_are_slower(self, tiered):
+        lats = [t.latency_cycles for t in tiered.tiers]
+        bws = [t.peak_bandwidth for t in tiered.tiers]
+        assert lats == sorted(lats) and lats[0] < lats[-1]
+        assert bws == sorted(bws, reverse=True)
+
+    def test_tier0_mismatch_rejected(self):
+        base = small_test_machine()
+        import dataclasses
+
+        with pytest.raises(MachineError):
+            dataclasses.replace(
+                base,
+                tiers=(MemoryTierSpec("local", 1 << 28, 9e9, 201),),
+            )
+
+    def test_duplicate_tier_names_rejected(self, tiered):
+        import dataclasses
+
+        with pytest.raises(MachineError):
+            dataclasses.replace(
+                tiered, tiers=(tiered.tiers[0], tiered.tiers[0])
+            )
+
+    def test_flat_machine_tier_latency_degenerates(self):
+        flat = small_test_machine()
+        for t in range(3):
+            assert flat.tier_latency_cycles(t) == flat.dram.latency_cycles
+
+    def test_bad_tier_spec_rejected(self):
+        with pytest.raises(MachineError):
+            MemoryTierSpec("x", 0, 1e9, 100)
+        with pytest.raises(MachineError):
+            MemoryTierSpec("x", 1 << 20, 1e9, 100, efficiency=0.0)
+
+
+class TestTieredMemory:
+    def test_requires_tiers(self):
+        with pytest.raises(MachineError):
+            TieredMemory(small_test_machine())
+
+    def test_levels_and_latencies(self, tiered):
+        tm = TieredMemory(tiered)
+        assert len(tm) == 3
+        assert tm.level_of(1) is MemLevel.DRAM_REMOTE
+        assert tm.latency_cycles(2) == tiered.tiers[2].latency_cycles
+        assert (tm.latencies() == [200.0, 320.0, 600.0]).all()
+
+    def test_usable_bandwidths_per_tier(self, tiered):
+        tm = TieredMemory(tiered)
+        expected = [t.peak_bandwidth * t.efficiency for t in tiered.tiers]
+        assert np.allclose(tm.usable_bandwidths(), expected)
+
+
+class TestSingleStreamFastPath:
+    """Satellite regression: one active stream on a tier's channel is
+    bit-identical to the solo DramModel roofline, including exactly at
+    the saturation knee."""
+
+    def knee_demands(self, usable, knee):
+        knee_bw = knee * usable
+        return [
+            0.0, knee_bw / 2, np.nextafter(knee_bw, 0.0), knee_bw,
+            np.nextafter(knee_bw, np.inf), (knee_bw + usable) / 2,
+            usable, np.nextafter(usable, np.inf), 2.0 * usable,
+        ]
+
+    def test_channel_apportion_matches_roofline_exactly(self, tiered):
+        for tier_spec in tiered.tiers:
+            channel = ContendedChannel(
+                tier_spec.to_dram_spec(),
+                efficiency=tier_spec.efficiency,
+                knee=tier_spec.knee,
+            )
+            solo = DramModel(tier_spec.to_dram_spec(), tier_spec.efficiency)
+            for d in self.knee_demands(channel.usable_bandwidth, channel.knee):
+                grant = channel.apportion([d])
+                assert grant[0] == solo.effective_bandwidth(d), d
+                assert (
+                    channel.delivered_bandwidth(d, 1)
+                    == solo.effective_bandwidth(d)
+                ), d
+
+    def test_one_active_among_idle_streams_stays_exact(self, tiered):
+        tm = TieredMemory(tiered)
+        for tier in range(len(tm)):
+            spec = tiered.tiers[tier]
+            solo = DramModel(spec.to_dram_spec(), spec.efficiency)
+            usable = tm[tier].usable_bandwidth
+            for d in self.knee_demands(usable, spec.knee):
+                grants = tm.apportion(tier, [0.0, d, 0.0])
+                assert grants[1] == solo.effective_bandwidth(d), (tier, d)
+                assert grants[0] == 0.0 and grants[2] == 0.0
+
+    def test_two_active_streams_leave_the_fast_path(self, tiered):
+        tm = TieredMemory(tiered)
+        usable = tm[0].usable_bandwidth
+        d = usable * 0.95  # past the knee in aggregate
+        grants = tm.apportion(0, [d, d])
+        assert grants.sum() < 2 * d  # knee curve, not the hard min
+        assert grants.sum() <= usable * (1 + 1e-12)
+
+
+class TestTierBudgets:
+    def test_ratio_zero_all_near(self):
+        b = tier_budgets(100, 0.0, 3)
+        assert list(b) == [100, 0, 0]
+
+    def test_far_split_sums(self):
+        b = tier_budgets(101, 0.5, 3)
+        assert b.sum() == 101
+        assert b[0] == round(0.5 * 101)
+
+    def test_single_tier_takes_all(self):
+        assert list(tier_budgets(7, 0.0, 1)) == [7]
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(MachineError):
+            tier_budgets(10, 1.0, 2)
+
+
+class TestPlacementPolicies:
+    def test_mapped_page_ids_cover_mappings(self, workload):
+        asp = workload.process.address_space
+        pages = mapped_page_ids(asp)
+        assert pages.size == sum(m.n_pages for m in asp.mappings())
+        assert np.unique(pages).size == pages.size
+
+    def test_interleave_is_deterministic(self, workload, tiered):
+        asp = workload.process.address_space
+        a = interleave_placement(asp, 3, 0.5)
+        b = interleave_placement(asp, 3, 0.5)
+        assert (a.tiers == b.tiers).all()
+
+    def test_interleave_respects_ratio_roughly(self, workload):
+        pl = interleave_placement(workload.process.address_space, 3, 0.5)
+        f = pl.fractions()
+        assert f[0] == pytest.approx(0.5, abs=0.15)
+        assert f[1] + f[2] == pytest.approx(0.5, abs=0.15)
+
+    def test_first_touch_fills_near_first(self, workload):
+        asp = workload.process.address_space
+        pl = first_touch_placement(asp, 3, 0.5)
+        pages = mapped_page_ids(asp)
+        budgets = tier_budgets(pages.size, 0.5, 3)
+        # the first allocated pages sit in tier 0
+        first_alloc = pages[: int(budgets[0])]
+        assert (pl.tier_of_pages(first_alloc) == 0).all()
+        assert list(pl.counts()) == list(budgets)
+
+    def test_hotness_puts_hot_pages_near(self, workload):
+        asp = workload.process.address_space
+        pages = mapped_page_ids(asp)
+        hot = np.zeros(pages.size)
+        hot[-3:] = 100.0  # last allocated pages are hottest
+        pl = hotness_placement(asp, 3, 0.8, hot)
+        assert (pl.tier_of_pages(pages[-3:]) == 0).all()
+        cold = pl.tier_of_pages(pages[:-3])
+        assert (cold > 0).mean() > 0.7
+
+    def test_ratio_zero_places_everything_near(self, workload):
+        asp = workload.process.address_space
+        for policy in ("interleave", "first_touch"):
+            pl = placement_for(asp, 3, policy, 0.0)
+            assert (pl.tiers == 0).all(), policy
+
+    def test_unknown_policy_rejected(self, workload):
+        with pytest.raises(MachineError, match="known:"):
+            placement_for(workload.process.address_space, 3, "rand", 0.1)
+
+    def test_hotness_requires_scores(self, workload):
+        with pytest.raises(MachineError, match="pilot"):
+            placement_for(workload.process.address_space, 3, "hotness", 0.1)
+
+
+class TestPagePlacementLookup:
+    def test_tier_of_roundtrip(self, workload):
+        asp = workload.process.address_space
+        pl = first_touch_placement(asp, 3, 0.5)
+        m = asp.mappings()[0]
+        addrs = np.arange(m.start, m.end, asp.page_size, dtype=np.uint64)
+        tiers = pl.tier_of(addrs)
+        pages = addrs >> np.uint64(asp.page_shift)
+        assert (tiers == pl.tier_of_pages(pages)).all()
+
+    def test_unmapped_addresses_default_to_near(self, workload):
+        pl = first_touch_placement(workload.process.address_space, 3, 0.9)
+        assert (pl.tier_of(np.array([0x10, 0x20], dtype=np.uint64)) == 0).all()
+
+    def test_invalid_construction(self):
+        with pytest.raises(MachineError):
+            PagePlacement(
+                np.array([3, 2], dtype=np.uint64),
+                np.array([0, 0], dtype=np.uint8), 12, 2,
+            )
+        with pytest.raises(MachineError):
+            PagePlacement(
+                np.array([1], dtype=np.uint64),
+                np.array([5], dtype=np.uint8), 12, 2,
+            )
+
+
+class TestPageHotness:
+    def test_counts_align_with_pages(self, workload):
+        asp = workload.process.address_space
+        pages = mapped_page_ids(asp)
+        m = asp.mappings()[1]
+        addrs = np.full(37, m.start + 8, dtype=np.uint64)
+        hot = page_hotness(asp, addrs)
+        assert hot.shape == pages.shape
+        target = int(np.flatnonzero(pages == (m.start >> asp.page_shift))[0])
+        assert hot[target] == 37
+        assert hot.sum() == 37
+
+    def test_unmapped_samples_ignored(self, workload):
+        hot = page_hotness(
+            workload.process.address_space,
+            np.array([0x40], dtype=np.uint64),
+        )
+        assert hot.sum() == 0
+
+
+class TestApplyTiering:
+    def test_all_near_placement_is_identity(self, tiered):
+        a = StreamWorkload(tiered, n_threads=2, n_elems=1 << 14, iterations=1)
+        cpis = [p.cpi for p in a.phases]
+        pl = placement_for(a.process.address_space, 3, "first_touch", 0.0)
+        stretches = apply_tiering(a, pl)
+        assert all(s == 1.0 for s in stretches)
+        assert [p.cpi for p in a.phases] == cpis
+
+    def test_far_placement_slows_the_run(self, workload):
+        flat = workload.baseline_seconds()
+        pl = placement_for(
+            workload.process.address_space, 3, "first_touch", 0.6
+        )
+        stretches = apply_tiering(workload, pl)
+        assert all(s >= 1.0 for s in stretches)
+        assert workload.baseline_seconds() > flat
+
+    def test_weighted_fractions_follow_access_weight(self, workload):
+        asp = workload.process.address_space
+        pages = mapped_page_ids(asp)
+        pl = first_touch_placement(asp, 3, 0.5)
+        # all access weight on near-tier pages -> near fraction 1.0
+        hot = (pl.tier_of_pages(pages) == 0).astype(float)
+        assert pl.weighted_fractions(pages, hot)[0] == 1.0
+        # zero weight falls back to page fractions
+        assert (
+            pl.weighted_fractions(pages, np.zeros(pages.size))
+            == pl.fractions()
+        ).all()
+        with pytest.raises(MachineError):
+            pl.weighted_fractions(pages, np.ones(3))
+
+    def test_hotness_weights_beat_uniform_assumption(self, tiered):
+        """A placement that fits the hot pages near stretches ~nothing."""
+
+        def fresh():
+            return StreamWorkload(
+                tiered, n_threads=2, n_elems=1 << 14, iterations=1
+            )
+
+        a = fresh()
+        asp = a.process.address_space
+        pages = mapped_page_ids(asp)
+        hot = np.zeros(pages.size)
+        hot[: pages.size // 2] = 1.0  # only the first half is ever touched
+        pl = hotness_placement(asp, 3, 0.5, hot)
+        uniform = apply_tiering(a, pl)
+        b = fresh()
+        weighted = apply_tiering(
+            b, hotness_placement(
+                b.process.address_space, 3, 0.5, hot
+            ), hotness=hot,
+        )
+        assert all(w <= u for w, u in zip(weighted, uniform))
+        assert all(w == pytest.approx(1.0) for w in weighted)
+
+    def test_bandwidth_relief_is_not_refunded(self, tiered):
+        """Stretches never drop below 1: spreading a saturating phase
+        across tiers must not 'speed up' a baseline that was never
+        charged for saturation."""
+        w = StreamWorkload(tiered, n_threads=2, n_elems=1 << 16, iterations=1)
+        pages = mapped_page_ids(w.process.address_space)
+        hot = np.zeros(pages.size)
+        hot[: max(1, pages.size // 10)] = 1.0  # hot set fits near easily
+        pl = hotness_placement(w.process.address_space, 3, 0.5, hot)
+        stretches = apply_tiering(w, pl, hotness=hot)
+        assert all(s >= 1.0 for s in stretches)
+
+    def test_flat_machine_rejected(self):
+        w = StreamWorkload(
+            small_test_machine(), n_threads=2, n_elems=1 << 14, iterations=1
+        )
+        pl = PagePlacement(
+            np.zeros(0, dtype=np.uint64), np.zeros(0, dtype=np.uint8),
+            w.process.address_space.page_shift, 3,
+        )
+        with pytest.raises(MachineError):
+            apply_tiering(w, pl)
+
+
+class TestTieredProfileParity:
+    """Single-tier profiles stay byte-identical with tiers declared."""
+
+    def profile(self, machine, placement_ratio=None):
+        from repro.nmo import NmoMode, NmoProfiler, NmoSettings
+
+        w = StreamWorkload(machine, n_threads=2, n_elems=1 << 14, iterations=2)
+        if placement_ratio is not None:
+            pl = placement_for(
+                w.process.address_space, 3, "interleave", placement_ratio
+            )
+            w.attach_tiering(pl)
+            apply_tiering(w, pl)
+        s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=256)
+        return NmoProfiler(w, s, seed=7).run()
+
+    def test_flat_vs_tiered_machine_unattached(self):
+        a = self.profile(small_test_machine())
+        b = self.profile(tiered_test_machine())
+        for col in ("pc", "addr", "ts", "level", "kind", "total_lat"):
+            assert (getattr(a.batch, col) == getattr(b.batch, col)).all(), col
+        assert a.profiled_cycles == b.profiled_cycles
+        assert a.accuracy == b.accuracy
+
+    def test_ratio_zero_placement_bit_identical(self):
+        a = self.profile(tiered_test_machine())
+        c = self.profile(tiered_test_machine(), placement_ratio=0.0)
+        for col in ("pc", "addr", "ts", "level", "kind", "total_lat"):
+            assert (getattr(a.batch, col) == getattr(c.batch, col)).all(), col
+        assert a.profiled_cycles == c.profiled_cycles
+
+    def test_far_placement_emits_tier_levels(self):
+        r = self.profile(tiered_test_machine(), placement_ratio=0.6)
+        levels = set(np.unique(r.batch.level).tolist())
+        assert int(MemLevel.DRAM_REMOTE) in levels
+        assert int(MemLevel.DRAM_CXL) in levels
+
+    def test_far_samples_cost_their_tier_latency(self):
+        r = self.profile(tiered_test_machine(), placement_ratio=0.6)
+        lv = r.batch.level
+        lat = r.batch.total_lat.astype(float)
+        near = lat[lv == int(MemLevel.DRAM)]
+        far = lat[lv == int(MemLevel.DRAM_CXL)]
+        assert near.size and far.size
+        assert far.mean() > near.mean() * 1.5

@@ -79,3 +79,50 @@ class TestBreakdowns:
     def test_threshold_validation(self, result):
         with pytest.raises(NmoError):
             dram_pressure_windows(result, threshold=1.5)
+
+
+@pytest.fixture(scope="module")
+def tiered_result():
+    from repro.machine import apply_tiering, placement_for, tiered_test_machine
+
+    machine = tiered_test_machine()
+    w = StreamWorkload(machine, n_threads=2, n_elems=1 << 14, iterations=2)
+    pl = placement_for(w.process.address_space, 3, "interleave", 0.6)
+    w.attach_tiering(pl)
+    apply_tiering(w, pl)
+    s = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=256)
+    return NmoProfiler(w, s, seed=1).run()
+
+
+class TestTieredLevels:
+    """The DRAM row aggregates every DRAM-class tier level, so tiered
+    runs keep shares normalised and pressure windows visible."""
+
+    def test_far_tier_samples_present(self, tiered_result):
+        assert (
+            tiered_result.batch.level > np.uint8(MemLevel.DRAM)
+        ).any()
+
+    def test_mix_shares_still_sum_to_one(self, tiered_result):
+        mix = cache_mix_over_time(tiered_result, n_bins=10)
+        total = sum(mix.shares[lv] for lv in mix.shares)
+        sampled = mix.counts > 0
+        assert np.allclose(total[sampled], 1.0)
+
+    def test_dram_share_counts_all_tiers(self, tiered_result):
+        mix = cache_mix_over_time(tiered_result, n_bins=1)
+        lv = tiered_result.batch.level
+        expected = (lv >= np.uint8(MemLevel.DRAM)).mean()
+        assert mix.shares[MemLevel.DRAM][0] == pytest.approx(expected)
+
+    def test_object_breakdown_normalised(self, tiered_result):
+        for shares in level_breakdown_by_object(tiered_result).values():
+            if sum(shares.values()):
+                assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_latency_profile_dram_row_covers_tiers(self, tiered_result):
+        rows = {p.level: p for p in miss_latency_profile(tiered_result)}
+        lv = tiered_result.batch.level
+        assert rows[MemLevel.DRAM].n_samples == int(
+            (lv >= np.uint8(MemLevel.DRAM)).sum()
+        )

@@ -1,0 +1,140 @@
+"""Scenario-spec evolution: adding TieringSpec must not move old keys.
+
+The tiering block rode into :class:`ScenarioSpec` (and ``tiers`` into
+:class:`MachineSpec`) after caches and scenario files already existed
+in the wild.  These tests pin the compatibility contract:
+
+* pre-tier scenario JSON files load unchanged and keep the exact
+  ``spec_hash`` they had before the field existed (hashes below were
+  captured on the pre-tier ``main``),
+* the trial cache keys planned for pre-tier scenarios are identical to
+  the pre-tier ones, so existing :class:`ResultCache` entries still
+  hit,
+* specs **with** a tiering block round-trip losslessly and hash
+  differently.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.machine.spec import (
+    ampere_altra_max,
+    small_test_machine,
+    tiered_test_machine,
+)
+from repro.orchestrate.cache import cache_key, canonical_config
+from repro.scenarios import (
+    ScenarioSpec,
+    Session,
+    TieringSpec,
+    load_scenario,
+    tiering_sweep_spec,
+)
+
+ROOT = Path(__file__).resolve().parent.parent.parent
+
+#: spec_hash of every checked-in example scenario, captured before the
+#: tiering field existed — these must never drift
+PRE_TIER_SPEC_HASHES = {
+    "colo_smoke.json":
+        "783d0769e2ca27b437677b698e5d690cdb7efe33ac6d45015dc72f224004eb36",
+    "fig8_small.json":
+        "8a3273d0e0bad05c2f9ec19b5cfa5629b2787ff27168ef3800d70cef2a51194c",
+    "quickstart_profile.json":
+        "131ebfeb9ff0fe2823dc24ff16c81a3f350eafd2ca6ff8ecdb602fa55d6bc275",
+}
+
+#: cache key of each preset's first planned trial, captured pre-tier
+PRE_TIER_TRIAL_KEYS = {
+    "quickstart":
+        "d2c0bae1005f0e2337dc04b8396993711c8a742903f2dfa5c83b4e849bfe4625",
+    "colo_interference":
+        "5b3365ca44d7c041c4416cfa4f92d190059b13551eb6dd22750f5f056de4b741",
+    "fig9":
+        "d7622db992e6fb9736c156355ef50f8b7b52b2cd333147e5f3e27df0d5f6182f",
+}
+
+
+class TestPreTierSpecFiles:
+    def test_example_files_keep_their_spec_hash(self):
+        for name, expected in PRE_TIER_SPEC_HASHES.items():
+            spec = ScenarioSpec.from_file(ROOT / "examples" / "scenarios" / name)
+            assert spec.spec_hash() == expected, name
+
+    def test_pre_tier_files_serialise_without_tiering_key(self):
+        for name in PRE_TIER_SPEC_HASHES:
+            spec = ScenarioSpec.from_file(ROOT / "examples" / "scenarios" / name)
+            assert spec.tiering is None
+            assert "tiering" not in spec.to_dict(), name
+            assert '"tiering"' not in spec.to_json(), name
+
+    def test_explicit_null_tiering_loads_as_none(self):
+        spec = ScenarioSpec.from_file(
+            ROOT / "examples" / "scenarios" / "quickstart_profile.json"
+        )
+        d = spec.to_dict()
+        d["tiering"] = None  # tolerated on input, omitted on output
+        again = ScenarioSpec.from_dict(d)
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+
+class TestPreTierCacheKeys:
+    def test_preset_trial_keys_unchanged(self):
+        s = Session()
+        for name, expected in PRE_TIER_TRIAL_KEYS.items():
+            t = s.plan(load_scenario(name))[0]
+            assert cache_key(t.experiment, t.config, t.seed) == expected, name
+
+    def test_flat_machine_canonical_config_has_no_tiers_key(self):
+        for machine in (ampere_altra_max(), small_test_machine()):
+            assert "tiers" not in canonical_config(machine)
+
+    def test_tiered_machine_keys_differ(self):
+        flat = canonical_config(small_test_machine())
+        tiered = canonical_config(tiered_test_machine())
+        assert "tiers" in tiered
+        assert [t["name"] for t in tiered["tiers"]] == [
+            "local", "remote", "cxl",
+        ]
+        assert json.dumps(flat, sort_keys=True) != json.dumps(
+            tiered, sort_keys=True
+        )
+
+
+class TestTieringRoundTrip:
+    def spec(self):
+        return tiering_sweep_spec(
+            machine="tiered_test_machine", scale=0.05, n_threads=2
+        )
+
+    def test_lossless_json_round_trip(self):
+        spec = self.spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_tiering_block_survives_serialisation(self):
+        d = json.loads(self.spec().to_json())
+        assert d["tiering"]["policies"] == [
+            "interleave", "first_touch", "hotness",
+        ]
+        assert d["tiering"]["far_ratios"] == [0.0, 0.25, 0.5]
+        assert d["tiering"]["pilot_period"] == 2048
+
+    def test_tiering_changes_the_hash(self):
+        a = self.spec()
+        b = ScenarioSpec.from_dict(
+            {**a.to_dict(), "tiering": TieringSpec(
+                far_ratios=(0.0, 0.75)
+            ).to_dict()}
+        )
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_unknown_tiering_keys_rejected(self):
+        d = self.spec().to_dict()
+        d["tiering"]["promote_rate"] = 2
+        with pytest.raises(Exception, match="unknown keys"):
+            ScenarioSpec.from_dict(d)

@@ -1,0 +1,189 @@
+"""Tiering scenarios: spec rules, planning, execution, and rendering."""
+
+import pytest
+
+from repro.errors import ScenarioError
+from repro.machine.spec import tiered_test_machine
+from repro.orchestrate import ResultCache
+from repro.scenarios import (
+    ScenarioSpec,
+    Session,
+    TieringSpec,
+    WorkloadSpec,
+    load_scenario,
+    tiering_sweep_spec,
+)
+from repro.scenarios.trials import EXPERIMENT_NAMES, TRIAL_FNS
+
+
+def small_spec(**kw):
+    args = dict(
+        machine="tiered_test_machine", scale=0.02, n_threads=2,
+        policies=("interleave", "hotness"), far_ratios=(0.0, 0.5),
+    )
+    args.update(kw)
+    return tiering_sweep_spec(**args)
+
+
+class TestTieringSpecRules:
+    def test_preset_is_valid_and_registered(self):
+        spec = load_scenario("tiering_sweep")
+        assert spec.kind == "tiering"
+        assert spec.machine == "tiered_altra_max"
+
+    def test_needs_tiering_block(self):
+        with pytest.raises(ScenarioError, match="tiering block"):
+            ScenarioSpec(
+                name="x", kind="tiering", machine="tiered_test_machine",
+                workloads=(WorkloadSpec("stream", scale=1.0),),
+            )
+
+    def test_needs_tiered_machine(self):
+        with pytest.raises(ScenarioError, match="tiered machine"):
+            small_spec(machine="small_test_machine")
+
+    def test_needs_one_workload_with_scale(self):
+        with pytest.raises(ScenarioError, match="exactly one workload"):
+            ScenarioSpec(
+                name="x", kind="tiering", machine="tiered_test_machine",
+                tiering=TieringSpec(),
+            )
+        with pytest.raises(ScenarioError, match="explicit workload scale"):
+            ScenarioSpec(
+                name="x", kind="tiering", machine="tiered_test_machine",
+                workloads=(WorkloadSpec("stream"),),
+                tiering=TieringSpec(),
+            )
+
+    def test_other_kinds_reject_tiering_block(self):
+        base = load_scenario("quickstart")
+        with pytest.raises(ScenarioError, match="tiering"):
+            ScenarioSpec.from_dict(
+                {**base.to_dict(), "tiering": TieringSpec().to_dict()}
+            )
+        fig8 = load_scenario("fig8")
+        with pytest.raises(ScenarioError, match="tiering"):
+            ScenarioSpec.from_dict(
+                {**fig8.to_dict(), "tiering": TieringSpec().to_dict()}
+            )
+
+    def test_bad_policies_and_ratios(self):
+        with pytest.raises(ScenarioError, match="known:"):
+            TieringSpec(policies=("teleport",))
+        with pytest.raises(ScenarioError, match="far ratios"):
+            TieringSpec(far_ratios=(1.5,))
+        with pytest.raises(ScenarioError, match="unique"):
+            TieringSpec(policies=("hotness", "hotness"))
+
+
+class TestTieringPlanning:
+    def test_grid_is_policy_major(self):
+        spec = small_spec()
+        plan = Session().plan(spec)
+        assert len(plan) == 4
+        assert [t.config["policy"] for t in plan] == [
+            "interleave", "interleave", "hotness", "hotness",
+        ]
+        assert [t.config["far_ratio"] for t in plan] == [0.0, 0.5, 0.0, 0.5]
+        assert all(t.experiment == "tiering" for t in plan)
+
+    def test_config_carries_tiered_machine(self):
+        plan = Session().plan(small_spec())
+        assert "tiers" in plan[0].config["machine"]
+
+    def test_registries_cover_tiering(self):
+        assert EXPERIMENT_NAMES["tiering"] == "tiering"
+        assert "tiering" in TRIAL_FNS
+
+
+class TestTieringExecution:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return Session().run(small_spec())
+
+    def test_rows_shape(self, report):
+        rows = report.results
+        assert len(rows) == 4
+        for r in rows:
+            assert set(r) >= {
+                "policy", "far_ratio", "slowdown", "accuracy", "tiers",
+            }
+            assert len(r["tiers"]) == 3
+
+    def test_ratio_zero_is_all_local_no_slowdown(self, report):
+        for r in report.results:
+            if r["far_ratio"] == 0.0:
+                assert r["slowdown"] == 1.0
+                assert r["tiers"][0]["sample_share"] == 1.0
+                assert r["tiers"][1]["samples"] == 0
+
+    def test_far_ratio_spreads_samples_and_slows(self, report):
+        for r in report.results:
+            if r["far_ratio"] == 0.5:
+                assert r["slowdown"] > 1.0
+                far = r["tiers"][1]["samples"] + r["tiers"][2]["samples"]
+                assert far > 0
+                assert (
+                    r["tiers"][2]["mean_latency"]
+                    > r["tiers"][0]["mean_latency"]
+                )
+
+    def test_render_has_summary_and_breakdowns(self, report):
+        text = report.render()
+        assert "Tiering: placement policy vs far-memory ratio" in text
+        assert "Tier breakdown: interleave @ far ratio 0.50" in text
+        assert "DRAM-CXL" in text
+        assert "slowdown vs far-memory ratio" in text
+
+    def test_provenance_scales_resolved(self, report):
+        assert report.provenance["scales"] == {"stream": 0.02}
+
+    def test_cached_rerun_is_full_hit(self, tmp_path):
+        spec = small_spec(policies=("interleave",), far_ratios=(0.5,))
+        cache = ResultCache(tmp_path)
+        first = Session(cache=cache).run(spec)
+        again = Session(cache=cache).run(spec)
+        assert first.execution["executed"] == 1
+        assert again.execution["cache_hits"] == again.execution["total_trials"]
+        assert again.execution["executed"] == 0
+        assert first.render() == again.render()
+
+    def test_flat_machine_override_fails_fast(self):
+        from repro.machine.spec import small_test_machine
+
+        spec = small_spec(policies=("interleave",), far_ratios=(0.5,))
+        with pytest.raises(ScenarioError, match="no memory tiers"):
+            Session(machine=small_test_machine()).run(spec)
+
+    def test_deterministic_across_sessions(self):
+        spec = small_spec(policies=("hotness",), far_ratios=(0.5,))
+        a = Session().run(spec)
+        b = Session().run(spec)
+        assert a.results == b.results
+
+
+class TestTieringCli:
+    def test_run_preset_by_name(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.__main__ import main
+
+        # a quick spec file on the tiny tiered machine
+        spec = small_spec(policies=("first_touch",), far_ratios=(0.0, 0.5))
+        path = tmp_path / "tiering.json"
+        path.write_text(spec.to_json())
+        report_path = tmp_path / "report.json"
+        rc = main(["run", str(path), "--report-json", str(report_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Tiering: placement policy vs far-memory ratio" in out
+        assert "first_touch" in out
+        dumped = json.loads(report_path.read_text())
+        assert dumped["provenance"]["kind"] == "tiering"
+        assert len(dumped["results"]) == 2
+
+    def test_scenarios_list_names_tiering(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["scenarios", "list"]) == 0
+        assert "tiering_sweep" in capsys.readouterr().out

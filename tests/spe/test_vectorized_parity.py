@@ -511,9 +511,11 @@ class TestOpLatencyLut:
         for kind, cost in pm.issue_cycles.items():
             ref[kinds == kind] = cost
         is_mem = (kinds == OpKind.LOAD) | (kinds == OpKind.STORE)
-        lut = np.zeros(int(MemLevel.DRAM) + 1, dtype=np.float64)
+        lut = np.zeros(int(MemLevel.DRAM_CXL) + 1, dtype=np.float64)
         for lv in MemLevel:
             lut[int(lv)] = pm.level_latency(lv)
-        lut[int(MemLevel.DRAM)] *= 2.0
+        for lv in MemLevel:
+            if lv.is_dram_class:
+                lut[int(lv)] *= 2.0
         ref[is_mem] += lut[levels[is_mem]]
         assert (got == ref).all()

@@ -1,11 +1,35 @@
 """Docs/packaging stay in sync with the code they describe."""
 
+import importlib
+import inspect
+import re
 from pathlib import Path
+
+import pytest
 
 import repro
 from repro.__main__ import COMMANDS, EXPERIMENTS, PARALLEL_EXPERIMENTS
 
 ROOT = Path(__file__).resolve().parent.parent
+
+#: every package whose __all__ is a public contract
+PUBLIC_PACKAGES = (
+    "repro",
+    "repro.machine",
+    "repro.cpu",
+    "repro.kernel",
+    "repro.spe",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.nmo",
+    "repro.analysis",
+    "repro.scenarios",
+    "repro.evalharness",
+    "repro.orchestrate",
+    "repro.colocation",
+)
+
+DOC_PAGES = sorted((ROOT / "docs").glob("*.md"))
 
 
 class TestCliDoc:
@@ -76,6 +100,7 @@ class TestArchitectureDoc:
     def test_maps_every_package(self):
         doc = (ROOT / "docs" / "architecture.md").read_text()
         for pkg in ("repro.spe", "repro.kernel", "repro.machine",
+                    "repro.machine.tiers",
                     "repro.nmo", "repro.workloads", "repro.evalharness",
                     "repro.orchestrate", "repro.analysis",
                     "repro.colocation", "repro.scenarios"):
@@ -176,6 +201,172 @@ class TestPackaging:
         text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
         assert "repro run examples/scenarios/colo_smoke.json" in text
         assert "--report-json" in text
+
+
+class TestPublicApiDocumented:
+    """Every exported symbol carries a docstring (satellite gate)."""
+
+    @pytest.mark.parametrize("pkg", PUBLIC_PACKAGES)
+    def test_every_export_documented(self, pkg):
+        mod = importlib.import_module(pkg)
+        undocumented = []
+        for sym in getattr(mod, "__all__", []):
+            obj = getattr(mod, sym)
+            if not (
+                inspect.ismodule(obj)
+                or inspect.isclass(obj)
+                or inspect.isfunction(obj)
+            ):
+                continue  # constants document themselves at the def site
+            if not (getattr(obj, "__doc__", None) or "").strip():
+                undocumented.append(sym)
+        assert not undocumented, f"{pkg}: undocumented exports {undocumented}"
+
+    @pytest.mark.parametrize("pkg", PUBLIC_PACKAGES)
+    def test_package_docstring_present(self, pkg):
+        assert (importlib.import_module(pkg).__doc__ or "").strip(), pkg
+
+
+class TestDocsReferencesResolve:
+    """Docs pages must not reference modules or CLI flags that do not
+    exist — stale references fail the suite."""
+
+    MODULE_REF = re.compile(r"\brepro(?:\.[a-zA-Z_][a-zA-Z0-9_]*)+")
+
+    @staticmethod
+    def resolves(path: str) -> bool:
+        parts = path.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            try:
+                for attr in parts[cut:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                return False
+            return True
+        return False
+
+    @pytest.mark.parametrize(
+        "page", DOC_PAGES, ids=lambda p: p.name
+    )
+    def test_module_references_exist(self, page):
+        bad = sorted(
+            {
+                ref
+                for ref in self.MODULE_REF.findall(page.read_text())
+                if not self.resolves(ref)
+            }
+        )
+        assert not bad, f"{page.name} references nonexistent: {bad}"
+
+    def known_cli_flags(self) -> set[str]:
+        # flags exist in the repro CLI and in the benchmark scripts the
+        # docs quote (bench_substrate_json.py --out, check_regression.py
+        # --max-slowdown)
+        sources = [ROOT / "src" / "repro" / "__main__.py"]
+        sources += sorted((ROOT / "benchmarks").glob("*.py"))
+        flags: set[str] = set()
+        for src in sources:
+            flags |= set(re.findall(r'"(--[a-z][a-z-]*)"', src.read_text()))
+        # argparse BooleanOptionalAction generates the --no- negations
+        flags |= {f"--no-{f[2:]}" for f in set(flags)}
+        return flags
+
+    def test_cli_flags_in_docs_exist(self):
+        known = self.known_cli_flags()
+        for page in DOC_PAGES:
+            flags = set(re.findall(r"(?<![\w-])--[a-z][a-z-]*", page.read_text()))
+            bad = sorted(flags - known)
+            assert not bad, f"{page.name} documents unknown flags: {bad}"
+
+    def test_readme_cli_flags_exist(self):
+        known = self.known_cli_flags()
+        flags = set(
+            re.findall(r"(?<![\w-])--[a-z][a-z-]*", (ROOT / "README.md").read_text())
+        )
+        assert flags <= known, sorted(flags - known)
+
+
+class TestDocsIndex:
+    """docs/index.md maps every docs page and every repro subsystem."""
+
+    def doc(self) -> str:
+        return (ROOT / "docs" / "index.md").read_text()
+
+    def test_every_docs_page_listed(self):
+        doc = self.doc()
+        for page in DOC_PAGES:
+            if page.name == "index.md":
+                continue
+            assert f"({page.name})" in doc, f"{page.name} missing from index"
+
+    def test_every_subsystem_listed(self):
+        doc = self.doc()
+        for pkg in PUBLIC_PACKAGES:
+            if pkg == "repro":
+                continue
+            assert f"`{pkg}`" in doc, pkg
+
+    def test_linked_from_readme(self):
+        assert "docs/index.md" in (ROOT / "README.md").read_text()
+
+
+class TestMemoryTiersDoc:
+    def doc(self) -> str:
+        return (ROOT / "docs" / "memory-tiers.md").read_text()
+
+    def test_model_and_policies_documented(self):
+        doc = self.doc()
+        for name in (
+            "MemoryTierSpec", "TieredMemory", "PagePlacement",
+            "interleave", "first_touch", "hotness", "page_hotness",
+            "apply_tiering", "tier_budgets",
+        ):
+            assert name in doc, name
+
+    def test_worked_scenario_present(self):
+        doc = self.doc()
+        assert "python -m repro run tiering_sweep" in doc
+        assert "tiering_sweep_spec" in doc
+        assert "tiered_test_machine" in doc
+
+    def test_calibration_invariant_stated(self):
+        doc = self.doc()
+        assert "byte-identical" in doc
+        assert "single-stream fast path" in doc
+
+    def test_linked_from_readme_architecture_and_scenarios(self):
+        assert "docs/memory-tiers.md" in (ROOT / "README.md").read_text()
+        assert "memory-tiers.md" in (ROOT / "docs" / "architecture.md").read_text()
+        assert "memory-tiers.md" in (ROOT / "docs" / "scenarios.md").read_text()
+
+
+class TestRunnableDocsCi:
+    """CI executes every example and scenario file, so snippets can't rot."""
+
+    def workflow(self) -> str:
+        return (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+
+    def test_docs_examples_job_present(self):
+        text = self.workflow()
+        assert "docs-examples:" in text
+        assert "examples/*.py" in text
+        assert "examples/scenarios/*.json" in text
+        assert "python -m repro run" in text
+
+    def test_every_example_is_a_script(self):
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            text = example.read_text()
+            assert '__name__ == "__main__"' in text, example.name
+
+    def test_every_scenario_file_loads(self):
+        from repro.scenarios import ScenarioSpec
+
+        for path in sorted((ROOT / "examples" / "scenarios").glob("*.json")):
+            ScenarioSpec.from_file(path)  # raises on rot
 
 
 class TestScenariosDoc:
