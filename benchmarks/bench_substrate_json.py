@@ -27,6 +27,12 @@ from pathlib import Path
 
 import numpy as np
 
+# sibling benchmark modules (this file usually runs as a script, but
+# keep the import working when the caller's sys.path lacks our dir)
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_serve import bench_serve_entries  # noqa: E402
+
 from repro.cpu.clock import GenericTimer
 from repro.cpu.pipeline import PipelineModel
 from repro.cpu.ops import OpKind
@@ -227,6 +233,8 @@ def main(argv=None) -> int:
     entries.update(bench_simple_rates())
     print("tiering placement remap (1m samples over a 1m-page map)...")
     entries["tiering_placement_remap_1m"] = bench_tiering_remap()
+    print("serve latencies (submit->first row, cache replay)...")
+    entries.update(bench_serve_entries())
 
     report = {
         "schema": "repro-bench-substrate/1",

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The profiling service end to end: serve, submit, stream, replay.
+
+`repro.serve` (see docs/serving.md) keeps a `Session` resident — one
+persistent worker pool, one shared result cache, a bounded job
+queue — behind a line-delimited JSON socket. This script runs the
+whole loop in one process:
+
+1. start a `ProfilingServer` on an OS-assigned port,
+2. submit a small profile scenario and stream rows as trials land,
+3. fetch the final report (identical to `python -m repro run`),
+4. resubmit the same spec — every trial replays from the cache
+   without touching a worker.
+
+Against a real server (`python -m repro serve --port 7123`), replace
+the context manager with `ServerClient("127.0.0.1", 7123)`.
+
+Run:  python examples/serve_client.py
+"""
+
+import tempfile
+
+from repro.orchestrate import ResultCache
+from repro.scenarios import ScenarioSpec, WorkloadSpec
+from repro.serve import ProfilingServer, ServerClient
+
+
+def main() -> None:
+    spec = ScenarioSpec(
+        name="serve_quickstart",
+        kind="profile",
+        workloads=(WorkloadSpec("stream", n_threads=2, scale=0.05),),
+        machine="small_test_machine",
+        trials=3,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="serve-example-") as tmp:
+        with ProfilingServer(port=0, workers=2, cache=ResultCache(tmp)) as srv:
+            host, port = srv.address
+            print(f"server on {host}:{port}\n")
+            with ServerClient(host, port) as client:
+                # 2. submit, then watch rows stream in as trials land
+                ack = client.submit(spec)
+                print(f"job {ack['job_id']}: {ack['trials']} trials")
+                for event in client.stream(ack["job_id"]):
+                    if event["event"] == "row":
+                        print(f"  row {event['index']} "
+                              f"(cached={event['cached']})")
+                    else:
+                        print(f"  {event['event']}: {event['state']}")
+
+                # 3. the final report goes through Session.build_report —
+                #    the same bytes `python -m repro run` would cache
+                results = client.results(ack["job_id"])
+                prov = results["report"]["provenance"]
+                print(f"\nreport: kind={prov['kind']} "
+                      f"spec=sha256:{prov['spec_hash'][:12]}")
+
+                # 4. resubmit: a pure cache replay, no worker touched
+                outcome = client.run(spec)
+                assert outcome.state == "done"
+                assert all(e["cached"] for e in outcome.rows)
+                print(f"replay: {len(outcome.rows)} rows, all cached")
+
+
+if __name__ == "__main__":
+    main()

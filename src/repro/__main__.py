@@ -131,6 +131,25 @@ def _run(args) -> str:
     return report.render()
 
 
+def _serve(args) -> str:
+    from repro.orchestrate import default_workers
+    from repro.serve import ProfilingServer
+
+    server = ProfilingServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers if args.workers > 0 else default_workers(),
+        cache=make_cache(args.cache, args.cache_dir),
+        queue_limit=args.queue_limit,
+    )
+    host, port = server.address
+    print(f"serving on {host}:{port} "
+          f"(workers={server.pool.workers}, "
+          f"queue_limit={server.queue.limit})", flush=True)
+    server.serve_forever()
+    return "server stopped"
+
+
 def _scenarios_cmd(_args) -> str:
     width = max(len(n) for n in SCENARIO_PRESETS) + 2
     return "\n".join(
@@ -163,6 +182,9 @@ COMMANDS: dict[str, tuple] = {
         _colo, "Colo: co-located processes on a contended DRAM channel"
     ),
     "run": (_run, "run a declarative scenario: `run <scenario.json|name>`"),
+    "serve": (
+        _serve, "profiling service: persistent Session server over a socket"
+    ),
     "scenarios": (
         _scenarios_cmd, "scenario registry: `scenarios list` names presets"
     ),
@@ -170,7 +192,7 @@ COMMANDS: dict[str, tuple] = {
 }
 
 #: commands that are not paper exhibits (maintenance / scenario plumbing)
-UTILITY_COMMANDS = ("cache", "run", "scenarios")
+UTILITY_COMMANDS = ("cache", "run", "scenarios", "serve")
 
 #: the experiment subset (no maintenance commands) — kept for tests and
 #: backwards compatibility with the pre-orchestration CLI
@@ -239,6 +261,14 @@ def main(argv: list[str] | None = None) -> int:
                              "or ~/.cache/repro); implies --cache")
     parser.add_argument("--report-json", default=None, metavar="PATH",
                         help="also dump the run's JSON report (run only)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7123,
+                        help="serve: TCP port to listen on "
+                             "(default 7123, 0 = OS-assigned)")
+    parser.add_argument("--queue-limit", type=int, default=16,
+                        help="serve: max queued+running jobs before "
+                             "admission rejects (default 16)")
     args = parser.parse_args(argv)
 
     if args.experiment in ACTION_COMMANDS:
@@ -255,7 +285,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     elif args.action is not None:
         parser.error(f"{args.experiment} takes no action argument")
-    if args.experiment in ("run", "scenarios"):
+    if args.experiment in ("run", "scenarios", "serve"):
         # a scenario's grid comes from its spec — refuse flags that
         # would otherwise be silently ignored
         passed = [

@@ -82,5 +82,27 @@ class AnalysisError(ReproError):
     """Post-processing request the profile data cannot answer."""
 
 
+class ServeError(ReproError):
+    """Profiling-service failure (bad request, unknown job, refused op).
+
+    Carries the structured ``code``/``details`` the wire protocol
+    reports, so callers can branch on *why* without parsing prose.
+    """
+
+    def __init__(
+        self, message: str, code: str = "bad_request", **details
+    ) -> None:
+        self.code = code
+        self.details = dict(details)
+        super().__init__(message)
+
+
+class QueueFullError(ServeError):
+    """Admission control rejected a job: the queue is at capacity."""
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message, code="queue_full", **details)
+
+
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""

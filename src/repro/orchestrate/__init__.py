@@ -33,6 +33,7 @@ from repro.orchestrate.cache import (
     default_cache_dir,
     make_cache,
 )
+from repro.orchestrate.pool import WorkerPool
 from repro.orchestrate.runner import (
     ParallelRunner,
     RunReport,
@@ -48,6 +49,7 @@ __all__ = [
     "ResultCache",
     "RunReport",
     "TrialSpec",
+    "WorkerPool",
     "cache_key",
     "canonical_config",
     "default_cache_dir",

@@ -30,6 +30,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import ReproError
 from repro.orchestrate.cache import ResultCache, canonical_config
+from repro.orchestrate.pool import WorkerPool
 
 _MISS = object()
 
@@ -76,14 +77,29 @@ class RunReport:
 
 
 class ParallelRunner:
-    """Execute trial specs across processes, results in spec order."""
+    """Execute trial specs across processes, results in spec order.
+
+    With ``pool`` set, trials run on that persistent
+    :class:`~repro.orchestrate.pool.WorkerPool` instead of a per-call
+    ``ProcessPoolExecutor`` — no pool spin-up or teardown per ``map``,
+    stable worker PIDs across calls, and the pool outlives the runner
+    (the caller owns its lifecycle).  This is how the serve scheduler
+    and any other long-running driver reuse workers across jobs.
+    """
 
     def __init__(
-        self, workers: int = 1, cache: ResultCache | None = None
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        pool: WorkerPool | None = None,
     ) -> None:
         if workers < 0:
             raise ReproError(f"workers must be >= 0 (0 = auto), got {workers}")
-        self.workers = workers if workers > 0 else default_workers()
+        self.pool = pool
+        if pool is not None:
+            self.workers = pool.workers
+        else:
+            self.workers = workers if workers > 0 else default_workers()
         self.cache = cache
         self.last_report = RunReport()
 
@@ -119,7 +135,9 @@ class ParallelRunner:
             workers=self.workers,
         )
         try:
-            if self.workers == 1 or len(pending) <= 1:
+            if self.pool is not None and pending:
+                self._map_on_pool(fn, pending, results)
+            elif self.workers == 1 or len(pending) <= 1:
                 for i, spec, key in pending:
                     value = fn(spec)
                     results[i] = value
@@ -155,3 +173,38 @@ class ParallelRunner:
                 self.cache.flush_stats()
             self.last_report = report
         return results
+
+    def _map_on_pool(
+        self,
+        fn: Callable[[TrialSpec], Any],
+        pending: list[tuple[int, TrialSpec, str | None]],
+        results: list[Any],
+    ) -> None:
+        """Run the cache misses on the persistent pool (spec order kept).
+
+        A worker crash mid-trial is retried once on the replacement
+        worker the pool spawned; a second loss (or a trial exception)
+        propagates, mirroring the executor path's fail-fast contract.
+        """
+        tasks = {
+            self.pool.submit(fn, spec): (i, spec, key, 0)
+            for i, spec, key in pending
+        }
+        while tasks:
+            event = self.pool.next_event(timeout=None)
+            kind, task_id, payload = event
+            if task_id not in tasks:
+                continue  # a different owner's task (shared pool)
+            i, spec, key, retries = tasks.pop(task_id)
+            if kind == "done":
+                results[i] = payload
+                if key is not None:
+                    self.cache.put(key, payload)
+            elif kind == "lost" and retries < 1:
+                tasks[self.pool.submit(fn, spec)] = (i, spec, key, retries + 1)
+            elif kind == "lost":
+                raise ReproError(f"trial lost twice to worker crashes: {payload}")
+            elif isinstance(payload, BaseException):
+                raise payload
+            else:
+                raise ReproError(f"worker trial failed: {payload}")

@@ -282,16 +282,49 @@ class Session:
 
     # -- execution -------------------------------------------------------
 
+    def trial_fn(self, spec: ScenarioSpec):
+        """The pool-safe trial callable for this spec's kind, bound to
+        the session's machine (the exact callable :meth:`run` maps, so
+        external drivers — the serve scheduler — hit the same cache
+        entries byte-for-byte)."""
+        machine = self.machine or spec.machine_spec()
+        return partial(TRIAL_FNS[spec.kind], machine)
+
     def run(self, spec: ScenarioSpec) -> RunReport:
         """Execute the scenario and wrap the results in a RunReport."""
-        machine = self.machine or spec.machine_spec()
         trial_specs = self.plan(spec)
         runner = ParallelRunner(workers=self.workers, cache=self.cache)
-        rows = runner.map(partial(TRIAL_FNS[spec.kind], machine), trial_specs)
-        results = self._aggregate(spec, rows)
+        rows = runner.map(self.trial_fn(spec), trial_specs)
+        return self.build_report(
+            spec,
+            rows,
+            execution={
+                "workers": runner.workers,
+                "total_trials": runner.last_report.total,
+                "cache_hits": runner.last_report.cache_hits,
+                "executed": runner.last_report.executed,
+                "cached": self.cache is not None,
+            },
+        )
+
+    def build_report(
+        self,
+        spec: ScenarioSpec,
+        rows: list,
+        execution: dict[str, Any] | None = None,
+    ) -> RunReport:
+        """Aggregate raw trial rows into the kind-shaped RunReport.
+
+        ``rows`` must be in :meth:`plan` order.  Provenance is fully
+        deterministic; ``execution`` carries the caller's runtime facts
+        (workers, cache hits) and never reaches :meth:`RunReport.render`,
+        so any runner that produces the same rows produces a
+        byte-identical rendered report.
+        """
+        machine = self.machine or spec.machine_spec()
         return RunReport(
             spec=spec,
-            results=results,
+            results=self.aggregate(spec, rows),
             provenance={
                 "scenario": spec.name,
                 "kind": spec.kind,
@@ -305,13 +338,7 @@ class Session:
                 "scales": self._resolved_scales(spec),
                 "version": _version(),
             },
-            execution={
-                "workers": runner.workers,
-                "total_trials": runner.last_report.total,
-                "cache_hits": runner.last_report.cache_hits,
-                "executed": runner.last_report.executed,
-                "cached": self.cache is not None,
-            },
+            execution=dict(execution or {}),
         )
 
     @staticmethod
@@ -325,7 +352,8 @@ class Session:
             for w in spec.workloads
         }
 
-    def _aggregate(self, spec: ScenarioSpec, rows: list) -> Any:
+    def aggregate(self, spec: ScenarioSpec, rows: list) -> Any:
+        """Fold plan-ordered trial rows into the kind's result shape."""
         if spec.kind == "period_sweep":
             values = spec.sweep.values
             per_workload = len(values) * spec.trials

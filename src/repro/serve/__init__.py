@@ -1,0 +1,89 @@
+"""Profiling-as-a-service: a persistent Session server with streaming jobs.
+
+``repro run`` pays full process-pool spin-up for every invocation and
+exits; this package keeps the whole stack resident.  A
+:class:`ProfilingServer` owns one persistent
+:class:`~repro.orchestrate.WorkerPool`, one shared
+:class:`~repro.orchestrate.ResultCache`, and a bounded
+:class:`JobQueue`; clients submit declarative
+:class:`~repro.scenarios.ScenarioSpec` payloads over a line-delimited
+JSON socket protocol and stream partial results back as trials land.
+
+The moving parts:
+
+:class:`JobQueue` / :class:`Job`
+    Job states (``queued``/``running``/``partial``/``done``/``failed``/
+    ``cancelled``), priorities, and bounded admission — a full queue
+    rejects immediately with a structured ``queue_full`` error.
+:class:`Scheduler`
+    Shards every admitted job's trial grid across the persistent pool
+    with per-job fairness (round-robin within a priority class, so one
+    huge sweep cannot starve small jobs), resolves cache hits without
+    touching workers, dedups identical in-flight trials across jobs,
+    and degrades jobs to ``partial`` (after retries) when workers die
+    mid-trial.
+:class:`ProfilingServer`
+    The TCP front door: ``submit`` / ``status`` / ``results`` /
+    ``stream`` / ``cancel`` / ``shutdown`` / ``ping`` over
+    :mod:`repro.serve.protocol`, one handler thread per connection.
+:class:`ServerClient`
+    Typed client for all of the above, plus the
+    submit → stream → results convenience loop :meth:`ServerClient.run`.
+
+Start one from the shell with ``python -m repro serve --port 7123
+--workers 4 --cache-dir ~/.cache/repro`` (see ``docs/serving.md``), or
+in-process::
+
+    from repro.serve import ProfilingServer, ServerClient
+
+    with ProfilingServer(port=0, workers=2) as srv:
+        host, port = srv.address
+        with ServerClient(host, port) as client:
+            outcome = client.run(my_spec)
+
+The service path is pinned byte-identical to
+:meth:`repro.scenarios.Session.run` — same planner, same trial
+functions, same cache keys — by ``tests/serve/test_server_e2e.py``.
+"""
+
+from repro.serve.client import RunOutcome, ServerClient
+from repro.serve.protocol import (
+    ERROR_CODES,
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+    read_message,
+    write_message,
+)
+from repro.serve.queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
+from repro.serve.scheduler import Scheduler
+from repro.serve.server import ProfilingServer
+
+__all__ = [
+    "ERROR_CODES",
+    "JOB_STATES",
+    "Job",
+    "JobQueue",
+    "MAX_LINE_BYTES",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProfilingServer",
+    "ProtocolError",
+    "RunOutcome",
+    "Scheduler",
+    "ServerClient",
+    "TERMINAL_STATES",
+    "decode_message",
+    "encode_message",
+    "error_response",
+    "ok_response",
+    "parse_request",
+    "read_message",
+    "write_message",
+]

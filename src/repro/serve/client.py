@@ -1,0 +1,204 @@
+"""Client helper for the profiling service.
+
+:class:`ServerClient` wraps one socket connection in typed methods for
+every protocol op, raising :class:`~repro.errors.ServeError` (with the
+server's structured ``code``/details) on failure responses so callers
+can branch on ``queue_full`` vs ``bad_spec`` without parsing prose.
+
+Quickstart::
+
+    from repro.scenarios import load_scenario
+    from repro.serve import ServerClient
+
+    with ServerClient(port=7123) as client:
+        outcome = client.run(load_scenario("quickstart"))
+        for event in outcome.rows:
+            print(event["index"], event["row"])
+        print(outcome.report["provenance"]["spec_hash"])
+
+:meth:`ServerClient.run` is the submit → stream → results convenience
+loop; the individual ops (:meth:`submit`, :meth:`stream`,
+:meth:`status`, :meth:`results`, :meth:`cancel`, :meth:`shutdown`)
+compose for anything finer-grained.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import ServeError
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve import protocol
+
+
+@dataclass
+class RunOutcome:
+    """Everything one :meth:`ServerClient.run` call produced.
+
+    ``rows`` are the streamed row events in landing order (each with
+    ``index``/``cached``/``row``); ``report`` is the server's final
+    report dict (provenance/execution/spec/results) for ``done`` jobs,
+    ``None`` for ``partial`` ones.
+    """
+
+    job_id: str
+    state: str
+    rows: list[dict] = field(default_factory=list)
+    report: dict | None = None
+    error: str | None = None
+
+
+class ServerClient:
+    """One connection to a :class:`~repro.serve.ProfilingServer`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7123,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._wfile = None
+
+    # -- connection --------------------------------------------------------
+
+    def connect(self) -> "ServerClient":
+        """Open the socket (lazy: request methods call this on demand)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._rfile = self._sock.makefile("rb")
+            self._wfile = self._sock.makefile("wb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        for f in (self._rfile, self._wfile):
+            if f is not None:
+                try:
+                    f.close()
+                except OSError:
+                    pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._sock = self._rfile = self._wfile = None
+
+    def __enter__(self) -> "ServerClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _send(self, payload: dict[str, Any]) -> None:
+        self.connect()
+        protocol.write_message(self._wfile, payload)
+
+    def _read(self) -> dict[str, Any]:
+        msg = protocol.read_message(self._rfile)
+        if msg is None:
+            raise ServeError("server closed the connection")
+        return msg
+
+    @staticmethod
+    def _checked(response: dict[str, Any]) -> dict[str, Any]:
+        if response.get("ok"):
+            return response
+        err = response.get("error") or {}
+        raise ServeError(
+            err.get("reason", "server reported an error"),
+            code=err.get("code", "bad_request"),
+            **{k: v for k, v in err.items() if k not in ("code", "reason")},
+        )
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        self._send(payload)
+        return self._checked(self._read())
+
+    # -- ops ---------------------------------------------------------------
+
+    def submit(
+        self, spec: ScenarioSpec | dict, priority: int = 0
+    ) -> dict[str, Any]:
+        """Submit a scenario; returns the admission ack (``job_id`` ...).
+
+        Raises :class:`~repro.errors.ServeError` with
+        ``code="queue_full"`` when admission rejects the job.
+        """
+        spec_dict = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
+        return self._request(
+            {"op": "submit", "spec": spec_dict, "priority": priority}
+        )
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """The job's state/progress snapshot."""
+        return self._request({"op": "status", "job_id": job_id})
+
+    def results(self, job_id: str) -> dict[str, Any]:
+        """Final rows + report for a ``done``/``partial`` job."""
+        return self._request({"op": "results", "job_id": job_id})
+
+    def stream(self, job_id: str) -> Iterator[dict[str, Any]]:
+        """Yield row events as trials land; ends after the ``end`` event.
+
+        The generator yields every ``{"event": "row", ...}`` dict and
+        finally the ``{"event": "end", "state": ...}`` dict.
+        """
+        self._send({"op": "stream", "job_id": job_id})
+        self._checked(self._read())  # streaming ack
+        while True:
+            event = self._read()
+            yield event
+            if event.get("event") == "end":
+                return
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a queued/running job."""
+        return self._request({"op": "cancel", "job_id": job_id})
+
+    def ping(self) -> dict[str, Any]:
+        """Server liveness + pool/queue statistics."""
+        return self._request({"op": "ping"})
+
+    def shutdown(self) -> dict[str, Any]:
+        """Ask the server to stop (acknowledged before it unwinds)."""
+        response = self._request({"op": "shutdown"})
+        self.close()
+        return response
+
+    # -- convenience -------------------------------------------------------
+
+    def run(
+        self, spec: ScenarioSpec | dict, priority: int = 0
+    ) -> RunOutcome:
+        """Submit, stream every row, then fetch the final results."""
+        ack = self.submit(spec, priority=priority)
+        job_id = ack["job_id"]
+        rows: list[dict] = []
+        state = "running"
+        error = None
+        for event in self.stream(job_id):
+            if event.get("event") == "row":
+                rows.append(
+                    {k: event[k] for k in ("index", "cached", "row")}
+                )
+            else:
+                state = event.get("state", "done")
+                error = event.get("error")
+        report = None
+        if state in ("done", "partial"):
+            report = self.results(job_id).get("report")
+        return RunOutcome(
+            job_id=job_id, state=state, rows=rows, report=report, error=error
+        )

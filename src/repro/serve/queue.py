@@ -1,0 +1,247 @@
+"""Job queue for the profiling service: states, priorities, admission.
+
+A :class:`Job` is one submitted scenario — its planned trial grid,
+per-trial cache keys, landed rows, and a state machine::
+
+    queued ──► running ──► done        (every trial landed)
+                   │   └──► partial    (some trials lost for good)
+                   ├──────► failed     (a trial raised)
+    queued/running ───────► cancelled  (client asked)
+
+``partial``/``done``/``failed``/``cancelled`` are terminal.  Rows land
+append-only in ``events`` (the stream clients replay) and positionally
+in ``rows`` (what the final report aggregates); each job carries its
+own condition variable so streaming readers wake exactly when a row
+lands or the state flips.
+
+:class:`JobQueue` provides **bounded admission**: at most ``limit``
+jobs may be active (queued or running) at once, and a submit beyond
+that is rejected immediately with a structured
+:class:`~repro.errors.QueueFullError` — backpressure the client can
+see and act on, never a silent hang.  Priorities are honoured at
+dispatch time by the scheduler (higher first, FIFO within a class);
+terminal jobs stay retrievable for ``results`` until evicted by
+:meth:`JobQueue.prune`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any
+
+from repro.errors import QueueFullError, ServeError
+from repro.orchestrate import TrialSpec
+from repro.scenarios.spec import ScenarioSpec
+
+#: every state a job can be in
+JOB_STATES = ("queued", "running", "done", "partial", "failed", "cancelled")
+
+#: states in which no further work happens
+TERMINAL_STATES = frozenset({"done", "partial", "failed", "cancelled"})
+
+
+class Job:
+    """One submitted scenario and everything it has produced so far.
+
+    All mutable fields are guarded by :attr:`cond`'s lock; readers
+    should use :meth:`snapshot` / :meth:`events_since` instead of
+    touching fields directly.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        seq: int,
+        spec: ScenarioSpec,
+        priority: int,
+        trial_specs: list[TrialSpec],
+        keys: list[str],
+    ) -> None:
+        self.id = job_id
+        self.seq = seq
+        self.spec = spec
+        self.priority = priority
+        self.trial_specs = trial_specs
+        self.keys = keys
+        self.state = "queued"
+        self.cond = threading.Condition()
+        #: positional trial results (None = not landed / lost)
+        self.rows: list[Any] = [None] * len(trial_specs)
+        #: append-only landed-row event dicts, in landing order
+        self.events: list[dict] = []
+        #: trial indices not yet dispatched (the scheduler's work list)
+        self.pending: list[int] = list(range(len(trial_specs)))
+        #: per-trial retry counts after worker loss
+        self.retries: dict[int, int] = {}
+        #: indices lost for good (reported in the partial outcome)
+        self.lost: dict[int, str] = {}
+        self.cached = 0
+        self.completed = 0
+        self.error: str | None = None
+        self.report: Any = None  # RunReport once terminal and aggregable
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def total(self) -> int:
+        """Trial-grid size."""
+        return len(self.trial_specs)
+
+    def is_terminal(self) -> bool:
+        """Whether the job reached a terminal state (lock-free read)."""
+        return self.state in TERMINAL_STATES
+
+    def set_state(self, state: str) -> None:
+        """Transition (no-op when already terminal) and wake waiters."""
+        assert state in JOB_STATES, state
+        with self.cond:
+            if self.state in TERMINAL_STATES:
+                return
+            self.state = state
+            self.cond.notify_all()
+
+    def land_row(self, index: int, row: Any, cached: bool) -> None:
+        """Record one finished trial and wake streaming readers."""
+        with self.cond:
+            if self.rows[index] is None:
+                self.completed += 1
+                self.cached += 1 if cached else 0
+            self.rows[index] = row
+            self.events.append({"index": index, "cached": cached, "row": row})
+            self.cond.notify_all()
+
+    # -- reads -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A consistent status view (what the ``status`` op returns)."""
+        with self.cond:
+            return {
+                "job_id": self.id,
+                "state": self.state,
+                "priority": self.priority,
+                "spec_name": self.spec.name,
+                "spec_hash": self.spec.spec_hash(),
+                "kind": self.spec.kind,
+                "total": self.total,
+                "completed": self.completed,
+                "cached": self.cached,
+                "lost": sorted(self.lost),
+                "error": self.error,
+            }
+
+    def events_since(self, start: int, timeout: float) -> tuple[list, str]:
+        """Events landed at/after ``start`` plus the state, blocking up
+        to ``timeout`` seconds when there is nothing new yet."""
+        with self.cond:
+            if len(self.events) <= start and self.state not in TERMINAL_STATES:
+                self.cond.wait(timeout=timeout)
+            return list(self.events[start:]), self.state
+
+    def wait_terminal(self, timeout: float | None = None) -> str:
+        """Block until the job is terminal (or timeout); returns state."""
+        with self.cond:
+            self.cond.wait_for(
+                lambda: self.state in TERMINAL_STATES, timeout=timeout
+            )
+            return self.state
+
+
+class JobQueue:
+    """Bounded, priority-aware registry of jobs.
+
+    The queue is the synchronisation point between protocol handler
+    threads (submitting, cancelling) and the scheduler thread
+    (dispatching): :attr:`changed` is notified on every admission or
+    cancellation so the scheduler never polls blind.
+    """
+
+    def __init__(self, limit: int = 16) -> None:
+        if limit < 1:
+            raise ServeError(f"queue limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._jobs: dict[str, Job] = {}
+        self._seq = itertools.count()
+        # reentrant: the scheduler inspects the queue while holding
+        # ``changed`` (same lock) during its idle wait
+        self._lock = threading.RLock()
+        self.changed = threading.Condition(self._lock)
+
+    # -- admission ---------------------------------------------------------
+
+    def active_count(self) -> int:
+        """Jobs currently queued or running (what admission bounds)."""
+        with self._lock:
+            return self._active_locked()
+
+    def _active_locked(self) -> int:
+        return sum(1 for j in self._jobs.values() if not j.is_terminal())
+
+    def submit(
+        self,
+        spec: ScenarioSpec,
+        trial_specs: list[TrialSpec],
+        keys: list[str],
+        priority: int = 0,
+    ) -> Job:
+        """Admit a job or raise :class:`QueueFullError` with the facts."""
+        with self._lock:
+            active = self._active_locked()
+            if active >= self.limit:
+                raise QueueFullError(
+                    f"job queue is full ({active}/{self.limit} active jobs); "
+                    "retry after a job finishes",
+                    active=active,
+                    limit=self.limit,
+                )
+            seq = next(self._seq)
+            job_id = f"job-{seq}-{spec.spec_hash()[:8]}"
+            job = Job(job_id, seq, spec, int(priority), trial_specs, keys)
+            self._jobs[job_id] = job
+            self.changed.notify_all()
+            return job
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, job_id: str) -> Job:
+        """The job by id, or a structured ``unknown_job`` error."""
+        with self._lock:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise ServeError(
+                    f"unknown job {job_id!r}", code="unknown_job"
+                ) from None
+
+    def jobs(self) -> list[Job]:
+        """Every known job, in submission order."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def runnable(self) -> list[Job]:
+        """Non-terminal jobs in dispatch order: priority desc, FIFO in."""
+        with self._lock:
+            live = [j for j in self._jobs.values() if not j.is_terminal()]
+        return sorted(live, key=lambda j: (-j.priority, j.seq))
+
+    # -- mutation ----------------------------------------------------------
+
+    def cancel(self, job_id: str) -> str:
+        """Cancel a job (idempotent on terminal jobs); returns its state."""
+        job = self.get(job_id)
+        job.set_state("cancelled")
+        with self._lock:
+            self.changed.notify_all()
+        return job.state
+
+    def prune(self, keep: int = 256) -> int:
+        """Drop the oldest terminal jobs beyond ``keep``; returns dropped."""
+        with self._lock:
+            done = sorted(
+                (j for j in self._jobs.values() if j.is_terminal()),
+                key=lambda j: j.seq,
+            )
+            drop = done[: max(0, len(done) - keep)]
+            for j in drop:
+                del self._jobs[j.id]
+            return len(drop)

@@ -1,0 +1,307 @@
+"""The profiling server: a persistent Session behind a TCP socket.
+
+:class:`ProfilingServer` composes the serve stack — bounded
+:class:`~repro.serve.queue.JobQueue`, fair
+:class:`~repro.serve.scheduler.Scheduler`, persistent
+:class:`~repro.orchestrate.WorkerPool`, shared
+:class:`~repro.orchestrate.ResultCache` — behind the line-delimited
+JSON protocol of :mod:`repro.serve.protocol`.  Each client connection
+gets a handler thread that serves any number of requests; ``stream``
+holds the connection open and pushes row events as trials land.  A
+client that disconnects mid-stream only ends its own handler: the job
+keeps running and completes into the cache.
+
+Lifecycle::
+
+    with ProfilingServer(workers=4, cache=ResultCache(dir)) as srv:
+        srv.start()                  # scheduler + listener threads
+        host, port = srv.address     # port 0 above -> OS-assigned
+        ...
+    # or, blocking (the `repro serve` CLI): srv.serve_forever()
+
+The ``shutdown`` op (or :meth:`stop`) stops the listener, the
+scheduler, and the worker pool.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Any, BinaryIO
+
+from repro.errors import ReproError, ScenarioError, ServeError
+from repro.machine.spec import MachineSpec
+from repro.orchestrate import ResultCache, WorkerPool, cache_key
+from repro.scenarios.session import _json_safe
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve import protocol
+from repro.serve.queue import Job, JobQueue
+from repro.serve.scheduler import Scheduler
+
+#: seconds a stream waits per poll before re-checking job state
+_STREAM_POLL_S = 0.1
+
+
+class _Listener(socketserver.ThreadingTCPServer):
+    """Per-connection handler threads over one shared server core."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, addr, server: "ProfilingServer") -> None:
+        self.profiling_server = server
+        super().__init__(addr, _Handler)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One client connection: read request lines, write response lines."""
+
+    def handle(self) -> None:
+        server = self.server.profiling_server
+        while not server.stopping.is_set():
+            try:
+                msg = protocol.read_message(self.rfile)
+            except protocol.ProtocolError as e:
+                protocol.write_message(
+                    self.wfile,
+                    protocol.error_response("bad_request", str(e)),
+                )
+                return
+            except (ConnectionError, OSError):
+                return
+            if msg is None:
+                return  # clean EOF
+            try:
+                keep_going = server.dispatch(msg, self.wfile)
+            except (BrokenPipeError, ConnectionError, OSError):
+                return  # client went away; the job lives on
+            if not keep_going:
+                return
+
+
+class ProfilingServer:
+    """A long-running profiling service over one worker pool and cache."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        cache: ResultCache | None = None,
+        machine: MachineSpec | None = None,
+        queue_limit: int = 16,
+        max_retries: int = 1,
+    ) -> None:
+        self.queue = JobQueue(limit=queue_limit)
+        self.pool = WorkerPool(workers=workers)
+        self.scheduler = Scheduler(
+            self.queue,
+            self.pool,
+            cache=cache,
+            machine=machine,
+            max_retries=max_retries,
+        )
+        self.cache = cache
+        self.stopping = threading.Event()
+        self._listener = _Listener((host, port), self)
+        self._listener_thread: threading.Thread | None = None
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolved even when ``port=0``."""
+        return self._listener.server_address[:2]
+
+    def start(self) -> None:
+        """Start the scheduler and the listener thread; returns at once."""
+        if self._started:
+            return
+        self._started = True
+        self.scheduler.start()
+        self._listener_thread = threading.Thread(
+            target=self._listener.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="serve-listener",
+            daemon=True,
+        )
+        self._listener_thread.start()
+
+    def serve_forever(self) -> None:
+        """Start and block until a ``shutdown`` request (the CLI path)."""
+        self.start()
+        try:
+            self.stopping.wait()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Stop listener, scheduler, and pool; idempotent."""
+        self.stopping.set()
+        self._listener.shutdown()
+        self._listener.server_close()
+        if self._listener_thread is not None:
+            self._listener_thread.join(timeout=5.0)
+            self._listener_thread = None
+        self.scheduler.stop()
+        self.pool.close()
+
+    def __enter__(self) -> "ProfilingServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request dispatch --------------------------------------------------
+
+    def dispatch(self, msg: dict[str, Any], wfile: BinaryIO) -> bool:
+        """Serve one request onto ``wfile``; False closes the connection."""
+        op, params = protocol.parse_request(msg)
+        if op is None:
+            protocol.write_message(
+                wfile,
+                protocol.error_response(
+                    "bad_request",
+                    f"unknown or missing op {msg.get('op')!r}; "
+                    f"known: {', '.join(protocol.OPS)}",
+                ),
+            )
+            return True
+        try:
+            if op == "stream":
+                return self._op_stream(params, wfile)
+            response = getattr(self, f"_op_{op}")(params)
+        except ServeError as e:
+            response = protocol.error_response(
+                e.code, str(e), **_json_safe(e.details)
+            )
+        except ScenarioError as e:
+            response = protocol.error_response("bad_spec", str(e))
+        except ReproError as e:
+            response = protocol.error_response("bad_request", str(e))
+        protocol.write_message(wfile, response)
+        return op != "shutdown"
+
+    # -- ops ---------------------------------------------------------------
+
+    def _require_job(self, params: dict[str, Any]) -> Job:
+        job_id = params.get("job_id")
+        if not isinstance(job_id, str):
+            raise ServeError("request needs a string job_id")
+        return self.queue.get(job_id)
+
+    def _op_submit(self, params: dict[str, Any]) -> dict[str, Any]:
+        spec_dict = params.get("spec")
+        if not isinstance(spec_dict, dict):
+            raise ServeError("submit needs a spec object")
+        spec = ScenarioSpec.from_dict(spec_dict)
+        priority = params.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ServeError("priority must be an integer")
+        trial_specs = self.scheduler.session.plan(spec)
+        keys = [
+            cache_key(t.experiment, t.config, t.seed) for t in trial_specs
+        ]
+        job = self.queue.submit(spec, trial_specs, keys, priority=priority)
+        with self.queue.changed:
+            self.queue.changed.notify_all()
+        return protocol.ok_response(
+            job_id=job.id,
+            state=job.state,
+            trials=job.total,
+            spec_hash=spec.spec_hash(),
+        )
+
+    def _op_status(self, params: dict[str, Any]) -> dict[str, Any]:
+        return protocol.ok_response(**self._require_job(params).snapshot())
+
+    def _op_results(self, params: dict[str, Any]) -> dict[str, Any]:
+        job = self._require_job(params)
+        snap = job.snapshot()
+        state = snap["state"]
+        if state not in ("done", "partial"):
+            code = "not_finished" if state in ("queued", "running") else "job_failed"
+            raise ServeError(
+                f"job {job.id} is {state}; results need done/partial",
+                code=code,
+                state=state,
+                error=snap["error"],
+            )
+        with job.cond:
+            rows = [
+                {"index": e["index"], "cached": e["cached"],
+                 "row": _json_safe(e["row"])}
+                for e in job.events
+            ]
+            report = job.report.to_dict() if job.report is not None else None
+        return protocol.ok_response(
+            job_id=job.id, state=state, rows=rows, report=report,
+            lost=snap["lost"], error=snap["error"],
+        )
+
+    def _op_stream(self, params: dict[str, Any], wfile: BinaryIO) -> bool:
+        try:
+            job = self._require_job(params)
+        except ServeError as e:
+            protocol.write_message(
+                wfile, protocol.error_response(e.code, str(e))
+            )
+            return True
+        protocol.write_message(
+            wfile,
+            protocol.ok_response(
+                job_id=job.id, streaming=True, trials=job.total
+            ),
+        )
+        sent = 0
+        while not self.stopping.is_set():
+            events, state = job.events_since(sent, timeout=_STREAM_POLL_S)
+            for e in events:
+                protocol.write_message(
+                    wfile,
+                    {
+                        "event": "row",
+                        "index": e["index"],
+                        "cached": e["cached"],
+                        "row": _json_safe(e["row"]),
+                    },
+                )
+                sent += 1
+            if state in ("done", "partial", "failed", "cancelled"):
+                with job.cond:
+                    drained = sent >= len(job.events)
+                if drained:
+                    protocol.write_message(
+                        wfile,
+                        {"event": "end", "state": state,
+                         "error": job.error},
+                    )
+                    return True
+        return False
+
+    def _op_cancel(self, params: dict[str, Any]) -> dict[str, Any]:
+        job = self._require_job(params)
+        state = self.queue.cancel(job.id)
+        return protocol.ok_response(job_id=job.id, state=state)
+
+    def _op_ping(self, _params: dict[str, Any]) -> dict[str, Any]:
+        return protocol.ok_response(
+            protocol=protocol.PROTOCOL_VERSION,
+            workers=self.pool.workers,
+            worker_pids=self.pool.pids(),
+            active_jobs=self.queue.active_count(),
+            queue_limit=self.queue.limit,
+            trials_executed=self.scheduler.trials_executed,
+            trials_cached=self.scheduler.trials_cached,
+            cached=self.cache is not None,
+        )
+
+    def _op_shutdown(self, _params: dict[str, Any]) -> dict[str, Any]:
+        # reply first (dispatch returns False to close this connection),
+        # then stop from another thread so the listener can unwind
+        threading.Thread(target=self.stop, daemon=True).start()
+        return protocol.ok_response(stopping=True)

@@ -1,0 +1,282 @@
+"""Property tests: ScenarioSpec serialization and serve/Session parity.
+
+Fuzzes valid :class:`ScenarioSpec` values across every kind and
+optional block, pinning the serialization contract the serve protocol
+depends on:
+
+* ``from_json(to_json(spec)) == spec`` — lossless round trip,
+* ``spec_hash`` is stable across round trips (the provenance anchor
+  and the job-id ingredient must not drift with re-encoding),
+* submitting a spec to a live :class:`ProfilingServer` produces the
+  same cached payload bytes as :meth:`Session.run` — the server is a
+  transport, never a second semantics.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine.tiers import PLACEMENT_POLICIES
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.orchestrate import ResultCache, cache_key
+from repro.scenarios import Session
+from repro.scenarios.spec import (
+    MACHINE_PRESETS,
+    ColocationSpec,
+    ScenarioSpec,
+    SweepAxis,
+    TieringSpec,
+    WorkloadSpec,
+    _default_settings,
+)
+from repro.serve import ProfilingServer, ServerClient
+
+WORKLOAD_NAMES = ("bfs", "cfd", "inmem_analytics", "pagerank", "stream")
+TIERED_PRESETS = ("tiered_altra_max", "tiered_test_machine")
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-_", min_size=1, max_size=24
+)
+scales = st.floats(
+    min_value=0.001, max_value=8.0, allow_nan=False, allow_infinity=False
+)
+seeds = st.integers(min_value=-(2**31), max_value=2**31)
+axis_values = st.lists(
+    st.integers(min_value=1, max_value=1 << 16), min_size=1, max_size=4
+)
+
+
+def template_settings(period):
+    return dataclasses.replace(_default_settings(), period=period)
+
+
+def workloads(explicit_scale=False, kwargs_allowed=False, n_threads=None):
+    kwargs = (
+        st.dictionaries(
+            st.sampled_from(("alpha", "beta", "gamma")),
+            st.one_of(st.integers(-100, 100), st.booleans(), names),
+            max_size=2,
+        )
+        if kwargs_allowed
+        else st.just({})
+    )
+    return st.builds(
+        WorkloadSpec,
+        name=st.sampled_from(WORKLOAD_NAMES),
+        n_threads=(
+            st.just(n_threads) if n_threads else st.integers(1, 64)
+        ),
+        scale=scales if explicit_scale else st.one_of(st.none(), scales),
+        kwargs=kwargs,
+    )
+
+
+@st.composite
+def profile_specs(draw):
+    return ScenarioSpec(
+        name=draw(names),
+        kind="profile",
+        workloads=tuple(
+            draw(st.lists(workloads(kwargs_allowed=True), min_size=1, max_size=3))
+        ),
+        settings=draw(
+            st.builds(
+                NmoSettings,
+                enable=st.just(True),
+                name=st.sampled_from(("nmo", "probe")),
+                mode=st.sampled_from((NmoMode.SAMPLING, NmoMode.FULL)),
+                period=st.integers(1, 1 << 20),
+                track_rss=st.booleans(),
+                bufsize_mib=st.integers(1, 64),
+                auxbufsize_mib=st.integers(1, 64),
+            )
+        ),
+        machine=draw(st.sampled_from(sorted(MACHINE_PRESETS))),
+        trials=draw(st.integers(1, 4)),
+        seed=draw(seeds),
+    )
+
+
+@st.composite
+def period_sweep_specs(draw):
+    values = draw(axis_values)
+    return ScenarioSpec(
+        name=draw(names),
+        kind="period_sweep",
+        workloads=tuple(
+            draw(st.lists(workloads(explicit_scale=True), min_size=1, max_size=2))
+        ),
+        settings=template_settings(values[0]),
+        machine=draw(st.sampled_from(sorted(MACHINE_PRESETS))),
+        sweep=SweepAxis(param="period", values=tuple(values)),
+        trials=draw(st.integers(1, 3)),
+        seed=draw(seeds),
+    )
+
+
+@st.composite
+def single_axis_specs(draw, kind, param, n_threads=None):
+    return ScenarioSpec(
+        name=draw(names),
+        kind=kind,
+        workloads=(
+            draw(workloads(explicit_scale=True, n_threads=n_threads)),
+        ),
+        settings=template_settings(draw(st.integers(1, 1 << 20))),
+        machine=draw(st.sampled_from(sorted(MACHINE_PRESETS))),
+        sweep=SweepAxis(param=param, values=tuple(draw(axis_values))),
+        seed=draw(seeds),
+    )
+
+
+@st.composite
+def colocation_specs(draw):
+    return ScenarioSpec(
+        name=draw(names),
+        kind="colocation",
+        settings=template_settings(draw(st.integers(1, 1 << 20))),
+        machine=draw(st.sampled_from(sorted(MACHINE_PRESETS))),
+        colocation=ColocationSpec(
+            max_corunners=draw(st.integers(1, 6)),
+            n_threads=draw(st.integers(1, 16)),
+            scale=draw(scales),
+        ),
+        seed=draw(seeds),
+    )
+
+
+@st.composite
+def tiering_specs(draw):
+    policies = draw(
+        st.lists(
+            st.sampled_from(PLACEMENT_POLICIES), min_size=1,
+            max_size=len(PLACEMENT_POLICIES), unique=True,
+        )
+    )
+    ratios = draw(
+        st.lists(
+            st.floats(
+                min_value=0.0, max_value=0.95,
+                allow_nan=False, allow_infinity=False,
+            ),
+            min_size=1, max_size=3, unique=True,
+        )
+    )
+    return ScenarioSpec(
+        name=draw(names),
+        kind="tiering",
+        workloads=(draw(workloads(explicit_scale=True)),),
+        settings=template_settings(draw(st.integers(1, 1 << 20))),
+        machine=draw(st.sampled_from(TIERED_PRESETS)),
+        tiering=TieringSpec(
+            policies=tuple(policies),
+            far_ratios=tuple(ratios),
+            pilot_period=draw(st.integers(1, 1 << 16)),
+        ),
+        seed=draw(seeds),
+    )
+
+
+any_spec = st.one_of(
+    profile_specs(),
+    period_sweep_specs(),
+    single_axis_specs("aux_sweep", "aux_pages"),
+    single_axis_specs("thread_sweep", "threads", n_threads=32),
+    colocation_specs(),
+    tiering_specs(),
+)
+
+
+class TestRoundTrip:
+    @given(any_spec)
+    @settings(max_examples=120, deadline=None)
+    def test_json_round_trip_is_lossless(self, spec):
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    @given(any_spec)
+    @settings(max_examples=120, deadline=None)
+    def test_dict_round_trip_is_lossless(self, spec):
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    @given(any_spec)
+    @settings(max_examples=120, deadline=None)
+    def test_spec_hash_stable_across_round_trips(self, spec):
+        rebuilt = ScenarioSpec.from_json(spec.to_json())
+        assert rebuilt.spec_hash() == spec.spec_hash()
+        # and hashing is a pure function of the value
+        assert spec.spec_hash() == spec.spec_hash()
+
+    @given(any_spec, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_spec_hash_covers_the_seed(self, spec, other_seed):
+        if other_seed == spec.seed:
+            return
+        reseeded = dataclasses.replace(spec, seed=other_seed)
+        assert reseeded.spec_hash() != spec.spec_hash()
+
+    @given(any_spec)
+    @settings(max_examples=60, deadline=None)
+    def test_plan_is_deterministic(self, spec):
+        session = Session()
+        assert session.plan(spec) == session.plan(spec)
+
+
+@pytest.fixture(scope="module")
+def parity_server(tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("prop-serve-cache")
+    with ProfilingServer(
+        port=0, workers=2, cache=ResultCache(cache_dir), queue_limit=8
+    ) as srv:
+        yield srv, cache_dir
+
+
+@st.composite
+def tiny_profile_specs(draw):
+    """Cheap-to-execute profile specs (stream on the small machine)."""
+    return ScenarioSpec(
+        name=draw(names),
+        kind="profile",
+        workloads=(
+            WorkloadSpec(
+                "stream",
+                n_threads=draw(st.integers(1, 4)),
+                scale=draw(
+                    st.sampled_from((0.01, 0.02, 0.05))
+                ),
+            ),
+        ),
+        machine="small_test_machine",
+        trials=draw(st.integers(1, 2)),
+        seed=draw(st.integers(0, 99)),
+    )
+
+
+class TestServerParity:
+    @given(tiny_profile_specs())
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_server_and_session_cache_identical_bytes(
+        self, parity_server, tmp_path_factory, spec
+    ):
+        server, server_cache_dir = parity_server
+        with ServerClient(*server.address) as client:
+            outcome = client.run(spec)
+        assert outcome.state == "done"
+
+        session_dir = tmp_path_factory.mktemp("prop-session-cache")
+        session = Session(cache=ResultCache(session_dir))
+        report = session.run(spec)
+
+        assert outcome.report["results"] == report.to_dict()["results"]
+        assert outcome.report["provenance"] == report.to_dict()["provenance"]
+        for t in session.plan(spec):
+            key = cache_key(t.experiment, t.config, t.seed)
+            rel = f"objects/{key[:2]}/{key}.pkl"
+            assert (server_cache_dir / rel).read_bytes() == (
+                session_dir / rel
+            ).read_bytes()

@@ -1,0 +1,160 @@
+"""Cache concurrency: compute-at-most-once and no torn reads.
+
+The serve scheduler promises that N concurrent jobs over one cache
+directory never compute the same trial twice — in-flight duplicates
+ride along on one task, and trials reaching dispatch after their twin
+completed are resolved from the cache.  The counting trial function
+appends one line per *execution* (``O_APPEND`` writes of one short
+line are atomic), so the ledger is exact under concurrency.
+"""
+
+import os
+import threading
+
+from repro.orchestrate import ResultCache, cache_key
+from repro.scenarios import Session
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+from repro.scenarios.trials import TRIAL_FNS
+from repro.serve import ProfilingServer, ServerClient
+
+
+def counting_trial(machine, tspec):
+    """Record this execution in the shared ledger, then return a row."""
+    ledger = tspec.config["kwargs"]["ledger"]
+    fd = os.open(ledger, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, f"seed={tspec.seed}\n".encode())
+    finally:
+        os.close(fd)
+    return {"metric": float(tspec.seed)}
+
+
+def counted_spec(name, ledger, trials=3, seed=0):
+    return ScenarioSpec(
+        name=name,
+        kind="profile",
+        workloads=(
+            WorkloadSpec(
+                "stream", n_threads=2, scale=0.02,
+                kwargs={"ledger": str(ledger)},
+            ),
+        ),
+        machine="small_test_machine",
+        trials=trials,
+        seed=seed,
+    )
+
+
+class TestComputeAtMostOnce:
+    def test_identical_concurrent_jobs_share_every_trial(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(TRIAL_FNS, "profile", counting_trial)
+        ledger = tmp_path / "ledger"
+        spec = counted_spec("dup-stress", ledger, trials=3)
+        outcomes = []
+        with ProfilingServer(
+            port=0, workers=2, cache=ResultCache(tmp_path / "cache"),
+            queue_limit=16,
+        ) as srv:
+
+            def one_submission():
+                with ServerClient(*srv.address) as c:
+                    outcomes.append(c.run(spec))
+
+            threads = [
+                threading.Thread(target=one_submission) for _ in range(5)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+
+        assert [o.state for o in outcomes] == ["done"] * 5
+        # 5 jobs x 3 trials, but only 3 unique trials => 3 executions
+        lines = ledger.read_text().splitlines()
+        assert sorted(lines) == ["seed=0", "seed=1", "seed=2"]
+        # every job saw the same rows, by value
+        rows0 = sorted(
+            (e["index"], e["row"]["metric"]) for e in outcomes[0].rows
+        )
+        for o in outcomes[1:]:
+            assert sorted(
+                (e["index"], e["row"]["metric"]) for e in o.rows
+            ) == rows0
+
+    def test_distinct_jobs_still_execute_their_own_trials(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(TRIAL_FNS, "profile", counting_trial)
+        ledger = tmp_path / "ledger"
+        with ProfilingServer(
+            port=0, workers=2, cache=ResultCache(tmp_path / "cache")
+        ) as srv:
+            with ServerClient(*srv.address) as c:
+                a = c.run(counted_spec("job-a", ledger, trials=2, seed=0))
+                b = c.run(counted_spec("job-b", ledger, trials=2, seed=50))
+        assert a.state == b.state == "done"
+        lines = sorted(ledger.read_text().splitlines())
+        assert lines == ["seed=0", "seed=1", "seed=50", "seed=51"]
+
+
+class TestResultCacheConcurrency:
+    def test_concurrent_get_put_never_tears(self, tmp_path):
+        """Readers racing writers on one cache dir see either a miss or
+        the complete payload — never a partial pickle."""
+        payload = {"rows": list(range(512)), "label": "x" * 4096}
+        keys = [f"stress{i:04d}{'0' * 56}" for i in range(20)]
+        errors = []
+        stop = threading.Event()
+
+        def writer():
+            cache = ResultCache(tmp_path)
+            for _ in range(5):
+                for key in keys:
+                    cache.put(key, dict(payload, key=key))
+
+        def reader():
+            cache = ResultCache(tmp_path)
+            miss = object()
+            while not stop.is_set():
+                for key in keys:
+                    value = cache.get(key, miss)
+                    if value is miss:
+                        continue
+                    if value.get("key") != key or value["rows"] != payload["rows"]:
+                        errors.append(f"torn read for {key}")
+                        return
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        writers = [threading.Thread(target=writer) for _ in range(3)]
+        for t in readers + writers:
+            t.start()
+        for t in writers:
+            t.join(timeout=60)
+        stop.set()
+        for t in readers:
+            t.join(timeout=60)
+        assert errors == []
+
+    def test_duplicate_put_is_idempotent(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "dupkey" + "0" * 58
+        cache.put(key, {"v": 1})
+        cache.put(key, {"v": 1})
+        assert cache.get(key) == {"v": 1}
+
+    def test_server_scheduler_counters_reconcile(self, tmp_path, monkeypatch):
+        """trials_executed + trials_cached covers every landed row."""
+        monkeypatch.setitem(TRIAL_FNS, "profile", counting_trial)
+        ledger = tmp_path / "ledger"
+        spec = counted_spec("counted", ledger, trials=2)
+        with ProfilingServer(
+            port=0, workers=2, cache=ResultCache(tmp_path / "cache")
+        ) as srv:
+            with ServerClient(*srv.address) as c:
+                c.run(spec)
+                c.run(spec)
+                info = c.ping()
+        assert info["trials_executed"] == 2
+        assert info["trials_cached"] == 2

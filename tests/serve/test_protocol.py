@@ -1,0 +1,97 @@
+"""The serve wire protocol: framing, limits, request parsing."""
+
+import io
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    ProtocolError,
+    decode_message,
+    encode_message,
+    error_response,
+    ok_response,
+    parse_request,
+    read_message,
+    write_message,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        msg = {"op": "submit", "spec": {"name": "x"}, "priority": 3}
+        assert decode_message(encode_message(msg)) == msg
+
+    def test_one_line_per_message(self):
+        line = encode_message({"a": 1})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+
+    def test_canonical_bytes(self):
+        # sorted keys + compact separators: identical dicts encode
+        # identically regardless of insertion order
+        a = encode_message({"x": 1, "y": 2})
+        b = encode_message({"y": 2, "x": 1})
+        assert a == b
+
+    def test_non_json_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            decode_message(b"not json at all\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            decode_message(b"[1, 2, 3]\n")
+
+    def test_stream_round_trip(self):
+        buf = io.BytesIO()
+        write_message(buf, {"op": "ping"})
+        write_message(buf, {"op": "status", "job_id": "j1"})
+        buf.seek(0)
+        assert read_message(buf) == {"op": "ping"}
+        assert read_message(buf) == {"op": "status", "job_id": "j1"}
+        assert read_message(buf) is None  # clean EOF
+
+    def test_blank_line_is_empty_message(self):
+        assert read_message(io.BytesIO(b"\n")) == {}
+
+    def test_oversized_line_rejected(self):
+        big = b'{"pad": "' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_message(io.BytesIO(big))
+
+
+class TestResponses:
+    def test_ok_carries_fields(self):
+        r = ok_response(job_id="j1", state="queued")
+        assert r["ok"] is True
+        assert r["job_id"] == "j1"
+
+    def test_error_shape(self):
+        r = error_response("queue_full", "full", active=4, limit=4)
+        assert r["ok"] is False
+        assert r["error"]["code"] == "queue_full"
+        assert r["error"]["reason"] == "full"
+        assert r["error"]["active"] == 4
+
+    def test_unknown_code_asserts(self):
+        with pytest.raises(AssertionError):
+            error_response("no_such_code", "x")
+
+
+class TestParseRequest:
+    @pytest.mark.parametrize("op", OPS)
+    def test_every_op_parses(self, op):
+        parsed_op, params = parse_request({"op": op, "job_id": "j"})
+        assert parsed_op == op
+        assert params == {"job_id": "j"}
+
+    def test_unknown_op_is_none(self):
+        assert parse_request({"op": "frobnicate"}) == (None, {})
+
+    def test_missing_op_is_none(self):
+        assert parse_request({"job_id": "j"}) == (None, {})
+
+    def test_non_string_op_is_none(self):
+        assert parse_request({"op": 7}) == (None, {})

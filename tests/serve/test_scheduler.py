@@ -1,0 +1,200 @@
+"""Scheduler policy: fairness, priorities, cache fast path, faults.
+
+These tests drive the scheduler's decision methods synchronously
+against a stub pool, so dispatch order and fault handling are pinned
+deterministically (no threads, no real workers).  The real-pool path
+is covered end-to-end in ``test_server_e2e.py`` / ``test_faults.py``.
+"""
+
+import itertools
+
+from repro.orchestrate import ResultCache, cache_key
+from repro.scenarios import Session
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+from repro.serve import JobQueue, Scheduler
+
+
+class StubPool:
+    """Records submissions; completions are injected by the test."""
+
+    def __init__(self, workers=2):
+        self.workers = workers
+        self.submitted = []  # (task_id, fn, arg) in dispatch order
+        self._ids = itertools.count()
+
+    def submit(self, fn, arg):
+        task_id = next(self._ids)
+        self.submitted.append((task_id, fn, arg))
+        return task_id
+
+
+def profile_spec(name, trials, seed=0):
+    return ScenarioSpec(
+        name=name,
+        kind="profile",
+        workloads=(WorkloadSpec("stream", n_threads=2, scale=0.02),),
+        machine="small_test_machine",
+        trials=trials,
+        seed=seed,
+    )
+
+
+def submit(queue, spec, priority=0):
+    trial_specs = Session().plan(spec)
+    keys = [cache_key(t.experiment, t.config, t.seed) for t in trial_specs]
+    return queue.submit(spec, trial_specs, keys, priority=priority)
+
+
+def make_scheduler(workers=2, cache=None, max_retries=1, limit=16):
+    queue = JobQueue(limit=limit)
+    pool = StubPool(workers=workers)
+    sched = Scheduler(queue, pool, cache=cache, max_retries=max_retries)
+    return queue, pool, sched
+
+
+def drain(sched, pool, row=None, rounds=100):
+    """Admit/dispatch/complete until the pool goes idle; returns the
+    per-task completion order as job ids."""
+    order = []
+    for _ in range(rounds):
+        sched._admit()
+        sched._dispatch()
+        if not sched._task_key:
+            return order
+        task_id = min(sched._task_key)  # oldest in-flight finishes first
+        owners = sched._owners[sched._task_key[task_id]]
+        order.extend(job.id for job, _ in owners)
+        sched._handle_event("done", task_id, row or {"metric": 1.0})
+    raise AssertionError("scheduler did not drain")
+
+
+class TestFairness:
+    def test_small_job_is_not_starved_by_big_sweep(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        big = submit(queue, profile_spec("big", trials=8, seed=1))
+        small = submit(queue, profile_spec("small", trials=2, seed=2))
+        order = drain(sched, pool)
+        # round-robin: the 2-trial job's last trial lands well before
+        # the 8-trial job's, even though the sweep was submitted first
+        assert order.index(small.id, order.index(small.id) + 1) <= 3
+        assert small.state == "done" and big.state == "done"
+
+    def test_equal_priority_jobs_interleave(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        a = submit(queue, profile_spec("a", trials=3, seed=1))
+        b = submit(queue, profile_spec("b", trials=3, seed=2))
+        order = drain(sched, pool)
+        assert order[:4] == [a.id, b.id, a.id, b.id]
+
+    def test_higher_priority_runs_first(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        low = submit(queue, profile_spec("low", trials=2, seed=1), priority=0)
+        high = submit(
+            queue, profile_spec("high", trials=2, seed=2), priority=9
+        )
+        order = drain(sched, pool)
+        assert order[:2] == [high.id, high.id]
+        assert low.state == "done"
+
+    def test_dispatch_bounded_by_pool_capacity(self):
+        queue, pool, sched = make_scheduler(workers=2)
+        submit(queue, profile_spec("j", trials=6))
+        sched._admit()
+        sched._dispatch()
+        assert len(pool.submitted) == 2  # never more in flight than workers
+
+
+class TestCacheFastPath:
+    def test_full_hit_job_never_touches_the_pool(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        queue, pool, sched = make_scheduler(cache=cache)
+        job = submit(queue, profile_spec("warm", trials=2))
+        for key in job.keys:
+            cache.put(key, {"metric": 1.0})
+        sched._admit()
+        assert job.state == "done"
+        assert pool.submitted == []
+        assert job.cached == job.total == 2
+        assert sched.trials_cached == 2
+        assert job.report is not None
+
+    def test_partial_hits_only_dispatch_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        queue, pool, sched = make_scheduler(workers=4, cache=cache)
+        job = submit(queue, profile_spec("mixed", trials=3))
+        cache.put(job.keys[1], {"metric": 1.0})
+        sched._admit()
+        sched._dispatch()
+        assert len(pool.submitted) == 2
+        assert job.cached == 1
+
+    def test_executed_results_are_cached_for_replay(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        queue, pool, sched = make_scheduler(workers=4, cache=cache)
+        job = submit(queue, profile_spec("first", trials=2))
+        drain(sched, pool)
+        assert job.state == "done"
+        replay = submit(queue, profile_spec("first", trials=2))
+        sched._admit()
+        assert replay.state == "done" and replay.cached == 2
+
+
+class TestDedup:
+    def test_identical_inflight_trials_computed_once(self):
+        queue, pool, sched = make_scheduler(workers=4)
+        spec = profile_spec("dup", trials=2)
+        a = submit(queue, spec)
+        b = submit(queue, spec)
+        sched._admit()
+        sched._dispatch()
+        assert len(pool.submitted) == 2  # 2 unique trials, not 4
+        drain(sched, pool)
+        assert a.state == b.state == "done"
+        assert a.rows == b.rows
+
+
+class TestFaults:
+    def test_lost_trial_is_retried_then_done(self):
+        queue, pool, sched = make_scheduler(workers=1, max_retries=1)
+        job = submit(queue, profile_spec("retry", trials=1))
+        sched._admit()
+        sched._dispatch()
+        (task_id, _fn, _arg) = pool.submitted[0]
+        sched._handle_event("lost", task_id, "worker 123 died")
+        assert job.state == "running" and job.pending == [0]
+        drain(sched, pool)
+        assert job.state == "done" and job.retries == {0: 1}
+
+    def test_exhausted_retries_degrade_to_partial(self):
+        queue, pool, sched = make_scheduler(workers=1, max_retries=0)
+        job = submit(queue, profile_spec("lossy", trials=2))
+        sched._admit()
+        sched._dispatch()
+        (task_id, _fn, _arg) = pool.submitted[0]
+        sched._handle_event("lost", task_id, "worker 123 died")
+        drain(sched, pool)
+        assert job.state == "partial"
+        assert list(job.lost) == [0]
+        assert "worker 123 died" in job.lost[0]
+        assert "lost" in job.error
+
+    def test_raising_trial_fails_the_job(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        job = submit(queue, profile_spec("bad", trials=1))
+        sched._admit()
+        sched._dispatch()
+        (task_id, _fn, _arg) = pool.submitted[0]
+        sched._handle_event("error", task_id, ValueError("boom"))
+        assert job.state == "failed"
+        assert "ValueError: boom" in job.error
+
+    def test_cancelled_job_ignores_late_completions(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        job = submit(queue, profile_spec("gone", trials=2))
+        sched._admit()
+        sched._dispatch()
+        queue.cancel(job.id)
+        (task_id, _fn, _arg) = pool.submitted[0]
+        sched._handle_event("done", task_id, {"metric": 1.0})
+        assert job.state == "cancelled"
+        assert job.completed == 0

@@ -27,6 +27,7 @@ PUBLIC_PACKAGES = (
     "repro.evalharness",
     "repro.orchestrate",
     "repro.colocation",
+    "repro.serve",
 )
 
 DOC_PAGES = sorted((ROOT / "docs").glob("*.md"))
@@ -342,6 +343,51 @@ class TestMemoryTiersDoc:
         assert "docs/memory-tiers.md" in (ROOT / "README.md").read_text()
         assert "memory-tiers.md" in (ROOT / "docs" / "architecture.md").read_text()
         assert "memory-tiers.md" in (ROOT / "docs" / "scenarios.md").read_text()
+
+
+class TestServingDoc:
+    def doc(self) -> str:
+        return (ROOT / "docs" / "serving.md").read_text()
+
+    def test_every_op_documented(self):
+        from repro.serve import OPS
+
+        doc = self.doc()
+        for op in OPS:
+            assert f"`{op}`" in doc, op
+
+    def test_every_error_code_documented(self):
+        from repro.serve import ERROR_CODES
+
+        doc = self.doc()
+        for code in ERROR_CODES:
+            assert f"`{code}`" in doc, code
+
+    def test_every_job_state_documented(self):
+        from repro.serve import JOB_STATES
+
+        doc = self.doc()
+        for state in JOB_STATES:
+            assert state in doc, state
+
+    def test_serve_command_and_flags_in_cli_doc(self):
+        cli = (ROOT / "docs" / "cli.md").read_text()
+        assert "`serve`" in cli
+        for flag in ("--host", "--port", "--queue-limit"):
+            assert flag in cli, flag
+
+    def test_linked_from_index_and_architecture(self):
+        assert "(serving.md)" in (ROOT / "docs" / "index.md").read_text()
+        assert "serving.md" in (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_example_client_script_exists(self):
+        assert (ROOT / "examples" / "serve_client.py").exists()
+
+    def test_ci_workflow_has_serve_smoke_job(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "serve-smoke:" in text
+        assert "python -m repro serve" in text
+        assert "colo_smoke.json" in text
 
 
 class TestRunnableDocsCi:
