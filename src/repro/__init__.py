@@ -33,6 +33,9 @@ it needs, as a simulation stack (see DESIGN.md):
 ``repro.colocation``
     Multi-tenant co-location: interleaved processes competing for a
     contention-aware shared DRAM channel.
+``repro.substrate``
+    Zero-copy result substrate: the columnar payload format, the
+    pickle-parity codec, and the shared-memory result transport.
 
 Quickstart::
 
@@ -50,7 +53,8 @@ Quickstart::
 __version__ = "1.0.0"
 
 from repro import analysis, colocation, cpu, evalharness, kernel, machine
-from repro import nmo, orchestrate, runtime, scenarios, spe, workloads
+from repro import nmo, orchestrate, runtime, scenarios, spe, substrate
+from repro import workloads
 from repro.errors import ReproError
 
 __all__ = [
@@ -67,5 +71,6 @@ __all__ = [
     "runtime",
     "scenarios",
     "spe",
+    "substrate",
     "workloads",
 ]

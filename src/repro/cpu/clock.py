@@ -62,8 +62,38 @@ def ticks_to_ns(ticks: np.ndarray | int, mult: int, shift: int,
                 zero: int = 0) -> np.ndarray | int:
     """Apply the perf conversion ``zero + (ticks * mult) >> shift``.
 
-    Uses Python big-int arithmetic elementwise to match the kernel's
-    128-bit behaviour (NumPy uint64 would overflow for large counters).
+    The kernel computes the product in 128 bits; here it is split into
+    32-bit halves so the whole batch runs as uint64 NumPy arithmetic::
+
+        ticks*mult >> shift == (hi*mult) << (32-shift) + (lo*mult) >> shift
+
+    which is *exact* for ``mult < 2**32`` and ``shift <= 32`` — both
+    guaranteed by :func:`calc_mult_shift` (``hi*2**32`` has 32 zero low
+    bits, so shifting the halves separately loses nothing).  Parameters
+    outside that envelope fall back to :func:`ticks_to_ns_reference`,
+    which is also the parity pin for the fast path.
+    """
+    if np.isscalar(ticks):
+        return zero + ((int(ticks) * mult) >> shift)
+    if not (0 <= mult < 1 << 32 and 1 <= shift <= 32):
+        return ticks_to_ns_reference(ticks, mult, shift, zero)
+    arr = np.asarray(ticks, dtype=np.uint64)
+    m = np.uint64(mult)
+    hi = (arr >> np.uint64(32)) * m
+    lo = (arr & np.uint64(0xFFFFFFFF)) * m
+    return (
+        (hi << np.uint64(32 - shift)) + (lo >> np.uint64(shift))
+        + np.uint64(zero)
+    )
+
+
+def ticks_to_ns_reference(ticks: np.ndarray | int, mult: int, shift: int,
+                          zero: int = 0) -> np.ndarray | int:
+    """Retained elementwise big-int conversion (the pre-vectorised path).
+
+    Python integers reproduce the kernel's 128-bit product for *any*
+    mult/shift; :func:`ticks_to_ns` must match this exactly wherever its
+    fast path engages (pinned by ``tests/spe/test_stream_decode.py``).
     """
     if np.isscalar(ticks):
         return zero + ((int(ticks) * mult) >> shift)

@@ -106,3 +106,12 @@ class QueueFullError(ServeError):
 
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""
+
+
+class SubstrateError(ReproError):
+    """Columnar result-substrate failure (corrupt payload, unknown
+    format version, unencodable object).
+
+    The transport and cache layers treat this as "payload is not
+    columnar" and fall back to pickle rather than failing the trial.
+    """

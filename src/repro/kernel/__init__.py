@@ -28,6 +28,7 @@ from repro.kernel.records import (
     PERF_RECORD_LOST,
     PERF_RECORD_THROTTLE,
     AuxRecord,
+    AuxRecordBatch,
     ItraceStartRecord,
     LostRecord,
     RecordHeader,
@@ -40,6 +41,7 @@ __all__ = [
     "ARM_SPE_PMU_TYPE",
     "AuxBuffer",
     "AuxRecord",
+    "AuxRecordBatch",
     "CounterEvent",
     "CounterGroup",
     "EPOLLIN",

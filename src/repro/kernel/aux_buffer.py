@@ -81,6 +81,11 @@ class AuxBuffer:
             self.bytes_dropped += n - accept
         return accept
 
+    @property
+    def signal_base(self) -> int:
+        """Free-running offset where the next AUX signal would start."""
+        return max(self._last_signal, self.tail)
+
     def pending_signal(self) -> int:
         """Bytes accumulated since the last watermark notification.
 
@@ -112,7 +117,11 @@ class AuxBuffer:
     # -- bulk producer/consumer (epoch-planned driver) ---------------------------
 
     def stream_paced(
-        self, data: np.ndarray, n_drains: int, drain_bytes: int
+        self,
+        data: np.ndarray,
+        n_drains: int,
+        drain_bytes: int,
+        return_signals: bool = True,
     ) -> list[tuple[int, int]]:
         """Append ``data`` as if written incrementally with a consumer
         fully draining ``drain_bytes`` at each of ``n_drains`` paced
@@ -128,6 +137,11 @@ class AuxBuffer:
         rather than silently corrupting the ring.  Returns the
         ``(aux_offset, aux_size)`` pair of each drain — the fields of the
         ``PERF_RECORD_AUX`` records the kernel would have posted.
+
+        Large schedules should pass ``return_signals=False`` (the list
+        is ``[]``): every pair is ``(signal_base + k*drain_bytes,
+        drain_bytes)``, so callers posting many signals compute them as
+        one ``arange`` instead of paying a Python tuple per drain.
         """
         arr = np.asarray(data, dtype=np.uint8)
         total = int(arr.shape[0])
@@ -165,9 +179,11 @@ class AuxBuffer:
                 self._buf[: m - first] = last[first:]
             self.head += total
             self.bytes_written += total
-        signals = [
-            (base + k * drain_bytes, drain_bytes) for k in range(n_drains)
-        ]
+        signals = (
+            [(base + k * drain_bytes, drain_bytes) for k in range(n_drains)]
+            if return_signals
+            else []
+        )
         if n_drains:
             self._last_signal = base + drained
             self.tail = base + drained
@@ -196,6 +212,36 @@ class AuxBuffer:
         if first == n:
             return self._buf[pos : pos + n]
         return np.concatenate([self._buf[pos:], self._buf[: n - first]])
+
+    def read_chunks(self, offset: int, n: int, max_bytes: int = 1 << 20):
+        """Yield ``[offset, offset+n)`` as contiguous zero-copy views.
+
+        The streaming counterpart of :meth:`read_view`: a wrapping span
+        never concatenates — the wrap point (and the ``max_bytes`` cap)
+        simply ends a chunk, so draining a span costs no allocation
+        proportional to its size.  Views alias the ring: decode or copy
+        each before the producer writes again.  Feed the chunks to
+        :func:`repro.spe.packets.decode_stream` to decode a span without
+        materialising it.
+        """
+        if n < 0:
+            raise BufferError_("cannot read negative length")
+        if max_bytes <= 0:
+            raise BufferError_("chunk size must be positive")
+        if offset < self.tail or offset + n > self.head:
+            raise BufferError_(
+                f"read [{offset}, {offset + n}) outside live data "
+                f"[{self.tail}, {self.head})"
+            )
+
+        def _chunks(at: int = offset, end: int = offset + n):
+            while at < end:
+                pos = at % self.size
+                take = min(end - at, self.size - pos, max_bytes)
+                yield self._buf[pos : pos + take]
+                at += take
+
+        return _chunks()
 
     def advance_tail(self, new_tail: int) -> None:
         """Publish consumption up to ``new_tail`` (frees producer space)."""

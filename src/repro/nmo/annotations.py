@@ -22,8 +22,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import AnnotationError
+from repro.substrate.codec import register as _substrate
 
 
+@_substrate
 @dataclass(frozen=True)
 class AddressTag:
     """A named address range from ``nmo_tag_addr``."""
@@ -43,6 +45,7 @@ class AddressTag:
         return (a >= self.start) & (a < self.end)
 
 
+@_substrate
 @dataclass(frozen=True)
 class RegionSpan:
     """A closed ``nmo_start``/``nmo_stop`` execution region."""
@@ -56,6 +59,7 @@ class RegionSpan:
             raise AnnotationError(f"region {self.tag!r} ends before it starts")
 
 
+@_substrate
 @dataclass
 class AnnotationRegistry:
     """Collects the annotations of one profiled run."""

@@ -25,8 +25,10 @@ from dataclasses import dataclass
 
 from repro.errors import NmoError
 from repro.machine.spec import MiB
+from repro.substrate.codec import register as _substrate
 
 
+@_substrate
 class NmoMode(enum.Enum):
     """Profile collection modes."""
 
@@ -62,6 +64,7 @@ def _parse_positive_int(value: str, var: str, allow_zero: bool = False) -> int:
     return n
 
 
+@_substrate
 @dataclass(frozen=True)
 class NmoSettings:
     """Typed view of the Table I environment variables."""

@@ -39,9 +39,11 @@ from repro.nmo.timescale import TimescaleConverter
 from repro.nmo.tracefile import TraceData
 from repro.spe.driver import SpeCostModel, ThrottleModel
 from repro.spe.records import SampleBatch
+from repro.substrate.codec import register as _substrate
 from repro.workloads.base import Workload
 
 
+@_substrate
 @dataclass
 class ThreadStats:
     """Per-thread sampling accounting."""
@@ -56,6 +58,7 @@ class ThreadStats:
     overhead_cycles: float = 0.0
 
 
+@_substrate
 @dataclass
 class BaselineResult:
     """The uninstrumented reference run (``perf stat`` methodology)."""
@@ -67,6 +70,7 @@ class BaselineResult:
     total_flops: int
 
 
+@_substrate
 @dataclass
 class ProfileResult:
     """Everything one profiled run produced."""

@@ -24,6 +24,15 @@ Tasks are ``(fn, arg)`` pairs; both must be picklable.  Events are
 tuples ``(kind, task_id, payload)`` where payload is the result
 (``done``), the raised exception or its string rendering (``error``),
 or a human-readable loss reason (``lost``).
+
+Large ``done`` payloads do not travel through the event pipe: workers
+encode them into the columnar substrate format and ship only a
+:class:`~repro.substrate.ShmResult` handle to a shared-memory segment
+(see :mod:`repro.substrate.shm`); the parent reattaches and decodes at
+the single delivery point in :meth:`WorkerPool.next_event`.  Results
+the substrate cannot encode — and any payload when
+``REPRO_RESULT_TRANSPORT=pickle`` is set — fall back to ordinary
+pickling over the pipe.
 """
 
 from __future__ import annotations
@@ -37,7 +46,8 @@ import queue as queuelib
 import time
 from typing import Any, Callable
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SubstrateError
+from repro.substrate import shm as _shm
 
 #: event kinds a pool can report for a submitted task
 EVENT_KINDS = ("done", "error", "lost")
@@ -69,7 +79,7 @@ def _worker_main(tasks: mp.Queue, events: mp.Queue) -> None:
                 payload = f"{type(exc).__name__}: {exc}"
             events.put(("error", task_id, payload))
         else:
-            events.put(("done", task_id, result))
+            events.put(("done", task_id, _shm.marshal(result)))
 
 
 class WorkerPool:
@@ -131,6 +141,12 @@ class WorkerPool:
             if p.is_alive():
                 p.terminate()
                 p.join(timeout=1.0)
+        while True:  # undelivered results may hold shared-memory segments
+            try:
+                ev = self._events.get_nowait()
+            except (queuelib.Empty, ValueError, OSError):
+                break
+            _shm.discard(ev[2])
         for q in (self._tasks, self._events):
             q.close()
             q.cancel_join_thread()
@@ -185,9 +201,17 @@ class WorkerPool:
                 self._started[task_id] = payload
                 continue
             if task_id not in self._outstanding:
-                continue  # late event for a task already reported lost
+                # late event for a task already reported lost; free its
+                # shared-memory segment so the orphaned result cannot leak
+                _shm.discard(payload)
+                continue
             self._outstanding.discard(task_id)
             self._started.pop(task_id, None)
+            if kind == "done" and isinstance(payload, _shm.ShmResult):
+                try:
+                    payload = _shm.unmarshal(payload)
+                except SubstrateError as exc:
+                    return ("error", task_id, f"{type(exc).__name__}: {exc}")
             return (kind, task_id, payload)
 
     def _reap(self) -> None:

@@ -31,8 +31,26 @@ from typing import Any, Callable, Sequence
 from repro.errors import ReproError
 from repro.orchestrate.cache import ResultCache, canonical_config
 from repro.orchestrate.pool import WorkerPool
+from repro.substrate import shm as _shm
 
 _MISS = object()
+
+
+@dataclass(frozen=True)
+class _Marshalled:
+    """Picklable wrapper shipping a trial's result via shared memory.
+
+    The executor path's counterpart of what :class:`WorkerPool` workers
+    do natively: the worker runs ``fn`` and parks a large columnar
+    result in a shared-memory segment, so only a tiny handle crosses
+    the process pipe.  The parent redeems the handle when it collects
+    the future.
+    """
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, spec: Any) -> Any:
+        return _shm.marshal(self.fn(spec))
 
 
 def derive_seed(*parts: Any) -> int:
@@ -145,9 +163,10 @@ class ParallelRunner:
                         self.cache.put(key, value)
             else:
                 n = min(self.workers, len(pending))
+                wrapped = _Marshalled(fn)
                 with ProcessPoolExecutor(max_workers=n) as pool:
                     futures = {
-                        pool.submit(fn, spec): (i, key)
+                        pool.submit(wrapped, spec): (i, key)
                         for i, spec, key in pending
                     }
                     # if no worker raises, this waits for all of them
@@ -163,13 +182,18 @@ class ParallelRunner:
                             error = error or exc
                             continue
                         i, key = futures[fut]
-                        results[i] = fut.result()
+                        value = _shm.unmarshal(fut.result())
+                        results[i] = value
                         if key is not None:
-                            self.cache.put(key, fut.result())
+                            self.cache.put(key, value)
                     if error is not None:
                         raise error
         finally:
             if self.cache is not None:
+                # how the hits were served (mmap'd columnar sidecar vs
+                # pickle) — snapshot before flush_stats resets counters
+                report.extra["cache_hits_mmap"] = self.cache.stats.hits_mmap
+                report.extra["cache_hits_pickle"] = self.cache.stats.hits_pickle
                 self.cache.flush_stats()
             self.last_report = report
         return results

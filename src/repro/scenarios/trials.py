@@ -34,6 +34,7 @@ from repro.machine.tiers import (
 from repro.nmo.env import NmoMode, NmoSettings
 from repro.nmo.profiler import NmoProfiler, ProfileResult
 from repro.orchestrate import TrialSpec
+from repro.substrate.codec import register as _substrate
 from repro.workloads.registry import make_workload
 
 #: default sampling-study scales per workload (sample counts shrink
@@ -59,6 +60,7 @@ EXPERIMENT_NAMES = {
 }
 
 
+@_substrate
 @dataclass
 class SweepPoint:
     """One measured configuration (averaged over trials)."""

@@ -37,6 +37,8 @@ from repro.scenarios.spec import ScenarioSpec
 from repro.serve import protocol
 from repro.serve.queue import Job, JobQueue
 from repro.serve.scheduler import Scheduler
+from repro.substrate import FORMAT_VERSION as SUBSTRATE_VERSION
+from repro.substrate import transport as shm_transport
 
 #: seconds a stream waits per poll before re-checking job state
 _STREAM_POLL_S = 0.1
@@ -298,6 +300,8 @@ class ProfilingServer:
             trials_executed=self.scheduler.trials_executed,
             trials_cached=self.scheduler.trials_cached,
             cached=self.cache is not None,
+            transport=shm_transport(),
+            substrate=SUBSTRATE_VERSION,
         )
 
     def _op_shutdown(self, _params: dict[str, Any]) -> dict[str, Any]:

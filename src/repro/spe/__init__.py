@@ -24,6 +24,7 @@ from repro.spe.packets import (
     DecodeStats,
     corrupt_records,
     decode_buffer,
+    decode_stream,
     encode_batch,
     encode_records,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "collision_scan",
     "corrupt_records",
     "decode_buffer",
+    "decode_stream",
     "encode_batch",
     "encode_records",
     "feed_written_mask",

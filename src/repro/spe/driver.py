@@ -33,9 +33,15 @@ from repro.kernel.records import (
     PERF_AUX_FLAG_COLLISION,
     PERF_AUX_FLAG_TRUNCATED,
     AuxRecord,
+    AuxRecordBatch,
     pack_aux_records,
 )
-from repro.spe.packets import RECORD_SIZE, DecodeStats, decode_buffer, encode_records
+from repro.spe.packets import (
+    RECORD_SIZE,
+    DecodeStats,
+    decode_stream,
+    encode_records,
+)
 from repro.spe.records import SampleBatch
 from repro.spe.refpath import reference_active
 from repro.spe.sampler import SamplerOutput
@@ -172,7 +178,10 @@ class DriverResult:
     overhead_cycles: float             #: cycles stolen from the app
     truncated_records: int             #: AUX records flagged TRUNCATED
     decode: DecodeStats | None = None
-    aux_records: list[AuxRecord] = field(default_factory=list)
+    #: the AUX records posted (a plain list from the reference/flush
+    #: paths, a columnar :class:`AuxRecordBatch` from the planned path —
+    #: both behave as a sequence of :class:`AuxRecord`)
+    aux_records: list[AuxRecord] | AuxRecordBatch = field(default_factory=list)
 
 
 class SpeDriver:
@@ -229,9 +238,10 @@ class SpeDriver:
         self.event.wakeups += 1
         self.total_wakeups += 1
 
-        data = aux.read(offset, size)
+        # stream the span through record-aligned windows: nothing
+        # proportional to the drain size is ever materialised
+        got, stats = decode_stream(aux.read_chunks(offset, size))
         aux.advance_tail(offset + size)
-        got, stats = decode_buffer(data)
         cost = self.cost.irq_cycles if charge else 0.0
         return got, stats, cost
 
@@ -420,20 +430,6 @@ class SpeDriver:
         carry_rec = self._pending_rec
 
         rows = encoded[feed_written_mask(plan)]
-        if n_services:
-            # bytes drained this feed: the sub-watermark carry already in
-            # the ring plus this feed's writes, minus the new trailing
-            # carry — read the carried bytes *before* the bulk write can
-            # lap them, then decode everything in one pass
-            served = rows[: n_services * wm_rec - carry_rec]
-            if carry_rec:
-                carried = aux.read_view(aux.tail, carry_rec * RECORD_SIZE)
-                stream = np.concatenate([carried, served.reshape(-1)])
-            else:
-                stream = served.reshape(-1)
-        signals = aux.stream_paced(
-            rows.reshape(-1), n_drains=n_services, drain_bytes=wm_bytes
-        )
 
         first_lost = self._prev_lost or plan.d0 > 0
         first_flags = PERF_AUX_FLAG_TRUNCATED if first_lost else 0
@@ -441,21 +437,40 @@ class SpeDriver:
         if n_services and self.total_collisions and not self._announced_collisions:
             first_flags |= PERF_AUX_FLAG_COLLISION
             self._announced_collisions = True
-        aux_records = [
-            AuxRecord(
-                aux_offset=off,
-                aux_size=size,
-                flags=first_flags if k == 0 else later_flags,
-            )
-            for k, (off, size) in enumerate(signals)
-        ]
+        aux_records: list[AuxRecord] | AuxRecordBatch = []
         truncated = 0
         if n_services:
-            got, stats = decode_buffer(stream)
-            offsets = np.asarray([off for off, _ in signals], dtype=np.uint64)
+            # bytes drained this feed: the sub-watermark carry already in
+            # the ring plus this feed's writes, minus the new trailing
+            # carry — the carried view must be decoded *before* the bulk
+            # write below can lap it; decode_stream consumes eagerly and
+            # never materialises the concatenated stream
+            served = rows[: n_services * wm_rec - carry_rec]
+            chunks = []
+            if carry_rec:
+                chunks.append(aux.read_view(aux.tail, carry_rec * RECORD_SIZE))
+            chunks.append(served.reshape(-1))
+            got, stats = decode_stream(chunks)
+            # every drain is (signal_base + k*watermark, watermark) — the
+            # signals come from one arange, not a tuple per wakeup
+            base = aux.signal_base
+            aux.stream_paced(
+                rows.reshape(-1),
+                n_drains=n_services,
+                drain_bytes=wm_bytes,
+                return_signals=False,
+            )
+            offsets = np.uint64(base) + np.arange(
+                n_services, dtype=np.uint64
+            ) * np.uint64(wm_bytes)
             flags = np.full(n_services, later_flags, dtype=np.uint64)
             flags[0] = first_flags
             ring.write_records_packed(pack_aux_records(offsets, wm_bytes, flags))
+            aux_records = AuxRecordBatch(
+                offsets,
+                np.full(n_services, wm_bytes, dtype=np.uint64),
+                flags,
+            )
             self.event.wakeups += n_services
             self.total_wakeups += n_services
             truncated = int(first_lost) + (n_services - 1) * int(loss_window > 0)
@@ -468,6 +483,10 @@ class SpeDriver:
         else:
             got = SampleBatch()
             decode_stats = DecodeStats(0, 0, 0, 0)
+            aux.stream_paced(
+                rows.reshape(-1), n_drains=0, drain_bytes=wm_bytes,
+                return_signals=False,
+            )
 
         # overhead accumulates in the reference's exact order (per-epoch
         # record processing, then the service IRQ): np.cumsum runs the

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.errors import PacketDecodeError
 from repro.spe.records import SampleBatch
+from repro.substrate.codec import register as _substrate
 
 RECORD_SIZE = 64
 
@@ -118,6 +119,7 @@ def encode_records(batch: SampleBatch) -> np.ndarray:
     return mat
 
 
+@_substrate
 @dataclass(frozen=True)
 class DecodeStats:
     """Bookkeeping from one decode pass."""
@@ -184,6 +186,48 @@ def decode_buffer(
         trailing_bytes=trailing,
     )
     return batch, stats
+
+
+def decode_stream(
+    chunks, strict: bool = False
+) -> tuple[SampleBatch, DecodeStats]:
+    """Decode a record stream delivered as a sequence of byte chunks.
+
+    Chunks need not be record-aligned: partial-record bytes at the end
+    of one chunk are carried into the next, so an arbitrarily large aux
+    span can be decoded through fixed-size windows (e.g.
+    :meth:`~repro.kernel.aux_buffer.AuxBuffer.read_chunks` views) without
+    ever materialising the concatenated stream.  Decoding is row-wise,
+    so the result is identical to :func:`decode_buffer` over the joined
+    bytes: per-chunk batches concatenate and per-chunk stats sum, with
+    ``trailing_bytes`` counting the final partial record.
+    """
+    batches: list[SampleBatch] = []
+    n_records = n_valid = n_skipped = 0
+    carry = np.empty(0, dtype=np.uint8)
+    for chunk in chunks:
+        arr = (
+            np.frombuffer(chunk, dtype=np.uint8)
+            if isinstance(chunk, (bytes, bytearray, memoryview))
+            else np.asarray(chunk, dtype=np.uint8)
+        )
+        if carry.size:
+            arr = np.concatenate([carry, arr])
+        usable = arr.shape[0] - arr.shape[0] % RECORD_SIZE
+        if usable:
+            got, stats = decode_buffer(arr[:usable], strict=strict)
+            batches.append(got)
+            n_records += stats.n_records
+            n_valid += stats.n_valid
+            n_skipped += stats.n_skipped
+        # the tail may alias a buffer the producer is about to reuse
+        carry = arr[usable:].copy()
+    return SampleBatch.concat(batches), DecodeStats(
+        n_records=n_records,
+        n_valid=n_valid,
+        n_skipped=n_skipped,
+        trailing_bytes=int(carry.shape[0]),
+    )
 
 
 def corrupt_records(

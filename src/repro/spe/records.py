@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SpeError
+from repro.substrate.codec import register as _substrate
 
 
+@_substrate
 @dataclass
 class SampleBatch:
     """Columnar batch of SPE sample records."""

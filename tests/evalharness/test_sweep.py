@@ -57,7 +57,8 @@ class TestOrchestratedSweep:
                   cache=ResultCache(tmp_path), experiment="demo")
         assert a == b
         totals = ResultCache(tmp_path).persistent_stats()
-        assert totals == {"hits": 4, "misses": 4, "stores": 4}
+        assert (totals["hits"], totals["misses"], totals["stores"]) == (4, 4, 4)
+        assert totals["hits_mmap"] + totals["hits_pickle"] == totals["hits"]
 
     def test_experiment_names_do_not_collide(self, tmp_path):
         sweep([1], picklable_run, cache=ResultCache(tmp_path),

@@ -55,7 +55,15 @@ class TestCachedExperiments:
         cache = ResultCache(tmp_path)
         first = fig7_samples_vs_period(**FIG7_KW, cache=cache)
         totals = ResultCache(tmp_path).persistent_stats()
-        assert totals == {"hits": 0, "misses": 4, "stores": 4}
+        assert totals == {
+            "hits": 0,
+            "misses": 4,
+            "stores": 4,
+            "hits_mmap": 0,
+            "hits_pickle": 0,
+            "deser_ns_mmap": 0,
+            "deser_ns_pickle": 0,
+        }
 
         second = fig7_samples_vs_period(
             **FIG7_KW, cache=ResultCache(tmp_path)
@@ -113,4 +121,6 @@ class TestCachedExperiments:
         assert uncached == a == b
         totals = ResultCache(tmp_path).persistent_stats()
         # 3 scenarios (stream, stream x2, stream+pagerank): all hit twice
-        assert totals == {"hits": 3, "misses": 3, "stores": 3}
+        assert (totals["hits"], totals["misses"], totals["stores"]) == (3, 3, 3)
+        # every hit came off one of the two deserialization paths
+        assert totals["hits_mmap"] + totals["hits_pickle"] == totals["hits"]

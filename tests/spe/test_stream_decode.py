@@ -1,0 +1,219 @@
+"""Streaming decode differential suite.
+
+Pins the three pieces of the zero-copy feed path against their
+materialising references:
+
+* :func:`decode_stream` over arbitrary chunkings is byte-identical to
+  :func:`decode_buffer` over the joined bytes,
+* :meth:`AuxBuffer.read_chunks` reproduces :meth:`AuxBuffer.read`
+  without concatenating across the wrap point,
+* the vectorised :func:`ticks_to_ns` matches
+  :func:`ticks_to_ns_reference` (the retained big-int loop) everywhere
+  its uint64 fast path engages, and falls back outside the envelope,
+* :class:`AuxRecordBatch` behaves like the list of
+  :class:`AuxRecord` dataclasses it replaced.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cpu.clock import calc_mult_shift, ticks_to_ns, ticks_to_ns_reference
+from repro.errors import BufferError_, PerfError
+from repro.kernel.aux_buffer import AuxBuffer
+from repro.kernel.records import AuxRecord, AuxRecordBatch
+from repro.spe.packets import RECORD_SIZE, decode_buffer, decode_stream
+from repro.spe.records import SampleBatch
+
+
+def make_batch(n, rng):
+    return SampleBatch(
+        pc=rng.integers(0, 1 << 48, n, dtype=np.uint64),
+        addr=rng.integers(0, 1 << 48, n, dtype=np.uint64),
+        ts=np.sort(rng.integers(0, 1 << 40, n, dtype=np.uint64)),
+        level=rng.integers(1, 4, n, dtype=np.uint8),
+        kind=rng.integers(0, 2, n, dtype=np.uint8),
+        total_lat=rng.integers(1, 500, n, dtype=np.uint16),
+        issue_lat=rng.integers(1, 100, n, dtype=np.uint16),
+    )
+
+
+def record_bytes(n, rng):
+    from repro.spe.packets import encode_batch
+
+    return encode_batch(make_batch(n, rng))
+
+
+def chunked(data, sizes):
+    out, at = [], 0
+    while at < len(data):
+        for s in sizes:
+            out.append(data[at : at + s])
+            at += s
+            if at >= len(data):
+                break
+    return out
+
+
+class TestDecodeStream:
+    @pytest.mark.parametrize(
+        "sizes",
+        [[1], [7], [63], [64], [65], [RECORD_SIZE * 10], [13, 64, 1, 200]],
+        ids=lambda s: "x".join(map(str, s)),
+    )
+    def test_matches_decode_buffer(self, rng, sizes):
+        data = record_bytes(50, rng)
+        want_batch, want_stats = decode_buffer(np.frombuffer(data, np.uint8))
+        got_batch, got_stats = decode_stream(chunked(data, sizes))
+        assert want_stats == got_stats
+        for c in SampleBatch._COLUMNS:
+            assert np.array_equal(getattr(got_batch, c), getattr(want_batch, c))
+
+    def test_trailing_partial_record(self, rng):
+        data = record_bytes(5, rng) + b"\x01\x02\x03"
+        batch, stats = decode_stream(chunked(data, [17]))
+        assert len(batch) == 5
+        assert stats.trailing_bytes == 3
+
+    def test_empty_stream(self):
+        batch, stats = decode_stream([])
+        assert len(batch) == 0
+        assert stats.n_records == 0 and stats.trailing_bytes == 0
+
+    def test_carry_does_not_alias_chunks(self, rng):
+        # a chunk buffer mutated after being consumed must not corrupt
+        # the carried partial record
+        data = bytearray(record_bytes(2, rng))
+        first, second = data[:70], data[70:]
+        first_arr = np.frombuffer(bytes(first), np.uint8).copy()
+
+        def gen():
+            yield first_arr
+            first_arr[:] = 0  # producer reuses the buffer
+            yield np.frombuffer(bytes(second), np.uint8)
+
+        got, _ = decode_stream(gen())
+        want, _ = decode_buffer(np.frombuffer(bytes(data), np.uint8))
+        assert np.array_equal(got.pc, want.pc)
+
+
+class TestReadChunks:
+    def test_joined_equals_read(self):
+        buf = AuxBuffer(n_pages=4, page_size=64)
+        buf.write(bytes(range(200)))
+        chunks = list(buf.read_chunks(0, 200, max_bytes=33))
+        joined = b"".join(c.tobytes() for c in chunks)
+        assert joined == buf.read(0, 200)
+        assert all(len(c) <= 33 for c in chunks)
+
+    def test_wrap_never_concatenates(self):
+        buf = AuxBuffer(n_pages=2, page_size=64)
+        buf.write(bytes(100))
+        buf.advance_tail(100)
+        buf.write(bytes(range(100)))  # wraps the 128-byte ring
+        chunks = list(buf.read_chunks(100, 100))
+        assert len(chunks) == 2  # one per contiguous region
+        assert all(c.base is not None for c in chunks)  # views, not copies
+        assert b"".join(c.tobytes() for c in chunks) == buf.read(100, 100)
+
+    def test_rejects_spans_outside_live_data(self):
+        buf = AuxBuffer(n_pages=2, page_size=64)
+        buf.write(bytes(64))
+        with pytest.raises(BufferError_):
+            buf.read_chunks(0, 65)
+        with pytest.raises(BufferError_):
+            buf.read_chunks(0, -1)
+        with pytest.raises(BufferError_):
+            buf.read_chunks(0, 64, max_bytes=0)
+
+
+class TestTicksToNs:
+    @pytest.mark.parametrize("hz", [25e6, 1e9, 2.8e9, 3.3e9])
+    def test_fast_path_matches_reference(self, rng, hz):
+        mult, shift = calc_mult_shift(hz)
+        assert 0 <= mult < 1 << 32 and 1 <= shift <= 32
+        # bound inputs so even the reference's u64 results cannot overflow
+        tmax = min(2**63, ((2**64 - 1) << shift) // mult)
+        ticks = rng.integers(0, tmax, 500, dtype=np.uint64)
+        ticks[:3] = (0, 1, tmax - 1)
+        fast = ticks_to_ns(ticks, mult, shift)
+        ref = ticks_to_ns_reference(ticks, mult, shift)
+        assert fast.dtype == np.uint64
+        assert np.array_equal(fast, ref)
+
+    def test_zero_offset_applies(self, rng):
+        mult, shift = calc_mult_shift(1e9)
+        ticks = rng.integers(0, 1 << 40, 100, dtype=np.uint64)
+        assert np.array_equal(
+            ticks_to_ns(ticks, mult, shift, zero=12345),
+            ticks_to_ns_reference(ticks, mult, shift, zero=12345),
+        )
+
+    def test_scalar_path(self):
+        mult, shift = calc_mult_shift(1e9)
+        assert ticks_to_ns(1000, mult, shift) == ticks_to_ns_reference(
+            1000, mult, shift
+        )
+
+    def test_out_of_envelope_falls_back(self):
+        # mult >= 2**32: the uint64 split is not exact, so the big-int
+        # loop must take over
+        ticks = np.arange(10, dtype=np.uint64)
+        got = ticks_to_ns(ticks, mult=1 << 33, shift=40)
+        ref = ticks_to_ns_reference(ticks, mult=1 << 33, shift=40)
+        assert np.array_equal(got, ref)
+
+
+class TestAuxRecordBatch:
+    def batch(self):
+        return AuxRecordBatch(
+            np.array([0, 64, 128], dtype=np.uint64),
+            np.array([64, 64, 64], dtype=np.uint64),
+            np.array([0, 1, 0], dtype=np.uint64),
+        )
+
+    def test_sequence_protocol(self):
+        b = self.batch()
+        assert len(b) == 3
+        assert b[1] == AuxRecord(aux_offset=64, aux_size=64, flags=1)
+        assert b[-1] == AuxRecord(aux_offset=128, aux_size=64, flags=0)
+        assert list(b) == [b[0], b[1], b[2]]
+        assert b[1:] == [b[1], b[2]]
+
+    def test_equality_with_record_lists(self):
+        b = self.batch()
+        records = [
+            AuxRecord(aux_offset=0, aux_size=64, flags=0),
+            AuxRecord(aux_offset=64, aux_size=64, flags=1),
+            AuxRecord(aux_offset=128, aux_size=64, flags=0),
+        ]
+        assert b == records
+        assert records == b  # reflected: list.__eq__ defers to batch
+        assert b == self.batch()
+        assert b != records[:2]
+
+    def test_concatenation(self):
+        b = self.batch()
+        tail = AuxRecordBatch(
+            np.array([192], dtype=np.uint64),
+            np.array([64], dtype=np.uint64),
+            np.array([2], dtype=np.uint64),
+        )
+        joined = b + tail
+        assert len(joined) == 4
+        assert joined[3] == AuxRecord(aux_offset=192, aux_size=64, flags=2)
+        # list-of-records + batch works through __radd__
+        both = [b[0]] + tail
+        assert both[0] == b[0] and both[1] == tail[0]
+
+    def test_from_records_round_trips(self):
+        records = list(self.batch())
+        again = AuxRecordBatch.from_records(records)
+        assert again == records
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(PerfError):
+            AuxRecordBatch(
+                np.array([0], dtype=np.uint64),
+                np.array([64, 64], dtype=np.uint64),
+                np.array([0], dtype=np.uint64),
+            )

@@ -1,0 +1,108 @@
+"""Columnar payload container: layout, zero-copy views, corruption."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import SubstrateError
+from repro.substrate import (
+    ALIGN,
+    FORMAT_VERSION,
+    MAGIC,
+    decode_payload,
+    encode_payload,
+    is_payload,
+    payload_version,
+)
+
+
+def cols():
+    return [
+        np.arange(100, dtype=np.uint64),
+        np.linspace(0.0, 1.0, 33),
+        np.zeros((4, 7), dtype=np.int32),
+        np.array([], dtype=np.uint8),
+    ]
+
+
+class TestLayout:
+    def test_round_trip(self):
+        meta = {"kind": "test", "n": 3}
+        buf = encode_payload(meta, cols())
+        got_meta, got_cols = decode_payload(buf)
+        assert got_meta == meta
+        assert len(got_cols) == 4
+        for a, b in zip(got_cols, cols()):
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert np.array_equal(a, b)
+
+    def test_magic_and_version(self):
+        buf = encode_payload({}, [])
+        assert buf[: len(MAGIC)] == MAGIC
+        assert is_payload(buf)
+        assert not is_payload(b"not a payload")
+        assert payload_version(buf) == FORMAT_VERSION
+
+    def test_columns_are_aligned(self):
+        buf = encode_payload({"x": 1}, cols())
+        header_len = int.from_bytes(buf[8:12], "little")
+        header = json.loads(buf[12 : 12 + header_len])
+        for _dtype, _shape, offset, nbytes in header["cols"]:
+            assert offset % ALIGN == 0
+            assert offset + nbytes <= len(buf)
+
+    def test_meta_key_order_is_part_of_payload(self):
+        a = encode_payload({"a": 1, "b": 2}, [])
+        b = encode_payload({"b": 2, "a": 1}, [])
+        assert a != b  # insertion order round-trips, never sorted away
+
+    def test_deterministic_bytes(self):
+        assert encode_payload({"k": [1, 2]}, cols()) == encode_payload(
+            {"k": [1, 2]}, cols()
+        )
+
+
+class TestZeroCopy:
+    def test_views_alias_the_buffer(self):
+        buf = encode_payload({}, cols())
+        _, views = decode_payload(buf, copy=False)
+        for v in views:
+            assert not v.flags.writeable
+            assert v.base is not None
+
+    def test_copy_gives_writeable_arrays(self):
+        buf = encode_payload({}, cols())
+        _, copies = decode_payload(buf, copy=True)
+        for c in copies:
+            assert c.flags.writeable
+        copies[0][0] = 999  # must not raise
+
+
+class TestCorruption:
+    def test_bad_magic(self):
+        buf = bytearray(encode_payload({}, cols()))
+        buf[0] ^= 0xFF
+        with pytest.raises(SubstrateError):
+            decode_payload(bytes(buf))
+
+    def test_truncated_preamble(self):
+        with pytest.raises(SubstrateError):
+            decode_payload(MAGIC + b"\x01")
+
+    def test_truncated_column(self):
+        buf = encode_payload({}, cols())
+        with pytest.raises(SubstrateError):
+            decode_payload(buf[: len(buf) - ALIGN])
+
+    def test_mangled_header_json(self):
+        buf = bytearray(encode_payload({"key": "value"}, cols()))
+        buf[16] = 0x00  # stomp inside the JSON header
+        with pytest.raises(SubstrateError):
+            decode_payload(bytes(buf))
+
+    def test_future_version_rejected(self):
+        buf = bytearray(encode_payload({}, []))
+        buf[4] = 0xFF
+        with pytest.raises(SubstrateError):
+            decode_payload(bytes(buf))

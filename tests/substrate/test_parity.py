@@ -1,0 +1,134 @@
+"""Codec parity: the columnar round trip is byte-identical to pickle.
+
+The substrate is only allowed to exist because it is invisible: for
+every result type the stack caches or ships between processes, decoding
+an encoded payload (``copy=True``) must yield an object whose pickle
+serialisation is **byte-identical** to the original's.  That is a much
+stronger property than ``==`` — it pins dict insertion order, exact
+scalar types, dtypes, and even string-object sharing (pickle memoises
+repeated strings by identity).
+"""
+
+import enum
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.machine.spec import small_test_machine
+from repro.nmo.env import NmoMode, NmoSettings
+from repro.nmo.profiler import NmoProfiler
+from repro.scenarios import Session, colo_interference_spec, tiering_sweep_spec
+from repro.substrate import decode, encodable, encode
+from repro.workloads.stream import StreamWorkload
+
+
+def round_trip(value):
+    payload = encode(value)
+    assert payload is not None, f"{type(value).__name__} not encodable"
+    return decode(payload, copy=True)
+
+
+def assert_pickle_identical(value):
+    got = round_trip(value)
+    assert pickle.dumps(got) == pickle.dumps(value)
+
+
+@pytest.fixture(scope="module")
+def profile_result():
+    machine = small_test_machine()
+    w = StreamWorkload(machine, n_threads=2, n_elems=1 << 14, iterations=2)
+    settings = NmoSettings(enable=True, mode=NmoMode.SAMPLING, period=2048)
+    return NmoProfiler(w, settings, seed=0).run()
+
+
+class TestScalarShapes:
+    CASES = [
+        None,
+        True,
+        0,
+        -17,
+        3.5,
+        float("inf"),
+        "text",
+        "",
+        b"raw\x00bytes",
+        (1, "two", 3.0),
+        [1, [2, [3]]],
+        {"a": 1, "b": [True, None]},
+        {"z": 1, "a": 2},  # insertion order != sorted order
+        {1: "non-string keys", (2, 3): "via the items marker"},
+        np.uint64(7),
+        np.float64(0.25),
+        np.arange(10, dtype=np.int64),
+        np.zeros((3, 5), dtype=np.float32),
+        np.array([], dtype=np.uint8),
+    ]
+
+    @pytest.mark.parametrize("value", CASES, ids=lambda v: repr(v)[:40])
+    def test_byte_identical(self, value):
+        assert_pickle_identical(value)
+
+    def test_shared_strings_stay_shared(self):
+        # pickle memoises repeated string OBJECTS; the decoder's intern
+        # table must restore the sharing or the bytes diverge
+        s = "shared-phase-name"
+        value = {"first": s, "second": s, "rows": [s, s]}
+        assert_pickle_identical(value)
+
+
+class TestUnsupportedFallsBack:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            object(),
+            np.array([object()], dtype=object),
+            type("Unregistered", (), {})(),
+        ],
+        ids=["object", "object-array", "unregistered-class"],
+    )
+    def test_encode_returns_none(self, value):
+        assert not encodable(value)
+        assert encode(value) is None
+
+
+class TestResultTypes:
+    def test_sample_batch(self, profile_result):
+        batch = profile_result.batch
+        assert len(batch) > 0
+        assert_pickle_identical(batch)
+
+    def test_profile_result(self, profile_result):
+        assert_pickle_identical(profile_result)
+
+    def test_settings_and_enums(self):
+        assert_pickle_identical(NmoSettings(enable=True, period=4096))
+        assert isinstance(NmoMode.SAMPLING, enum.Enum)
+        assert_pickle_identical(NmoMode.SAMPLING)
+
+    def test_colocation_row(self):
+        session = Session()
+        spec = colo_interference_spec(
+            max_corunners=1, scale=0.002, period=65536, n_threads=2
+        )
+        trial = session.plan(spec)[0]
+        row = session.trial_fn(spec)(trial)
+        assert_pickle_identical(row)
+
+    def test_tiering_row(self):
+        session = Session()
+        spec = tiering_sweep_spec(
+            scale=0.02, n_threads=2,
+            policies=("interleave",), far_ratios=(0.5,),
+            machine="tiered_test_machine",
+        )
+        trial = session.plan(spec)[0]
+        row = session.trial_fn(spec)(trial)
+        assert_pickle_identical(row)
+
+    def test_zero_copy_views_are_value_equal(self, profile_result):
+        batch = profile_result.batch
+        payload = encode(batch)
+        view = decode(payload)  # copy=False
+        assert np.array_equal(view.addr, batch.addr)
+        assert not view.addr.flags.writeable

@@ -28,6 +28,7 @@ PUBLIC_PACKAGES = (
     "repro.orchestrate",
     "repro.colocation",
     "repro.serve",
+    "repro.substrate",
 )
 
 DOC_PAGES = sorted((ROOT / "docs").glob("*.md"))
@@ -165,8 +166,13 @@ class TestPerformanceDoc:
         feed = entries["spe_feed_fig9_small_aux_profile"]
         assert scan["min_speedup"] == 5.0
         assert scan["speedup_vs_reference"] >= 5.0
-        assert feed["min_speedup"] == 3.0
-        assert feed["speedup_vs_reference"] >= 3.0
+        assert feed["min_speedup"] == 10.0
+        assert feed["speedup_vs_reference"] >= 10.0
+        hit = entries["cache_hit_mmap"]
+        assert hit["min_speedup"] == 10.0
+        assert hit["speedup_vs_reference"] >= 10.0
+        assert "feed_stream_decode" in entries
+        assert "serve_cache_replay" in entries
 
     def test_ci_workflow_has_perf_smoke_job(self):
         text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()

@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.scenarios",
     "repro.evalharness",
     "repro.orchestrate",
+    "repro.substrate",
 ]
 
 
