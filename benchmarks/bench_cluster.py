@@ -1,0 +1,130 @@
+"""Cluster-path latency benches: submit-to-first-row and cache replay.
+
+The multi-host service's two user-visible latencies, measured through
+the full topology — HTTP gateway, coordinator sharding across two
+in-process :class:`~repro.cluster.ShardAgent` hosts, plan-order
+reassembly, cache replication:
+
+* ``cluster_submit_to_first_row`` — cold path: from an HTTP ``submit``
+  until the first streamed row lands (gateway dispatch, quota check,
+  grid partitioning, one shard round-trip, stream write-back);
+* ``cluster_cache_replay`` — warm path: a full submit → stream →
+  results loop for a spec whose every trial is already in the
+  coordinator's replicated cache (no agent touched).
+
+Both are wall seconds (lower is better) and feed
+``BENCH_substrate.json`` via ``bench_substrate_json.py``;
+``check_regression.py`` holds them within 2x of the checked-in
+baseline.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+
+from repro.cluster import Coordinator, HttpClusterClient, HttpGateway, ShardAgent
+from repro.orchestrate import ResultCache
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+#: replay measurements (median taken); cold runs use distinct seeds
+REPLAY_ROUNDS = 5
+COLD_ROUNDS = 3
+N_AGENTS = 2
+
+
+def _spec(seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        name="bench-cluster",
+        kind="profile",
+        workloads=(WorkloadSpec("stream", n_threads=2, scale=0.02),),
+        machine="small_test_machine",
+        trials=2,
+        seed=seed,
+    )
+
+
+def _submit_to_first_row(client: HttpClusterClient, seed: int) -> float:
+    """Seconds from HTTP submit until the first streamed row arrives."""
+    t0 = time.perf_counter()
+    ack = client.submit(_spec(seed))
+    stream = client.stream(ack["job_id"])
+    for event in stream:
+        if event.get("event") == "row":
+            elapsed = time.perf_counter() - t0
+            break
+    else:
+        raise AssertionError("stream ended without a row")
+    for _ in stream:  # drain to the end event
+        pass
+    return elapsed
+
+
+def _cache_replay(client: HttpClusterClient, seed: int) -> float:
+    """Seconds for a full HTTP run of an already-replicated spec."""
+    t0 = time.perf_counter()
+    outcome = client.run(_spec(seed))
+    elapsed = time.perf_counter() - t0
+    assert outcome.state == "done"
+    assert all(e["cached"] for e in outcome.rows), "replay was not a cache hit"
+    return elapsed
+
+
+def bench_cluster_entries(workers: int = 2) -> dict[str, dict]:
+    """The two cluster-latency entries for ``BENCH_substrate.json``."""
+    with tempfile.TemporaryDirectory(prefix="bench-cluster-") as tmp:
+        agents = [
+            ShardAgent(
+                port=0, workers=workers, cache=ResultCache(f"{tmp}/shard-{i}")
+            )
+            for i in range(N_AGENTS)
+        ]
+        for agent in agents:
+            agent.start()
+        try:
+            coord = Coordinator(
+                port=0,
+                agents=[agent.address for agent in agents],
+                cache=ResultCache(f"{tmp}/coordinator"),
+            )
+            with coord, HttpGateway(coord) as gateway:
+                client = HttpClusterClient(*gateway.address)
+                cold = [
+                    _submit_to_first_row(client, seed)
+                    for seed in range(COLD_ROUNDS)
+                ]
+                # seed 0 is computed now; replays must be pure cache hits
+                warm = [
+                    _cache_replay(client, 0) for _ in range(REPLAY_ROUNDS)
+                ]
+        finally:
+            for agent in agents:
+                agent.stop()
+    shared = {
+        "trials": 2,
+        "workers": workers,
+        "agents": N_AGENTS,
+        "workload": "stream",
+    }
+    return {
+        "cluster_submit_to_first_row": {
+            "metric": "seconds",
+            "value": statistics.median(cold),
+            "rounds": COLD_ROUNDS,
+            **shared,
+        },
+        "cluster_cache_replay": {
+            "metric": "seconds",
+            "value": statistics.median(warm),
+            "rounds": REPLAY_ROUNDS,
+            **shared,
+        },
+    }
+
+
+if __name__ == "__main__":
+    for name, entry in sorted(bench_cluster_entries().items()):
+        print(f"{name}: {entry['value']:.4f} s")

@@ -32,6 +32,7 @@ import numpy as np
 # keep the import working when the caller's sys.path lacks our dir)
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+from bench_cluster import bench_cluster_entries  # noqa: E402
 from bench_serve import bench_serve_entries  # noqa: E402
 
 from repro.cpu.clock import GenericTimer
@@ -304,6 +305,8 @@ def main(argv=None) -> int:
     entries["tiering_placement_remap_1m"] = bench_tiering_remap()
     print("serve latencies (submit->first row, cache replay)...")
     entries.update(bench_serve_entries())
+    print("cluster latencies (2 agents over HTTP: submit->first row, replay)...")
+    entries.update(bench_cluster_entries())
 
     report = {
         "schema": "repro-bench-substrate/1",

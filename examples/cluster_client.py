@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""A two-host profiling cluster end to end, over HTTP.
+
+`repro.cluster` (see docs/serving.md) shards trial grids across shard
+agents, reassembles the rows in plan order, and replicates the result
+cache to every host. This script runs the whole topology in one
+process:
+
+1. start two `ShardAgent`s (each its own worker pool + cache) and a
+   `Coordinator` fronting them, with per-tenant quotas,
+2. expose the coordinator through the stdlib `HttpGateway` and submit
+   a scenario over HTTP, streaming rows as shards land them,
+3. fetch the final report — identical to a single-host run of the
+   same spec,
+4. rerun the spec — zero trials execute; every row replays from the
+   replicated caches, and each agent alone could serve the whole
+   grid.
+
+Against a real cluster, start the processes instead::
+
+    python -m repro cluster agent --port 7201 --workers 4
+    python -m repro cluster coordinator --agents 127.0.0.1:7201 \
+        --port 7123 --http-port 8123
+
+Run:  python examples/cluster_client.py
+"""
+
+import tempfile
+
+from repro.cluster import (
+    Coordinator,
+    HttpClusterClient,
+    HttpGateway,
+    QuotaPolicy,
+    ShardAgent,
+)
+from repro.orchestrate import ResultCache
+from repro.scenarios import ScenarioSpec, WorkloadSpec
+
+
+def main() -> None:
+    spec = ScenarioSpec(
+        name="cluster_quickstart",
+        kind="profile",
+        workloads=(
+            WorkloadSpec("stream", n_threads=2, scale=0.05),
+            WorkloadSpec("pagerank", n_threads=2, scale=0.05),
+        ),
+        machine="small_test_machine",
+        trials=2,
+        seed=17,
+    )
+
+    with tempfile.TemporaryDirectory(prefix="cluster-example-") as tmp:
+        # 1. two shard hosts plus a coordinator fronting them
+        with ShardAgent(
+            port=0, workers=2, cache=ResultCache(f"{tmp}/shard-a")
+        ) as a, ShardAgent(
+            port=0, workers=2, cache=ResultCache(f"{tmp}/shard-b")
+        ) as b:
+            coord = Coordinator(
+                port=0,
+                agents=[a.address, b.address],
+                cache=ResultCache(f"{tmp}/coordinator"),
+                quota=QuotaPolicy(capacity=32.0, refill_per_s=4.0),
+            )
+            # 2. the HTTP/JSON gateway over the coordinator
+            with coord, HttpGateway(coord) as gateway:
+                host, port = gateway.address
+                print(f"gateway on http://{host}:{port}\n")
+                client = HttpClusterClient(host, port)
+
+                ack = client.submit(spec, tenant="example")
+                print(f"job {ack['job_id']}: {ack['trials']} trials "
+                      f"across {len(coord.agents)} agents")
+                for event in client.stream(ack["job_id"]):
+                    if event["event"] == "row":
+                        print(f"  row {event['index']} "
+                              f"(cached={event['cached']})")
+                    else:
+                        print(f"  {event['event']}: {event['state']}")
+
+                # 3. plan-ordered rows, single-host-identical report
+                results = client.results(ack["job_id"])
+                prov = results["report"]["provenance"]
+                execution = results["report"]["execution"]
+                print(f"\nreport: kind={prov['kind']} "
+                      f"spec=sha256:{prov['spec_hash'][:12]}")
+                print(f"executed={execution['executed']} "
+                      f"replicated={execution['replicated']}")
+
+                # 4. rerun: a pure replay from the replicated caches
+                replay = client.run(spec, tenant="example")
+                assert replay.state == "done"
+                assert all(e["cached"] for e in replay.rows)
+                assert replay.report["execution"]["executed"] == 0
+                print(f"replay: {len(replay.rows)} rows, all cached, "
+                      f"0 trials executed")
+
+
+if __name__ == "__main__":
+    main()

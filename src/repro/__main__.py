@@ -150,6 +150,79 @@ def _serve(args) -> str:
     return "server stopped"
 
 
+def _parse_agents(raw: str | None) -> list[tuple[str, int]]:
+    if not raw:
+        raise ReproError(
+            "cluster coordinator needs --agents host:port[,host:port...]"
+        )
+    agents = []
+    for item in raw.split(","):
+        host, sep, port = item.strip().rpartition(":")
+        if not sep or not host or not port.isdigit():
+            raise ReproError(
+                f"bad --agents entry {item.strip()!r}; expected host:port"
+            )
+        agents.append((host, int(port)))
+    return agents
+
+
+def _cluster(args) -> str:
+    from repro.cluster import Coordinator, HttpGateway, QuotaPolicy, ShardAgent
+    from repro.orchestrate import default_workers
+
+    if args.action == "agent":
+        agent = ShardAgent(
+            host=args.host,
+            port=args.port,
+            workers=args.workers if args.workers > 0 else default_workers(),
+            cache=make_cache(args.cache, args.cache_dir),
+            queue_limit=args.queue_limit,
+        )
+        host, port = agent.address
+        print(
+            f"shard agent on {host}:{port} "
+            f"(workers={agent.pool.workers}, "
+            f"queue_limit={agent.queue.limit})",
+            flush=True,
+        )
+        agent.serve_forever()
+        return "agent stopped"
+
+    quota = None
+    if args.quota_capacity is not None:
+        quota = QuotaPolicy(
+            capacity=args.quota_capacity, refill_per_s=args.quota_refill
+        )
+    coordinator = Coordinator(
+        host=args.host,
+        port=args.port,
+        agents=_parse_agents(args.agents),
+        cache=make_cache(args.cache, args.cache_dir),
+        queue_limit=args.queue_limit,
+        quota=quota,
+    )
+    coordinator.start()  # handshakes every agent before we claim ready
+    host, port = coordinator.address
+    print(
+        f"coordinator on {host}:{port} "
+        f"(agents={len(coordinator.agents)}, "
+        f"queue_limit={coordinator.queue.limit})",
+        flush=True,
+    )
+    gateway = None
+    if args.http_port is not None:
+        gateway = HttpGateway(coordinator, host=args.host, port=args.http_port)
+        gateway.start()
+        ghost, gport = gateway.address
+        print(f"http gateway on {ghost}:{gport}", flush=True)
+    try:
+        coordinator.serve_forever()
+    finally:
+        if gateway is not None:
+            gateway.stop()
+    return "coordinator stopped"
+
+
 def _scenarios_cmd(_args) -> str:
     width = max(len(n) for n in SCENARIO_PRESETS) + 2
     return "\n".join(
@@ -185,6 +258,10 @@ COMMANDS: dict[str, tuple] = {
     "serve": (
         _serve, "profiling service: persistent Session server over a socket"
     ),
+    "cluster": (
+        _cluster,
+        "multi-host profiling: `cluster agent` / `cluster coordinator`",
+    ),
     "scenarios": (
         _scenarios_cmd, "scenario registry: `scenarios list` names presets"
     ),
@@ -192,7 +269,7 @@ COMMANDS: dict[str, tuple] = {
 }
 
 #: commands that are not paper exhibits (maintenance / scenario plumbing)
-UTILITY_COMMANDS = ("cache", "run", "scenarios", "serve")
+UTILITY_COMMANDS = ("cache", "cluster", "run", "scenarios", "serve")
 
 #: the experiment subset (no maintenance commands) — kept for tests and
 #: backwards compatibility with the pre-orchestration CLI
@@ -210,6 +287,7 @@ PARALLEL_EXPERIMENTS = (
 #: commands whose ``action`` positional is required (and what it means)
 ACTION_COMMANDS = {
     "cache": ("stats", "clear"),
+    "cluster": ("agent", "coordinator"),
     "scenarios": ("list",),
     "run": None,  # any scenario file path or preset name
 }
@@ -269,6 +347,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--queue-limit", type=int, default=16,
                         help="serve: max queued+running jobs before "
                              "admission rejects (default 16)")
+    parser.add_argument("--agents", default=None, metavar="HOST:PORT,...",
+                        help="cluster coordinator: comma-separated shard "
+                             "agent addresses (required)")
+    parser.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                        help="cluster coordinator: also serve the HTTP/JSON "
+                             "gateway on this port (0 = OS-assigned)")
+    parser.add_argument("--quota-capacity", type=float, default=None,
+                        metavar="TRIALS",
+                        help="cluster coordinator: per-tenant token-bucket "
+                             "burst, in trial tokens (unset = no quotas)")
+    parser.add_argument("--quota-refill", type=float, default=1.0,
+                        metavar="TRIALS_PER_S",
+                        help="cluster coordinator: sustained per-tenant "
+                             "refill rate (default 1.0 trials/s)")
     args = parser.parse_args(argv)
 
     if args.experiment in ACTION_COMMANDS:
@@ -285,7 +377,7 @@ def main(argv: list[str] | None = None) -> int:
             )
     elif args.action is not None:
         parser.error(f"{args.experiment} takes no action argument")
-    if args.experiment in ("run", "scenarios", "serve"):
+    if args.experiment in ("run", "scenarios", "serve", "cluster"):
         # a scenario's grid comes from its spec — refuse flags that
         # would otherwise be silently ignored
         passed = [

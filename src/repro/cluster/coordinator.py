@@ -1,0 +1,432 @@
+"""The cluster coordinator: one front door over many shard agents.
+
+A :class:`Coordinator` speaks the exact same client-facing protocol as
+a single-host :class:`~repro.serve.ProfilingServer` — same ops, same
+payload shapes, same streaming semantics — but behind ``submit`` it
+owns no worker pool at all.  Instead it:
+
+1. **Plans** the full trial grid locally (the same
+   :meth:`~repro.scenarios.Session.plan` every other runner uses, so
+   cache keys are identical cluster-wide),
+2. **Admits** through per-tenant token-bucket quotas
+   (:class:`~repro.cluster.QuotaPolicy`) and the bounded job queue,
+3. **Resolves** coordinator-cache hits immediately (a fully-cached
+   spec never touches an agent),
+4. **Shards** the remaining indices across live agents by cache key
+   (:func:`~repro.cluster.partition_indices`) and submits each shard
+   as a ``trial_indices`` sub-grid job, streaming rows back and
+   landing them under the *global* index,
+5. **Retries** the indices of a dead or unreachable agent on the
+   remaining shards (agent loss mirrors worker loss one level down:
+   bounded retries, then the job degrades to ``partial`` with the loss
+   recorded — never a hang),
+6. **Replicates** each freshly-computed cache entry — pulled from the
+   shard that computed it, pushed to every other agent — so one
+   cluster run leaves every host able to replay the whole spec from
+   mmap, and
+7. **Rebuilds** the final report from raw cache objects (not from the
+   JSON rows that crossed the wire), which is what makes the rendered
+   report *byte-identical* to a single-host
+   :meth:`~repro.scenarios.Session.run` of the same spec.
+
+Determinism: results and the report are assembled positionally in plan
+order regardless of which shard answered first; only the row *event*
+order (what a ``stream`` client sees) depends on timing, exactly as it
+does on a single host with more than one worker.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+from typing import Any
+
+from repro.errors import ClusterError, ServeError
+from repro.machine.spec import MachineSpec
+from repro.orchestrate import ResultCache, cache_key
+from repro.scenarios.session import Session
+from repro.scenarios.spec import ScenarioSpec
+from repro.serve import protocol
+from repro.serve.client import ServerClient
+from repro.serve.queue import Job, JobQueue
+from repro.serve.server import ServerBase
+from repro.cluster.partition import partition_indices
+from repro.cluster.quota import QuotaPolicy
+from repro.cluster.replicate import CacheReplicator
+
+_MISS = object()
+
+#: default tenant bucket for submits that don't name one
+DEFAULT_TENANT = "default"
+
+
+class AgentHandle:
+    """One registered shard agent: address, health, and client factory."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = int(port)
+        self.alive = True
+
+    def client(self, timeout: float | None = 60.0) -> ServerClient:
+        """A fresh connection (streams and control ops never share one)."""
+        return ServerClient(self.host, self.port, timeout=timeout)
+
+    def describe(self) -> dict[str, Any]:
+        return {"host": self.host, "port": self.port, "alive": self.alive}
+
+
+class Coordinator(ServerBase):
+    """Sharded profiling service over registered :class:`ShardAgent`\\ s.
+
+    ``agents`` is a list of ``(host, port)`` addresses; each is
+    version-handshaked at :meth:`start`.  ``cache`` is the
+    coordinator's own result cache (a private temporary directory when
+    omitted) — it is both the admission fast path and the replication
+    hub.  ``max_retries`` bounds how many times a failed shard's
+    indices are re-sharded onto surviving agents.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        agents: list[tuple[str, int]] | None = None,
+        cache: ResultCache | None = None,
+        machine: MachineSpec | None = None,
+        queue_limit: int = 16,
+        max_retries: int = 1,
+        quota: QuotaPolicy | None = None,
+        replicate: bool = True,
+    ) -> None:
+        super().__init__(host, port)
+        self.queue = JobQueue(limit=queue_limit)
+        self.session = Session(machine=machine)
+        self._tmpdir: tempfile.TemporaryDirectory | None = None
+        if cache is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-coord-")
+            cache = ResultCache(self._tmpdir.name)
+        self.cache = cache
+        self.machine = machine
+        self.max_retries = max_retries
+        self.quota = quota
+        #: push the full entry set to every agent after a job completes
+        #: (the pull into the coordinator's own cache always happens —
+        #: the final report is rebuilt from it)
+        self.replicate = replicate
+        self.replicator = CacheReplicator(cache)
+        self.agents: list[AgentHandle] = [
+            AgentHandle(h, p) for h, p in (agents or [])
+        ]
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+        self.trials_executed = 0  # trials agents computed for us
+        self.trials_cached = 0    # trials answered from caches (any host)
+
+    # -- membership --------------------------------------------------------
+
+    def register(self, host: str, port: int) -> AgentHandle:
+        """Add (and handshake) one agent; returns its handle."""
+        handle = AgentHandle(host, port)
+        self._handshake(handle)
+        with self._lock:
+            self.agents.append(handle)
+        return handle
+
+    def _handshake(self, handle: AgentHandle) -> None:
+        """Version-check one agent; a skewed or dead peer never joins."""
+        try:
+            with handle.client(timeout=10.0) as client:
+                client.handshake()
+        except ServeError as e:
+            raise ClusterError(
+                f"agent {handle.host}:{handle.port} cannot join: {e}",
+                code=e.code,
+                host=handle.host,
+                port=handle.port,
+            ) from e
+
+    def live_agents(self) -> list[AgentHandle]:
+        with self._lock:
+            return [a for a in self.agents if a.alive]
+
+    def _start_components(self) -> None:
+        for handle in list(self.agents):
+            self._handshake(handle)
+
+    def _stop_components(self) -> None:
+        for t in self._threads:
+            t.join(timeout=5.0)
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+            self._tmpdir = None
+
+    # -- admission ---------------------------------------------------------
+
+    def _op_submit(self, params: dict[str, Any]) -> dict[str, Any]:
+        spec_dict = params.get("spec")
+        if not isinstance(spec_dict, dict):
+            raise ServeError("submit needs a spec object")
+        spec = ScenarioSpec.from_dict(spec_dict)
+        priority = params.get("priority", 0)
+        if not isinstance(priority, int):
+            raise ServeError("priority must be an integer")
+        tenant = params.get("tenant", DEFAULT_TENANT)
+        if not isinstance(tenant, str) or not tenant:
+            raise ServeError("tenant must be a non-empty string")
+        trial_specs = self.session.plan(spec)
+        keys = [
+            cache_key(t.experiment, t.config, t.seed) for t in trial_specs
+        ]
+        if self.quota is not None:
+            self.quota.admit(tenant, len(trial_specs))
+        job = self.queue.submit(spec, trial_specs, keys, priority=priority)
+        worker = threading.Thread(
+            target=self._run_job,
+            args=(job,),
+            name=f"cluster-job-{job.id}",
+            daemon=True,
+        )
+        with self._lock:
+            self._threads = [t for t in self._threads if t.is_alive()]
+            self._threads.append(worker)
+        worker.start()
+        return protocol.ok_response(
+            job_id=job.id,
+            state=job.state,
+            trials=job.total,
+            spec_hash=spec.spec_hash(),
+            tenant=tenant,
+        )
+
+    # -- the per-job dispatcher --------------------------------------------
+
+    def _run_job(self, job: Job) -> None:
+        """Drive one job to a terminal state (runs in its own thread)."""
+        try:
+            self._shard_and_collect(job)
+        except Exception as e:  # a bug must surface as failed, not a hang
+            with job.cond:
+                job.error = f"coordinator error: {type(e).__name__}: {e}"
+            job.set_state("failed")
+
+    def _shard_and_collect(self, job: Job) -> None:
+        job.set_state("running")
+        if job.is_terminal():  # cancelled before the dispatcher ran
+            return
+        # coordinator-cache fast path: raw objects land directly
+        pending: list[int] = []
+        for idx in range(job.total):
+            hit = self.cache.get(job.keys[idx], _MISS)
+            if hit is _MISS:
+                pending.append(idx)
+            else:
+                with self._lock:
+                    self.trials_cached += 1
+                job.land_row(idx, hit, cached=True)
+        with job.cond:
+            job.pending = list(pending)
+
+        rounds = 0
+        while pending and not job.is_terminal():
+            agents = self.live_agents()
+            if not agents:
+                break
+            if rounds > self.max_retries:
+                break
+            rounds += 1
+            shards = partition_indices(job.keys, pending, len(agents))
+            results: list[list[int]] = [[] for _ in agents]
+            threads = []
+            for ai, (agent, assigned) in enumerate(zip(agents, shards)):
+                if not assigned:
+                    continue
+                t = threading.Thread(
+                    target=self._run_shard,
+                    args=(job, agent, assigned, results, ai),
+                    name=f"{job.id}-shard-{ai}",
+                    daemon=True,
+                )
+                threads.append(t)
+                t.start()
+            for t in threads:
+                t.join()
+            # an index is done only once its entry reached the
+            # coordinator cache: a row streamed from an agent that died
+            # before the pull must retry, or the final rebuild would
+            # hit a replication hole
+            landed = {i for chunk in results for i in chunk}
+            pending = [
+                i
+                for i in pending
+                if i not in landed or not self.cache.contains(job.keys[i])
+            ]
+            with job.cond:
+                job.pending = list(pending)
+
+        self._finish(job, pending)
+
+    def _run_shard(
+        self,
+        job: Job,
+        agent: AgentHandle,
+        indices: list[int],
+        results: list[list[int]],
+        slot: int,
+    ) -> None:
+        """Submit one shard sub-grid to one agent and stream it home.
+
+        Landed global indices are recorded in ``results[slot]``; any
+        exception marks the agent dead and leaves its unlanded indices
+        for the next round — fault handling is by omission, so a crash
+        here can only cost retries, never correctness.
+        """
+        landed = results[slot]
+        sub_id = None
+        try:
+            with agent.client() as client:
+                ack = client.submit(job.spec, trial_indices=indices)
+                sub_id = ack["job_id"]
+                for event in client.stream(sub_id):
+                    if job.is_terminal():
+                        self._cancel_remote(agent, sub_id)
+                        return
+                    if event.get("event") == "row":
+                        gidx = indices[event["index"]]
+                        job.land_row(gidx, event["row"], event["cached"])
+                        landed.append(gidx)
+                        with self._lock:
+                            if event["cached"]:
+                                self.trials_cached += 1
+                            else:
+                                self.trials_executed += 1
+                    elif event.get("event") == "end":
+                        if event.get("state") != "done":
+                            # partial/failed sub-job: unlanded indices
+                            # retry elsewhere, like any other shard loss
+                            return
+            # the pull is not optional: the final report is rebuilt
+            # from raw coordinator-cache objects, so every computed
+            # entry must come home (``replicate`` gates only the
+            # peer push)
+            self._pull_shard(agent, job, indices)
+        except (ServeError, OSError, ConnectionError, KeyError):
+            # fault handling is by omission: the agent is marked dead
+            # and this shard's unlanded indices retry on the survivors
+            agent.alive = False
+
+    def _cancel_remote(self, agent: AgentHandle, sub_id: str) -> None:
+        """Best-effort cancel of a shard sub-job (cluster job cancelled)."""
+        try:
+            with agent.client(timeout=5.0) as control:
+                control.cancel(sub_id)
+        except (ServeError, OSError, ConnectionError):
+            pass
+
+    def _pull_shard(
+        self, agent: AgentHandle, job: Job, indices: list[int]
+    ) -> None:
+        """Replicate a finished shard's entries into the coordinator cache."""
+        keys = [job.keys[i] for i in indices]
+        with agent.client() as client:
+            self.replicator.pull(client, keys)
+
+    # -- completion --------------------------------------------------------
+
+    def _finish(self, job: Job, unlanded: list[int]) -> None:
+        if job.is_terminal():  # cancelled mid-flight
+            return
+        if unlanded:
+            with job.cond:
+                for idx in unlanded:
+                    job.lost.setdefault(idx, "no live agent could run it")
+                job.error = (
+                    f"{len(unlanded)} of {job.total} trials lost: "
+                    f"{len(self.live_agents())} live agent(s) after retries"
+                )
+            job.set_state("partial")
+            return
+        if self.replicate:
+            self._push_all(job)
+        # parity-critical: rebuild rows from raw cache objects — the
+        # streamed rows were JSON-safe renderings, and the report must
+        # be byte-identical to a single-host Session.run of the spec
+        raw = [self.cache.get(key, _MISS) for key in job.keys]
+        missing = [i for i, r in enumerate(raw) if r is _MISS]
+        if missing:
+            with job.cond:
+                job.error = (
+                    f"replication hole: {len(missing)} computed entr"
+                    f"{'y' if len(missing) == 1 else 'ies'} missing from the "
+                    "coordinator cache"
+                )
+            job.set_state("failed")
+            return
+        job.report = self.session.build_report(
+            job.spec,
+            raw,
+            execution={
+                "agents": len(self.agents),
+                "live_agents": len(self.live_agents()),
+                "total_trials": job.total,
+                "cache_hits": job.cached,
+                "executed": job.total - job.cached,
+                "cached": True,
+                "replicated": self.replicate,
+            },
+        )
+        job.set_state("done")
+        self.cache.flush_stats()
+
+    def _push_all(self, job: Job) -> None:
+        """Publish the job's full entry set to every live agent."""
+        for agent in self.live_agents():
+            try:
+                with agent.client() as client:
+                    self.replicator.push(client, job.keys)
+            except (ServeError, OSError, ConnectionError):
+                agent.alive = False  # replication never fails a done job
+
+    # -- deterministic results ---------------------------------------------
+
+    def _op_results(self, params: dict[str, Any]) -> dict[str, Any]:
+        """Results with rows reassembled in plan order.
+
+        Which shard answers first is timing; the *results* a client
+        fetches after the fact must not be.  Sorting by global trial
+        index makes the results payload identical between a first
+        cluster run, a replayed run, and a single-host run of the same
+        spec (streamed event order remains landing order, exactly as on
+        a single host with several workers).
+        """
+        response = super()._op_results(params)
+        if response.get("ok"):
+            response["rows"] = sorted(
+                response["rows"], key=lambda r: r["index"]
+            )
+        return response
+
+    # -- liveness ----------------------------------------------------------
+
+    def _op_ping(self, _params: dict[str, Any]) -> dict[str, Any]:
+        with self._lock:
+            agents = [a.describe() for a in self.agents]
+        return protocol.ok_response(
+            protocol=protocol.PROTOCOL_VERSION,
+            role="coordinator",
+            agents=agents,
+            active_jobs=self.queue.active_count(),
+            queue_limit=self.queue.limit,
+            trials_executed=self.trials_executed,
+            trials_cached=self.trials_cached,
+            cached=True,
+            replicate=self.replicate,
+            quota=(
+                None if self.quota is None
+                else {
+                    "capacity": self.quota.capacity,
+                    "refill_per_s": self.quota.refill_per_s,
+                    "tenants": self.quota.snapshot(),
+                }
+            ),
+        )

@@ -1,0 +1,47 @@
+"""Deterministic trial-grid partitioning across shard agents.
+
+The coordinator splits one job's planned grid across its live agents
+by *cache key*, not by position: shard assignment is a pure function
+of what each trial computes, so
+
+* the same spec partitions identically on every coordinator (no state
+  to sync, nothing to persist across restarts), and
+* twin trials (same experiment/config/seed appearing in two jobs) land
+  on the same shard, where the agent's own in-flight dedup collapses
+  them to one computation.
+
+Keys are SHA-256 hex digests (see
+:func:`repro.orchestrate.cache_key`), so the leading 64 bits are
+already uniformly distributed — shard choice is a plain modulus over
+them, no rehashing needed.
+"""
+
+from __future__ import annotations
+
+#: hex digits of the cache key used for shard choice (64 bits: far
+#: beyond any plausible shard count, still cheap to parse)
+_PREFIX_HEX = 16
+
+
+def shard_for_key(key: str, n_shards: int) -> int:
+    """The shard index in ``[0, n_shards)`` owning this cache key."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    return int(key[:_PREFIX_HEX], 16) % n_shards
+
+
+def partition_indices(
+    keys: list[str], indices: list[int], n_shards: int
+) -> list[list[int]]:
+    """Split ``indices`` into per-shard lists by each trial's cache key.
+
+    ``keys`` is the *full* plan's key list (positional, as built at
+    submit time); ``indices`` selects the subset still to be computed.
+    Returns one (possibly empty) list per shard, each preserving plan
+    order — so a shard's sub-grid streams back in a deterministic
+    order and the coordinator can reassemble positionally.
+    """
+    shards: list[list[int]] = [[] for _ in range(n_shards)]
+    for idx in indices:
+        shards[shard_for_key(keys[idx], n_shards)].append(idx)
+    return shards

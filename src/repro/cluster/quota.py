@@ -1,0 +1,144 @@
+"""Per-tenant token-bucket admission quotas for the coordinator.
+
+A cluster is a shared resource; without admission control one tenant's
+scripted resubmit loop starves everyone else at the coordinator before
+fairness at the scheduler level can help.  :class:`QuotaPolicy` keeps
+one token bucket per tenant: a submit costs as many tokens as the
+job's *trial-grid size* (a 500-trial sweep spends 500, a 3-trial smoke
+spends 3 — quotas meter work, not requests), buckets refill
+continuously at ``refill_per_s``, and a submit that cannot afford its
+cost is rejected immediately with a structured
+:class:`~repro.errors.QuotaExceededError` carrying ``retry_after_s``
+so well-behaved clients can back off precisely instead of polling.
+
+The clock is injectable (defaults to :func:`time.monotonic`) so tests
+drive refill deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.errors import QuotaExceededError
+
+
+class TokenBucket:
+    """One tenant's bucket: ``capacity`` burst, ``refill_per_s`` sustained.
+
+    Tokens accrue lazily at read time from the injected monotonic
+    clock; the bucket starts full (a new tenant gets its burst
+    immediately).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        if refill_per_s <= 0:
+            raise ValueError(f"refill_per_s must be > 0, got {refill_per_s}")
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.capacity,
+            self._tokens + (now - self._stamp) * self.refill_per_s,
+        )
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now (refilled to the current clock)."""
+        self._refill()
+        return self._tokens
+
+    def try_spend(self, cost: float) -> bool:
+        """Spend ``cost`` tokens if affordable; False leaves the bucket
+        untouched."""
+        self._refill()
+        if cost > self._tokens:
+            return False
+        self._tokens -= cost
+        return True
+
+    def retry_after(self, cost: float) -> float:
+        """Seconds until ``cost`` tokens will be affordable (0 if now).
+
+        Costs beyond :attr:`capacity` can never be afforded; the wait
+        to a *full* bucket is reported so callers still get a finite,
+        meaningful number.
+        """
+        self._refill()
+        deficit = min(cost, self.capacity) - self._tokens
+        return max(0.0, deficit / self.refill_per_s)
+
+
+class QuotaPolicy:
+    """Tenant-keyed admission gate the coordinator consults per submit.
+
+    One bucket per tenant name, created on first sight with the shared
+    ``capacity``/``refill_per_s`` (homogeneous tenants keep the policy
+    a pure config value; heterogeneous limits would live in a config
+    file, not here).  Thread-safe: protocol handler threads admit
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        capacity: float = 64.0,
+        refill_per_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        """The tenant's bucket (created full on first use)."""
+        with self._lock:
+            if tenant not in self._buckets:
+                self._buckets[tenant] = TokenBucket(
+                    self.capacity, self.refill_per_s, clock=self._clock
+                )
+            return self._buckets[tenant]
+
+    def admit(self, tenant: str, cost: float) -> None:
+        """Spend ``cost`` from the tenant's bucket or raise.
+
+        The raised :class:`~repro.errors.QuotaExceededError` carries
+        ``tenant``/``cost``/``available``/``retry_after_s`` — the wire
+        error a client needs to schedule a precise retry.
+        """
+        bucket = self.bucket(tenant)
+        with self._lock:
+            if bucket.try_spend(cost):
+                return
+            available = bucket.tokens
+            retry_after = bucket.retry_after(cost)
+        raise QuotaExceededError(
+            f"tenant {tenant!r} is over quota: job costs {cost:g} trial "
+            f"token(s), {available:g} available; retry in "
+            f"{retry_after:.1f}s",
+            tenant=tenant,
+            cost=cost,
+            available=round(available, 3),
+            retry_after_s=round(retry_after, 3),
+        )
+
+    def snapshot(self) -> dict[str, float]:
+        """Tenant -> available tokens (what the coordinator's ping shows)."""
+        with self._lock:
+            buckets = dict(self._buckets)
+        return {name: round(b.tokens, 3) for name, b in sorted(buckets.items())}

@@ -104,6 +104,22 @@ class QueueFullError(ServeError):
         super().__init__(message, code="queue_full", **details)
 
 
+class QuotaExceededError(ServeError):
+    """Admission control rejected a job: the tenant's quota is spent.
+
+    Carries ``tenant``, ``requested``, ``available`` and (when the
+    request could ever succeed) ``retry_after_s`` in :attr:`details`.
+    """
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message, code="quota_exceeded", **details)
+
+
+class ClusterError(ServeError):
+    """Multi-host profiling-cluster failure (no live agents, a shard
+    that cannot be reached, replication of a missing cache entry)."""
+
+
 class AnnotationError(NmoError):
     """Misnested or unknown profiling annotations."""
 

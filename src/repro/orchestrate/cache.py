@@ -307,6 +307,55 @@ class ResultCache:
             Path(tmp).unlink(missing_ok=True)
             raise
 
+    # -- replication (byte-exact entry transfer) ---------------------------
+
+    def export_entry(self, key: str) -> tuple[bytes, bytes | None]:
+        """The raw on-disk bytes of one entry: ``(pkl, cols-or-None)``.
+
+        The replication primitive: a cluster peer that
+        :meth:`import_entry`'s these bytes holds a byte-identical copy
+        of the entry — same pickle payload, same columnar sidecar — so
+        cache keys, warm-hit mmap decoding, and parity gates behave
+        exactly as if the peer had computed the trial itself.  Raises
+        ``KeyError`` for unknown keys (callers decide whether a missing
+        entry is an error or a skip).
+        """
+        path = self._path(key)
+        try:
+            pkl = path.read_bytes()
+        except FileNotFoundError:
+            raise KeyError(key) from None
+        try:
+            cols: bytes | None = self._cols_path(key).read_bytes()
+        except FileNotFoundError:
+            cols = None
+        return pkl, cols
+
+    def import_entry(
+        self, key: str, pkl: bytes, cols: bytes | None = None
+    ) -> None:
+        """Store raw entry bytes exported from a peer, atomically.
+
+        Writes are temp-file + ``os.replace`` like :meth:`put`, so a
+        torn import never leaves a corrupt entry; the ``.pkl`` lands
+        before the ``.cols`` sidecar (losing only the sidecar costs a
+        pickle read-through, never a wrong result).  Counts as a store.
+        """
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        for target, blob in ((path, pkl), (self._cols_path(key), cols)):
+            if blob is None:
+                continue
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as f:
+                    f.write(blob)
+                os.replace(tmp, target)
+            except BaseException:
+                Path(tmp).unlink(missing_ok=True)
+                raise
+        self.stats.stores += 1
+
     # -- statistics --------------------------------------------------------
 
     def _stats_path(self) -> Path:

@@ -53,6 +53,7 @@ from repro.serve.protocol import (
     OPS,
     PROTOCOL_VERSION,
     ProtocolError,
+    check_protocol,
     decode_message,
     encode_message,
     error_response,
@@ -63,7 +64,7 @@ from repro.serve.protocol import (
 )
 from repro.serve.queue import JOB_STATES, TERMINAL_STATES, Job, JobQueue
 from repro.serve.scheduler import Scheduler
-from repro.serve.server import ProfilingServer
+from repro.serve.server import ProfilingServer, ServerBase
 
 __all__ = [
     "ERROR_CODES",
@@ -77,8 +78,10 @@ __all__ = [
     "ProtocolError",
     "RunOutcome",
     "Scheduler",
+    "ServerBase",
     "ServerClient",
     "TERMINAL_STATES",
+    "check_protocol",
     "decode_message",
     "encode_message",
     "error_response",

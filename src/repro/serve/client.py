@@ -25,6 +25,7 @@ compose for anything finer-grained.
 from __future__ import annotations
 
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
@@ -58,10 +59,21 @@ class ServerClient:
         host: str = "127.0.0.1",
         port: int = 7123,
         timeout: float | None = 60.0,
+        connect_timeout: float = 5.0,
+        connect_retries: int = 2,
+        backoff_s: float = 0.1,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: per-attempt TCP connect ceiling — a dead or blackholed host
+        #: fails the attempt in bounded time instead of blocking on the
+        #: (much longer) request ``timeout``
+        self.connect_timeout = connect_timeout
+        #: extra attempts after the first failure (0 = fail fast)
+        self.connect_retries = connect_retries
+        #: sleep before retry ``k`` is ``backoff_s * 2**k`` (exponential)
+        self.backoff_s = backoff_s
         self._sock: socket.socket | None = None
         self._rfile = None
         self._wfile = None
@@ -69,14 +81,41 @@ class ServerClient:
     # -- connection --------------------------------------------------------
 
     def connect(self) -> "ServerClient":
-        """Open the socket (lazy: request methods call this on demand)."""
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout
-            )
+        """Open the socket (lazy: request methods call this on demand).
+
+        Each attempt is bounded by :attr:`connect_timeout` and failures
+        are retried up to :attr:`connect_retries` times with
+        exponential backoff; exhausting them raises a structured
+        :class:`~repro.errors.ServeError` with ``code="connect_failed"``
+        (carrying host/port/attempts) instead of blocking indefinitely
+        on a dead host.
+        """
+        if self._sock is not None:
+            return self
+        attempts = 1 + max(0, int(self.connect_retries))
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            try:
+                self._sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.connect_timeout
+                )
+            except OSError as e:
+                last = e
+                continue
+            self._sock.settimeout(self.timeout)
             self._rfile = self._sock.makefile("rb")
             self._wfile = self._sock.makefile("wb")
-        return self
+            return self
+        raise ServeError(
+            f"could not connect to {self.host}:{self.port} after "
+            f"{attempts} attempt(s): {last}",
+            code="connect_failed",
+            host=self.host,
+            port=self.port,
+            attempts=attempts,
+        )
 
     def close(self) -> None:
         """Close the connection; idempotent."""
@@ -126,20 +165,42 @@ class ServerClient:
         self._send(payload)
         return self._checked(self._read())
 
+    def request(self, op: str, **params: Any) -> dict[str, Any]:
+        """One arbitrary-op request/response round trip.
+
+        The escape hatch for protocol extensions — the cluster shard
+        agents accept ``cache_export`` / ``cache_import`` beyond the
+        base :data:`~repro.serve.protocol.OPS`, and this is how the
+        coordinator's replicator reaches them with the same structured
+        error handling as the typed methods.
+        """
+        return self._request({"op": op, **params})
+
     # -- ops ---------------------------------------------------------------
 
     def submit(
-        self, spec: ScenarioSpec | dict, priority: int = 0
+        self,
+        spec: ScenarioSpec | dict,
+        priority: int = 0,
+        trial_indices: list[int] | None = None,
+        tenant: str | None = None,
     ) -> dict[str, Any]:
         """Submit a scenario; returns the admission ack (``job_id`` ...).
 
+        ``trial_indices`` restricts the job to a sub-grid of the spec's
+        plan (the cluster sharding primitive); ``tenant`` names the
+        quota bucket on coordinators that enforce per-tenant quotas.
         Raises :class:`~repro.errors.ServeError` with
-        ``code="queue_full"`` when admission rejects the job.
+        ``code="queue_full"`` (or ``"quota_exceeded"``) when admission
+        rejects the job.
         """
         spec_dict = spec.to_dict() if isinstance(spec, ScenarioSpec) else spec
-        return self._request(
-            {"op": "submit", "spec": spec_dict, "priority": priority}
-        )
+        payload = {"op": "submit", "spec": spec_dict, "priority": priority}
+        if trial_indices is not None:
+            payload["trial_indices"] = list(trial_indices)
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._request(payload)
 
     def status(self, job_id: str) -> dict[str, Any]:
         """The job's state/progress snapshot."""
@@ -171,6 +232,29 @@ class ServerClient:
         """Server liveness + pool/queue statistics."""
         return self._request({"op": "ping"})
 
+    def handshake(self) -> dict[str, Any]:
+        """Version-checked ping: both sides verify PROTOCOL_VERSION.
+
+        The request carries this client's
+        :data:`~repro.serve.protocol.PROTOCOL_VERSION` so the server
+        rejects a skewed peer with a structured ``protocol_mismatch``
+        error; the response's version is checked symmetrically here.
+        The cluster coordinator handshakes every agent it registers.
+        """
+        info = self._request(
+            {"op": "ping", "protocol": protocol.PROTOCOL_VERSION}
+        )
+        if info.get("protocol") != protocol.PROTOCOL_VERSION:
+            raise ServeError(
+                f"server {self.host}:{self.port} speaks protocol "
+                f"{info.get('protocol')!r}, this client speaks "
+                f"{protocol.PROTOCOL_VERSION}",
+                code="protocol_mismatch",
+                server=info.get("protocol"),
+                client=protocol.PROTOCOL_VERSION,
+            )
+        return info
+
     def shutdown(self) -> dict[str, Any]:
         """Ask the server to stop (acknowledged before it unwinds)."""
         response = self._request({"op": "shutdown"})
@@ -180,10 +264,13 @@ class ServerClient:
     # -- convenience -------------------------------------------------------
 
     def run(
-        self, spec: ScenarioSpec | dict, priority: int = 0
+        self,
+        spec: ScenarioSpec | dict,
+        priority: int = 0,
+        tenant: str | None = None,
     ) -> RunOutcome:
         """Submit, stream every row, then fetch the final results."""
-        ack = self.submit(spec, priority=priority)
+        ack = self.submit(spec, priority=priority, tenant=tenant)
         job_id = ack["job_id"]
         rows: list[dict] = []
         state = "running"

@@ -38,6 +38,9 @@ ERROR_CODES = (
     "unknown_job",    # status/results/stream/cancel for an unknown id
     "not_finished",   # results requested before the job reached a terminal state
     "job_failed",     # results requested for a failed/cancelled job
+    "quota_exceeded",  # admission rejected: the tenant's token bucket is dry
+    "protocol_mismatch",  # peer speaks a different PROTOCOL_VERSION
+    "connect_failed",  # client could not reach the server (retries exhausted)
 )
 
 #: hard per-line ceiling (a full scenario spec is ~1 KiB; 8 MiB leaves
@@ -100,9 +103,37 @@ def error_response(code: str, reason: str, **details: Any) -> dict[str, Any]:
     return {"ok": False, "error": {"code": code, "reason": reason, **details}}
 
 
-def parse_request(msg: dict[str, Any]) -> tuple[str | None, dict[str, Any]]:
-    """Split a request into ``(op, params)``; ``op=None`` if invalid."""
+def parse_request(
+    msg: dict[str, Any], ops: tuple[str, ...] = OPS
+) -> tuple[str | None, dict[str, Any]]:
+    """Split a request into ``(op, params)``; ``op=None`` if invalid.
+
+    ``ops`` lets protocol extensions (the cluster shard agents) accept
+    their extra operations through the same parser.
+    """
     op = msg.get("op")
-    if not isinstance(op, str) or op not in OPS:
+    if not isinstance(op, str) or op not in ops:
         return None, {}
     return op, {k: v for k, v in msg.items() if k != "op"}
+
+
+def check_protocol(msg: dict[str, Any]) -> dict[str, Any] | None:
+    """Version-gate one request; an error response on skew, else None.
+
+    A request may carry ``protocol`` (an int — the sender's
+    :data:`PROTOCOL_VERSION`).  A mismatched peer gets a structured
+    ``protocol_mismatch`` rejection naming both versions instead of
+    undefined behavior on wire-format skew; requests without the field
+    are accepted (version checking is opt-in per request, and
+    :meth:`~repro.serve.ServerClient.handshake` opts in).
+    """
+    peer = msg.get("protocol")
+    if peer is None or peer == PROTOCOL_VERSION:
+        return None
+    return error_response(
+        "protocol_mismatch",
+        f"peer speaks protocol {peer!r}, this server speaks "
+        f"{PROTOCOL_VERSION}",
+        server=PROTOCOL_VERSION,
+        client=peer,
+    )

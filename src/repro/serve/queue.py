@@ -57,6 +57,7 @@ class Job:
         priority: int,
         trial_specs: list[TrialSpec],
         keys: list[str],
+        subset: bool = False,
     ) -> None:
         self.id = job_id
         self.seq = seq
@@ -64,6 +65,10 @@ class Job:
         self.priority = priority
         self.trial_specs = trial_specs
         self.keys = keys
+        #: True when the grid is a sub-slice of the spec's full plan (a
+        #: cluster shard's share); subset jobs produce rows but never a
+        #: report — only the full grid aggregates meaningfully
+        self.subset = subset
         self.state = "queued"
         self.cond = threading.Condition()
         #: positional trial results (None = not landed / lost)
@@ -102,13 +107,20 @@ class Job:
             self.cond.notify_all()
 
     def land_row(self, index: int, row: Any, cached: bool) -> None:
-        """Record one finished trial and wake streaming readers."""
+        """Record one finished trial and wake streaming readers.
+
+        Idempotent per index: a re-landed row (a cluster shard retried
+        after its first agent died mid-pull) updates nothing and emits
+        no second event, so streams carry exactly one row per trial.
+        """
         with self.cond:
             if self.rows[index] is None:
                 self.completed += 1
                 self.cached += 1 if cached else 0
-            self.rows[index] = row
-            self.events.append({"index": index, "cached": cached, "row": row})
+                self.rows[index] = row
+                self.events.append(
+                    {"index": index, "cached": cached, "row": row}
+                )
             self.cond.notify_all()
 
     # -- reads -------------------------------------------------------------
@@ -128,6 +140,7 @@ class Job:
                 "cached": self.cached,
                 "lost": sorted(self.lost),
                 "error": self.error,
+                "subset": self.subset,
             }
 
     def events_since(self, start: int, timeout: float) -> tuple[list, str]:
@@ -183,6 +196,7 @@ class JobQueue:
         trial_specs: list[TrialSpec],
         keys: list[str],
         priority: int = 0,
+        subset: bool = False,
     ) -> Job:
         """Admit a job or raise :class:`QueueFullError` with the facts."""
         with self._lock:
@@ -196,7 +210,10 @@ class JobQueue:
                 )
             seq = next(self._seq)
             job_id = f"job-{seq}-{spec.spec_hash()[:8]}"
-            job = Job(job_id, seq, spec, int(priority), trial_specs, keys)
+            job = Job(
+                job_id, seq, spec, int(priority), trial_specs, keys,
+                subset=subset,
+            )
             self._jobs[job_id] = job
             self.changed.notify_all()
             return job

@@ -181,7 +181,11 @@ class Scheduler:
         job = group[self._rr % len(group)]
         self._rr += 1
         with job.cond:
-            if not job.pending:
+            # re-check the state under the job lock: a cancel landing
+            # between the candidate snapshot above and this pop must
+            # win — otherwise the first trial of a just-cancelled job
+            # would still be dispatched as an orphan
+            if job.state != "running" or not job.pending:
                 return None
             idx = job.pending.pop(0)
         return job, idx
@@ -246,6 +250,11 @@ class Scheduler:
                     "crashes after retries"
                 )
             job.set_state("partial")
+        elif job.subset:
+            # a sub-grid shard job: rows are the product (the cluster
+            # coordinator reassembles and aggregates the full grid) —
+            # aggregating a partial plan would be meaningless
+            job.set_state("done")
         else:
             # session-level cache counters (mmap vs pickle hit paths)
             # accumulated since the previous job finalised — the flush

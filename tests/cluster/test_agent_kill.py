@@ -1,0 +1,115 @@
+"""SIGKILL an agent process mid-job: retried ``done`` or clean
+``partial`` — never a hang.
+
+The in-process fault tests (``test_coordinator_e2e.py``) stop agents
+cleanly; this one spawns real ``python -m repro cluster agent``
+processes and SIGKILLs one while its shard is in flight, which is the
+fault mode the coordinator's retry loop exists for.
+"""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.cluster import Coordinator
+from repro.orchestrate import ResultCache
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+from repro.serve import ServerClient
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+
+def kill_spec():
+    return ScenarioSpec(
+        name="agent-kill",
+        kind="profile",
+        workloads=(
+            WorkloadSpec("stream", n_threads=2, scale=0.05),
+            WorkloadSpec("pagerank", n_threads=2, scale=0.05),
+        ),
+        machine="small_test_machine",
+        trials=3,
+        seed=81,
+    )
+
+
+def start_agent(cache_dir):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "cluster", "agent",
+            "--port", "0", "--workers", "2", "--cache-dir", str(cache_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        start_new_session=True,  # own process group: workers die with it
+    )
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        match = re.search(r"shard agent on 127\.0\.0\.1:(\d+)", line or "")
+        if match:
+            return proc, int(match.group(1))
+        if proc.poll() is not None:
+            break
+    proc.kill()
+    raise AssertionError("agent process never became ready")
+
+
+def test_sigkill_mid_job_never_hangs(tmp_path):
+    victim, victim_port = start_agent(tmp_path / "victim")
+    survivor, survivor_port = start_agent(tmp_path / "survivor")
+    try:
+        with Coordinator(
+            port=0,
+            agents=[("127.0.0.1", victim_port), ("127.0.0.1", survivor_port)],
+            cache=ResultCache(tmp_path / "coord"),
+            max_retries=2,
+        ) as coord:
+            with ServerClient(*coord.address) as client:
+                ack = client.submit(kill_spec())
+                job = coord.queue.get(ack["job_id"])
+                # let the shards start landing rows, then kill one host
+                with job.cond:
+                    job.cond.wait_for(
+                        lambda: job.completed >= 1 or job.is_terminal(),
+                        timeout=60,
+                    )
+                os.killpg(victim.pid, signal.SIGKILL)
+                victim.wait(timeout=10)
+                state = job.wait_terminal(timeout=90)
+                assert state in ("done", "partial"), state
+                if state == "done":
+                    # every trial landed despite the dead host
+                    assert job.completed == job.total == 6
+                    assert client.results(ack["job_id"])["report"]
+                else:
+                    # clean degradation: the loss is recorded, results
+                    # for the surviving rows stay retrievable
+                    assert job.lost
+                    assert client.status(ack["job_id"])["state"] == "partial"
+            dead = [h for h in coord.agents if not h.alive]
+            assert len(dead) >= 1
+    finally:
+        for proc in (victim, survivor):
+            try:
+                os.killpg(proc.pid, signal.SIGTERM)
+            except ProcessLookupError:
+                pass
+            if proc.poll() is None:
+                try:
+                    proc.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    os.killpg(proc.pid, signal.SIGKILL)
+            try:
+                os.killpg(proc.pid, signal.SIGKILL)
+            except ProcessLookupError:
+                pass

@@ -1,0 +1,68 @@
+"""Shard partitioning: determinism, coverage, order preservation."""
+
+import hashlib
+
+import pytest
+
+from repro.cluster import partition_indices, shard_for_key
+
+
+def keys_for(n):
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+class TestShardForKey:
+    def test_deterministic(self):
+        keys = keys_for(50)
+        assert [shard_for_key(k, 4) for k in keys] == [
+            shard_for_key(k, 4) for k in keys
+        ]
+
+    def test_in_range(self):
+        for k in keys_for(100):
+            for n in (1, 2, 3, 7):
+                assert 0 <= shard_for_key(k, n) < n
+
+    def test_single_shard_owns_everything(self):
+        assert {shard_for_key(k, 1) for k in keys_for(20)} == {0}
+
+    def test_real_digests_spread(self):
+        # 256 sha256 keys over 4 shards: every shard gets real work
+        owners = [shard_for_key(k, 4) for k in keys_for(256)]
+        assert {owners.count(s) for s in range(4)} != {0}
+        assert all(owners.count(s) > 20 for s in range(4))
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_for_key(keys_for(1)[0], 0)
+
+
+class TestPartitionIndices:
+    def test_partition_is_exact_cover(self):
+        keys = keys_for(40)
+        indices = list(range(40))
+        shards = partition_indices(keys, indices, 3)
+        assert sorted(i for chunk in shards for i in chunk) == indices
+        assert len(shards) == 3
+
+    def test_subset_partition_only_covers_subset(self):
+        keys = keys_for(40)
+        subset = [3, 7, 21, 39]
+        shards = partition_indices(keys, subset, 2)
+        assert sorted(i for chunk in shards for i in chunk) == subset
+
+    def test_plan_order_preserved_within_shard(self):
+        keys = keys_for(64)
+        for chunk in partition_indices(keys, list(range(64)), 4):
+            assert chunk == sorted(chunk)
+
+    def test_same_key_same_shard_across_jobs(self):
+        # a twin trial appearing in two different jobs lands on the same
+        # shard, where the agent's in-flight dedup can collapse it
+        keys = keys_for(10)
+        a = partition_indices(keys, list(range(10)), 3)
+        b = partition_indices(keys, [9, 5, 0], 3)
+        owner_a = {i: s for s, chunk in enumerate(a) for i in chunk}
+        owner_b = {i: s for s, chunk in enumerate(b) for i in chunk}
+        for idx in (0, 5, 9):
+            assert owner_a[idx] == owner_b[idx]

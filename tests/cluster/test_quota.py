@@ -1,0 +1,99 @@
+"""Token-bucket quotas: refill math, structured rejection, isolation."""
+
+import pytest
+
+from repro.cluster import QuotaPolicy, TokenBucket
+from repro.errors import QuotaExceededError
+
+
+class Clock:
+    """Injectable monotonic clock: tests advance time, never sleep."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full_and_spends(self):
+        bucket = TokenBucket(10, 1, clock=Clock())
+        assert bucket.tokens == 10
+        assert bucket.try_spend(7)
+        assert bucket.tokens == 3
+
+    def test_rejection_leaves_bucket_untouched(self):
+        bucket = TokenBucket(5, 1, clock=Clock())
+        assert not bucket.try_spend(6)
+        assert bucket.tokens == 5
+
+    def test_refills_at_rate_capped_at_capacity(self):
+        clock = Clock()
+        bucket = TokenBucket(10, 2, clock=clock)
+        bucket.try_spend(10)
+        clock.advance(3)
+        assert bucket.tokens == pytest.approx(6)
+        clock.advance(1000)
+        assert bucket.tokens == 10
+
+    def test_retry_after_is_the_exact_wait(self):
+        clock = Clock()
+        bucket = TokenBucket(10, 2, clock=clock)
+        bucket.try_spend(10)
+        assert bucket.retry_after(6) == pytest.approx(3.0)
+        clock.advance(3)
+        assert bucket.retry_after(6) == pytest.approx(0.0)
+        assert bucket.try_spend(6)
+
+    def test_over_capacity_cost_reports_wait_to_full(self):
+        clock = Clock()
+        bucket = TokenBucket(4, 1, clock=clock)
+        bucket.try_spend(4)
+        assert bucket.retry_after(100) == pytest.approx(4.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0, 1)
+        with pytest.raises(ValueError):
+            TokenBucket(1, 0)
+
+
+class TestQuotaPolicy:
+    def test_admit_spends_and_rejects_with_structure(self):
+        clock = Clock()
+        policy = QuotaPolicy(capacity=8, refill_per_s=2, clock=clock)
+        policy.admit("alice", 6)
+        with pytest.raises(QuotaExceededError) as exc:
+            policy.admit("alice", 6)
+        err = exc.value
+        assert err.code == "quota_exceeded"
+        assert err.details["tenant"] == "alice"
+        assert err.details["cost"] == 6
+        assert err.details["retry_after_s"] == pytest.approx(2.0)
+
+    def test_refill_reopens_admission(self):
+        clock = Clock()
+        policy = QuotaPolicy(capacity=8, refill_per_s=2, clock=clock)
+        policy.admit("alice", 8)
+        clock.advance(4)
+        policy.admit("alice", 8)  # no raise
+
+    def test_tenants_are_isolated(self):
+        clock = Clock()
+        policy = QuotaPolicy(capacity=4, refill_per_s=1, clock=clock)
+        policy.admit("greedy", 4)
+        policy.admit("modest", 2)  # unaffected by greedy's empty bucket
+        with pytest.raises(QuotaExceededError):
+            policy.admit("greedy", 1)
+
+    def test_snapshot_lists_known_tenants(self):
+        clock = Clock()
+        policy = QuotaPolicy(capacity=4, refill_per_s=1, clock=clock)
+        policy.admit("a", 1)
+        policy.admit("b", 3)
+        snap = policy.snapshot()
+        assert snap == {"a": 3.0, "b": 1.0}

@@ -95,3 +95,29 @@ class TestParseRequest:
 
     def test_non_string_op_is_none(self):
         assert parse_request({"op": 7}) == (None, {})
+
+
+class TestProtocolVersionCheck:
+    def test_absent_version_is_accepted(self):
+        # pre-versioning clients omit the field; same-version semantics
+        assert protocol.check_protocol({"op": "ping"}) is None
+
+    def test_matching_version_is_accepted(self):
+        msg = {"op": "ping", "protocol": protocol.PROTOCOL_VERSION}
+        assert protocol.check_protocol(msg) is None
+
+    def test_mismatch_is_a_machine_readable_rejection(self):
+        skew = protocol.check_protocol({"op": "ping", "protocol": 99})
+        assert skew["ok"] is False
+        assert skew["error"]["code"] == "protocol_mismatch"
+        assert skew["error"]["server"] == protocol.PROTOCOL_VERSION
+        assert skew["error"]["client"] == 99
+
+    def test_extended_ops_parse_with_the_ops_parameter(self):
+        ops = OPS + ("cache_export",)
+        op, params = parse_request(
+            {"op": "cache_export", "key": "k"}, ops
+        )
+        assert op == "cache_export"
+        assert params == {"key": "k"}
+        assert parse_request({"op": "cache_export"}) == (None, {})

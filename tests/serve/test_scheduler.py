@@ -198,3 +198,96 @@ class TestFaults:
         sched._handle_event("done", task_id, {"metric": 1.0})
         assert job.state == "cancelled"
         assert job.completed == 0
+
+
+class CancelOnEnter:
+    """Condition proxy that fires a callback in the lock-acquisition
+    window — the exact interleaving where a cancel races ``_pick``'s
+    pending-pop."""
+
+    def __init__(self, cond, fire):
+        self._cond = cond
+        self._fire = fire
+
+    def __enter__(self):
+        self._fire()
+        return self._cond.__enter__()
+
+    def __exit__(self, *exc):
+        return self._cond.__exit__(*exc)
+
+    def __getattr__(self, name):
+        return getattr(self._cond, name)
+
+
+class TestCancelRacesDispatch:
+    """A cancel landing between admission and the first trial dispatch
+    must yield a sticky ``cancelled`` — never a running-forever job,
+    never a dispatched orphan trial."""
+
+    def test_cancel_between_admission_and_dispatch(self):
+        queue, pool, sched = make_scheduler(workers=2)
+        job = submit(queue, profile_spec("race", trials=3))
+        sched._admit()        # queued -> running
+        queue.cancel(job.id)  # lands before any dispatch happened
+        sched._dispatch()
+        assert pool.submitted == []       # no orphan trial
+        assert job.state == "cancelled"   # sticky
+        sched._admit()
+        sched._dispatch()
+        assert pool.submitted == [] and job.state == "cancelled"
+
+    def test_cancel_in_the_pick_window_dispatches_nothing(self):
+        # the narrowest race: the scheduler snapshotted this job as a
+        # running candidate, then the cancel lands just as _pick goes
+        # to pop its first pending index
+        queue, pool, sched = make_scheduler(workers=2)
+        job = submit(queue, profile_spec("race-window", trials=2))
+        sched._admit()
+        fired = []
+
+        def fire():
+            if not fired:
+                fired.append(True)
+                queue.cancel(job.id)
+
+        job.cond = CancelOnEnter(job.cond, fire)
+        sched._dispatch()
+        assert fired, "the race window was never exercised"
+        assert pool.submitted == []
+        assert job.state == "cancelled"
+        assert job.pending == [0, 1]  # nothing was popped for dispatch
+
+    def test_cancel_before_admission_never_runs(self):
+        queue, pool, sched = make_scheduler(workers=2)
+        job = submit(queue, profile_spec("race-early", trials=2))
+        queue.cancel(job.id)
+        sched._admit()
+        sched._dispatch()
+        assert pool.submitted == [] and job.state == "cancelled"
+
+
+class TestSubsetJobs:
+    """Sub-grid jobs (the cluster sharding primitive) finish ``done``
+    without a report — only the full grid aggregates meaningfully."""
+
+    def test_subset_job_completes_without_a_report(self):
+        queue, pool, sched = make_scheduler(workers=2)
+        spec = profile_spec("subset", trials=3)
+        trial_specs = Session().plan(spec)
+        keys = [
+            cache_key(t.experiment, t.config, t.seed) for t in trial_specs
+        ]
+        job = queue.submit(
+            spec, trial_specs[:2], keys[:2], subset=True
+        )
+        drain(sched, pool)
+        assert job.state == "done"
+        assert job.report is None
+        assert job.completed == 2
+        assert job.snapshot()["subset"] is True
+
+    def test_full_job_snapshot_says_not_subset(self):
+        queue, pool, sched = make_scheduler(workers=1)
+        job = submit(queue, profile_spec("full", trials=1))
+        assert job.snapshot()["subset"] is False

@@ -28,6 +28,7 @@ PUBLIC_PACKAGES = (
     "repro.orchestrate",
     "repro.colocation",
     "repro.serve",
+    "repro.cluster",
     "repro.substrate",
 )
 
@@ -394,6 +395,48 @@ class TestServingDoc:
         assert "serve-smoke:" in text
         assert "python -m repro serve" in text
         assert "colo_smoke.json" in text
+
+
+class TestClusterDoc:
+    def doc(self) -> str:
+        return (ROOT / "docs" / "serving.md").read_text()
+
+    def test_cluster_section_present(self):
+        doc = self.doc()
+        assert "repro.cluster" in doc
+        for topic in ("ShardAgent", "Coordinator", "HttpGateway",
+                      "quota", "replication", "tenant"):
+            assert topic in doc, topic
+
+    def test_cluster_ops_documented(self):
+        from repro.cluster import ShardAgent
+
+        doc = self.doc()
+        for op in ShardAgent.OPS:
+            assert f"`{op}`" in doc, op
+
+    def test_http_routes_documented(self):
+        doc = self.doc()
+        for route in ("/v1/ping", "/v1/jobs", "/v1/shutdown"):
+            assert route in doc, route
+
+    def test_cluster_command_and_flags_in_cli_doc(self):
+        cli = (ROOT / "docs" / "cli.md").read_text()
+        assert "`cluster`" in cli
+        for flag in ("--agents", "--http-port",
+                     "--quota-capacity", "--quota-refill"):
+            assert flag in cli, flag
+
+    def test_example_client_script_exists(self):
+        assert (ROOT / "examples" / "cluster_client.py").exists()
+
+    def test_ci_workflow_has_cluster_smoke_job(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "cluster-smoke:" in text
+        assert "python -m repro cluster agent" in text
+        assert "python -m repro cluster coordinator" in text
+        assert "colo_smoke.json" in text
+        assert "cache_hits_mmap" in text
 
 
 class TestRunnableDocsCi:
