@@ -1,0 +1,138 @@
+"""Resilience-layer benches: journal replay and membership probing.
+
+The two recurring costs the cluster resilience layer adds:
+
+* ``journal_replay`` — a ``--resume`` boot's fixed cost: read, CRC-check
+  and fold (:func:`~repro.cluster.recover`) a write-ahead log of ~2k
+  records (8 jobs x admission + landings + terminal state), reported
+  as records/s so bigger journals extrapolate linearly;
+* ``membership_probe_overhead`` — one health-prober round over two live
+  in-process :class:`~repro.cluster.ShardAgent` hosts (connect,
+  handshake-free ping, state fold), in seconds per round — the steady
+  per-``--probe-interval`` tax of failure detection.
+
+Both feed ``BENCH_substrate.json`` via ``bench_substrate_json.py``;
+``check_regression.py`` holds them within 2x of the checked-in
+baseline.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+
+from repro.cluster import JobJournal, Membership, RetryPolicy, ShardAgent
+from repro.cluster import read_journal, recover
+from repro.orchestrate import ResultCache
+
+N_JOBS = 8
+TRIALS_PER_JOB = 250  # ~2k row_landed records total
+PROBE_ROUNDS = 20
+
+
+def _write_journal(path) -> int:
+    """A realistic WAL: admissions, landings, terminals; returns records."""
+    records = 0
+    with JobJournal(path) as journal:
+        for j in range(N_JOBS):
+            job_id = f"job-{j}"
+            journal.append(
+                "job_admitted", sync=True, job_id=job_id,
+                spec={"name": f"bench-{j}", "trials": TRIALS_PER_JOB},
+                tenant="bench", priority=0, trials=TRIALS_PER_JOB,
+            )
+            journal.append(
+                "shard_assigned", job_id=job_id, agent="127.0.0.1:7201",
+                indices=list(range(TRIALS_PER_JOB)),
+            )
+            for i in range(TRIALS_PER_JOB):
+                journal.append(
+                    "row_landed", job_id=job_id, index=i, key=f"k{j}-{i}"
+                )
+            journal.append(
+                "job_state", sync=True, job_id=job_id, state="done",
+                error=None, lost={},
+            )
+            records += TRIALS_PER_JOB + 3
+    return records
+
+
+def _median_seconds(fn, rounds: int) -> float:
+    fn()  # warm
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def bench_journal_replay() -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-journal-") as tmp:
+        path = f"{tmp}/wal.ndjson"
+        n_records = _write_journal(path)
+
+        def replay():
+            records, dropped = read_journal(path)
+            assert dropped == 0
+            jobs = recover(records)
+            assert len(jobs) == N_JOBS
+            return jobs
+
+        sec = _median_seconds(replay, rounds=5)
+    return {
+        "metric": "ops_per_s",
+        "value": n_records / sec,
+        "n": n_records,
+        "jobs": N_JOBS,
+    }
+
+
+def bench_membership_probe() -> dict:
+    policy = RetryPolicy(op_timeout_s=10.0, connect_timeout_s=2.0)
+    with tempfile.TemporaryDirectory(prefix="bench-probe-") as tmp:
+        agents = [
+            ShardAgent(port=0, workers=1, cache=ResultCache(f"{tmp}/a{i}"))
+            for i in range(2)
+        ]
+        for agent in agents:
+            agent.start()
+        try:
+            membership = Membership(
+                agents=[a.address for a in agents], policy=policy
+            )
+            sec = _median_seconds(
+                lambda: membership.probe_once(), rounds=PROBE_ROUNDS
+            )
+            assert all(h.alive for h in membership.handles())
+        finally:
+            for agent in agents:
+                agent.stop()
+    return {
+        "metric": "seconds",
+        "value": sec,
+        "agents": len(agents),
+        "rounds": PROBE_ROUNDS,
+    }
+
+
+def bench_resilience_entries() -> dict[str, dict]:
+    """The two resilience entries for ``BENCH_substrate.json``."""
+    return {
+        "journal_replay": bench_journal_replay(),
+        "membership_probe_overhead": bench_membership_probe(),
+    }
+
+
+if __name__ == "__main__":
+    for name, entry in sorted(bench_resilience_entries().items()):
+        unit = "op/s" if entry["metric"] == "ops_per_s" else "s"
+        value = (
+            f"{entry['value']:,.0f}"
+            if entry["metric"] == "ops_per_s"
+            else f"{entry['value']:.4f}"
+        )
+        print(f"{name}: {value} {unit}")

@@ -33,6 +33,7 @@ import numpy as np
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_cluster import bench_cluster_entries  # noqa: E402
+from bench_resilience import bench_resilience_entries  # noqa: E402
 from bench_serve import bench_serve_entries  # noqa: E402
 
 from repro.cpu.clock import GenericTimer
@@ -307,6 +308,8 @@ def main(argv=None) -> int:
     entries.update(bench_serve_entries())
     print("cluster latencies (2 agents over HTTP: submit->first row, replay)...")
     entries.update(bench_cluster_entries())
+    print("resilience costs (journal replay, membership probe round)...")
+    entries.update(bench_resilience_entries())
 
     report = {
         "schema": "repro-bench-substrate/1",

@@ -166,9 +166,55 @@ def _parse_agents(raw: str | None) -> list[tuple[str, int]]:
     return agents
 
 
+def _cluster_agents(args) -> str:
+    """Query or change a running coordinator's membership table."""
+    from repro.serve import ServerClient
+
+    if not args.coordinator:
+        raise ReproError(
+            "cluster agents needs --coordinator host:port"
+        )
+    chost, cport = _parse_agents(args.coordinator)[0]
+    with ServerClient(chost, cport) as client:
+        if args.join:
+            ahost, aport = _parse_agents(args.join)[0]
+            info = client.request("agents_join", host=ahost, port=aport)
+            agent = info["agent"]
+            return (
+                f"joined {ahost}:{aport} "
+                f"(state={agent['state']}, epoch={info['epoch']})"
+            )
+        if args.leave:
+            ahost, aport = _parse_agents(args.leave)[0]
+            info = client.request("agents_leave", host=ahost, port=aport)
+            agent = info["agent"]
+            return (
+                f"left {ahost}:{aport} "
+                f"(state={agent['state']}, epoch={info['epoch']})"
+            )
+        info = client.request("agents_status")
+        lines = [
+            f"membership epoch {info['epoch']} "
+            f"(probes={info['probes']}, "
+            f"interval={info['probe_interval_s']}, "
+            f"suspect_after={info['suspect_after']}, "
+            f"dead_after={info['dead_after']})"
+        ]
+        for a in info["agents"]:
+            lines.append(
+                f"  {a['host']}:{a['port']:<6} {a['state']:<8}"
+                f" misses={a['misses']} revivals={a['revivals']}"
+                + (f"  ({a['reason']})" if a.get("reason") else "")
+            )
+        return "\n".join(lines)
+
+
 def _cluster(args) -> str:
     from repro.cluster import Coordinator, HttpGateway, QuotaPolicy, ShardAgent
     from repro.orchestrate import default_workers
+
+    if args.action == "agents":
+        return _cluster_agents(args)
 
     if args.action == "agent":
         agent = ShardAgent(
@@ -193,6 +239,8 @@ def _cluster(args) -> str:
         quota = QuotaPolicy(
             capacity=args.quota_capacity, refill_per_s=args.quota_refill
         )
+    if args.resume and args.journal is None:
+        raise ReproError("cluster coordinator --resume needs --journal PATH")
     coordinator = Coordinator(
         host=args.host,
         port=args.port,
@@ -200,13 +248,18 @@ def _cluster(args) -> str:
         cache=make_cache(args.cache, args.cache_dir),
         queue_limit=args.queue_limit,
         quota=quota,
+        probe_interval_s=args.probe_interval,
+        journal=args.journal,
+        resume=args.resume,
     )
     coordinator.start()  # handshakes every agent before we claim ready
     host, port = coordinator.address
     print(
         f"coordinator on {host}:{port} "
         f"(agents={len(coordinator.agents)}, "
-        f"queue_limit={coordinator.queue.limit})",
+        f"queue_limit={coordinator.queue.limit}, "
+        f"journal={coordinator.journal.path if coordinator.journal else None}, "
+        f"resumed_jobs={coordinator.resumed_jobs})",
         flush=True,
     )
     gateway = None
@@ -260,7 +313,8 @@ COMMANDS: dict[str, tuple] = {
     ),
     "cluster": (
         _cluster,
-        "multi-host profiling: `cluster agent` / `cluster coordinator`",
+        "multi-host profiling: `cluster agent` / `cluster coordinator` / "
+        "`cluster agents`",
     ),
     "scenarios": (
         _scenarios_cmd, "scenario registry: `scenarios list` names presets"
@@ -287,7 +341,7 @@ PARALLEL_EXPERIMENTS = (
 #: commands whose ``action`` positional is required (and what it means)
 ACTION_COMMANDS = {
     "cache": ("stats", "clear"),
-    "cluster": ("agent", "coordinator"),
+    "cluster": ("agent", "coordinator", "agents"),
     "scenarios": ("list",),
     "run": None,  # any scenario file path or preset name
 }
@@ -361,6 +415,27 @@ def main(argv: list[str] | None = None) -> int:
                         metavar="TRIALS_PER_S",
                         help="cluster coordinator: sustained per-tenant "
                              "refill rate (default 1.0 trials/s)")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="cluster coordinator: append-only NDJSON job "
+                             "journal for crash recovery (unset = none)")
+    parser.add_argument("--resume", action="store_true",
+                        help="cluster coordinator: replay --journal on boot, "
+                             "re-adopting journaled jobs without recomputing "
+                             "landed trials")
+    parser.add_argument("--probe-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="cluster coordinator: background health-probe "
+                             "interval for agent failure detection and "
+                             "revival (unset = no prober)")
+    parser.add_argument("--coordinator", default=None, metavar="HOST:PORT",
+                        help="cluster agents: coordinator address to query "
+                             "or change membership on")
+    parser.add_argument("--join", default=None, metavar="HOST:PORT",
+                        help="cluster agents: admit (or revive) this shard "
+                             "agent in the coordinator's membership")
+    parser.add_argument("--leave", default=None, metavar="HOST:PORT",
+                        help="cluster agents: deregister this shard agent "
+                             "(state `left`; never auto-revived)")
     args = parser.parse_args(argv)
 
     if args.experiment in ACTION_COMMANDS:

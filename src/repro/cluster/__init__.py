@@ -43,25 +43,37 @@ host1:7124,host2:7124 --http-port 8123`` (see ``docs/serving.md``).
 """
 
 from repro.cluster.agent import ShardAgent
-from repro.cluster.coordinator import AgentHandle, Coordinator, DEFAULT_TENANT
+from repro.cluster.coordinator import Coordinator, DEFAULT_TENANT
 from repro.cluster.http import STATUS_BY_CODE, HttpClusterClient, HttpGateway
+from repro.cluster.journal import JobJournal, JobRecovery, read_journal, recover
+from repro.cluster.membership import AGENT_STATES, AgentHandle, Membership
 from repro.cluster.partition import partition_indices, shard_for_key
+from repro.cluster.policy import DEFAULT_POLICY, Deadline, RetryPolicy
 from repro.cluster.quota import QuotaPolicy, TokenBucket
 from repro.cluster.replicate import CacheReplicator, decode_entry, encode_entry
 
 __all__ = [
+    "AGENT_STATES",
     "AgentHandle",
     "CacheReplicator",
     "Coordinator",
+    "DEFAULT_POLICY",
     "DEFAULT_TENANT",
+    "Deadline",
     "HttpClusterClient",
     "HttpGateway",
+    "JobJournal",
+    "JobRecovery",
+    "Membership",
     "QuotaPolicy",
+    "RetryPolicy",
     "STATUS_BY_CODE",
     "ShardAgent",
     "TokenBucket",
     "decode_entry",
     "encode_entry",
     "partition_indices",
+    "read_journal",
+    "recover",
     "shard_for_key",
 ]

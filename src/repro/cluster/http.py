@@ -18,6 +18,9 @@ Routes::
     POST /v1/jobs/<id>/cancel      cancel
     GET  /v1/jobs/<id>/stream      stream   (chunked NDJSON)
     GET  /v1/ping                  ping
+    GET  /v1/agents                agents_status (coordinator backends)
+    POST /v1/agents/join           agents_join   (body: {"host", "port"})
+    POST /v1/agents/leave          agents_leave  (body: {"host", "port"})
     POST /v1/shutdown              shutdown (backend and gateway)
 
 Streaming uses ``Transfer-Encoding: chunked`` with one protocol JSON
@@ -31,6 +34,7 @@ clients branch on either.
 
 from __future__ import annotations
 
+import random
 import threading
 from http.client import HTTPConnection
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -40,6 +44,7 @@ from repro.errors import ServeError
 from repro.scenarios.spec import ScenarioSpec
 from repro.serve import protocol
 from repro.serve.client import RunOutcome
+from repro.serve.policy import RetryPolicy
 from repro.serve.server import ServerBase
 
 #: structured protocol error code -> HTTP status
@@ -53,6 +58,7 @@ STATUS_BY_CODE = {
     "queue_full": 429,
     "quota_exceeded": 429,
     "connect_failed": 502,
+    "deadline_exceeded": 504,
 }
 
 
@@ -137,6 +143,17 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 threading.Thread(
                     target=self.server.gateway.stop, daemon=True
                 ).start()
+            elif parts[1:] == ["agents"] and method == "GET":
+                self._send_json(backend.call("agents_status", {}))
+            elif (
+                len(parts) == 3
+                and parts[1] == "agents"
+                and parts[2] in ("join", "leave")
+                and method == "POST"
+            ):
+                self._send_json(
+                    backend.call(f"agents_{parts[2]}", self._read_body())
+                )
             elif parts[1:] == ["jobs"] and method == "POST":
                 self._send_json(backend.call("submit", self._read_body()))
             elif len(parts) == 3 and parts[1] == "jobs" and method == "GET":
@@ -239,10 +256,20 @@ class HttpClusterClient:
         host: str = "127.0.0.1",
         port: int = 8123,
         timeout: float | None = 60.0,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.timeout = timeout
+        if policy is None:
+            # legacy single-attempt behavior when only a timeout is given
+            policy = RetryPolicy(max_attempts=1, op_timeout_s=timeout)
+        #: the :class:`~repro.serve.RetryPolicy` for every request:
+        #: transport failures retry with full-jitter backoff under the
+        #: policy's attempt budget and overall deadline
+        self.policy = policy
+        self.timeout = policy.op_timeout_s
+        self._rng = rng
 
     def _connection(self) -> HTTPConnection:
         return HTTPConnection(self.host, self.port, timeout=self.timeout)
@@ -262,21 +289,33 @@ class HttpClusterClient:
     def _request(
         self, method: str, path: str, body: dict | None = None
     ) -> dict[str, Any]:
-        conn = self._connection()
+        def once() -> dict[str, Any]:
+            conn = self._connection()
+            try:
+                payload = (
+                    None if body is None else protocol.encode_message(body)
+                )
+                headers = (
+                    {"Content-Type": "application/json"} if payload else {}
+                )
+                conn.request(method, path, body=payload, headers=headers)
+                return self._checked(conn.getresponse().read())
+            finally:
+                conn.close()
+
         try:
-            payload = None if body is None else protocol.encode_message(body)
-            headers = {"Content-Type": "application/json"} if payload else {}
-            conn.request(method, path, body=payload, headers=headers)
-            return self._checked(conn.getresponse().read())
+            return self.policy.call(
+                once, describe=f"{method} {path}", rng=self._rng
+            )
         except OSError as e:
             raise ServeError(
-                f"could not reach http://{self.host}:{self.port}{path}: {e}",
+                f"could not reach http://{self.host}:{self.port}{path} "
+                f"after {self.policy.max_attempts} attempt(s): {e}",
                 code="connect_failed",
                 host=self.host,
                 port=self.port,
+                attempts=self.policy.max_attempts,
             ) from None
-        finally:
-            conn.close()
 
     # -- ops ---------------------------------------------------------------
 
@@ -304,6 +343,22 @@ class HttpClusterClient:
 
     def ping(self) -> dict[str, Any]:
         return self._request("GET", "/v1/ping")
+
+    def agents_status(self) -> dict[str, Any]:
+        """The coordinator's membership table and epoch."""
+        return self._request("GET", "/v1/agents")
+
+    def agents_join(self, host: str, port: int) -> dict[str, Any]:
+        """Admit (or revive) an agent in the coordinator's membership."""
+        return self._request(
+            "POST", "/v1/agents/join", {"host": host, "port": port}
+        )
+
+    def agents_leave(self, host: str, port: int) -> dict[str, Any]:
+        """Deregister an agent (state ``left``; never auto-revived)."""
+        return self._request(
+            "POST", "/v1/agents/leave", {"host": host, "port": port}
+        )
 
     def shutdown(self) -> dict[str, Any]:
         return self._request("POST", "/v1/shutdown")

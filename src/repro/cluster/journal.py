@@ -1,0 +1,227 @@
+"""The coordinator's durable job journal: an NDJSON write-ahead log.
+
+PR 9's coordinator held its whole job log in memory: a crash forgot
+every admission and every landed trial, and a restart recomputed work
+the cluster had already paid for.  :class:`JobJournal` makes the job
+lifecycle durable with the cheapest storage that is actually safe:
+
+* **One record per line.**  Each line is
+  ``{"crc": <crc32>, "rec": {"type": ..., ...}}`` — canonical compact
+  JSON (sorted keys), newline-terminated.  The CRC is computed over
+  the canonical encoding of ``rec``, so any bit flip or torn write is
+  detected on replay.
+* **Atomic appends.**  The file is opened append-only and each record
+  is a single buffered ``write`` under a lock, so concurrent shard
+  threads never interleave partial lines.
+* **fsync batching.**  Every :attr:`fsync_every` appends (and at every
+  terminal job state) the file is fsynced; between syncs a crash can
+  lose at most the last batch of *landing* records — which only costs
+  re-verifying those indices against the cache, never correctness.
+* **Torn-tail tolerance.**  :func:`read_journal` stops at the first
+  record that fails CRC or JSON validation (a torn tail from the
+  crash) and reports how many lines it dropped; everything before the
+  tear is trusted.
+
+Record types written by the coordinator:
+
+``job_admitted``
+    job id, canonical spec dict, tenant, priority, trial count —
+    synced immediately, so an acked admission survives a crash.
+``shard_assigned``
+    which indices went to which agent in which round (observability;
+    recovery does not depend on it).
+``row_landed``
+    one global index whose cache entry reached the *coordinator*
+    cache — the same "done means in-coordinator-cache" bar the
+    scheduler uses.  Journaled landings are never recomputed on
+    resume.
+``job_state``
+    a terminal transition (``done``/``partial``/``failed``/
+    ``cancelled``) with the error and lost indices when relevant —
+    synced immediately.
+``job_resumed``
+    written by a ``--resume`` boot for each journaled job it re-adopts
+    (so a second crash knows the history too).
+
+:func:`recover` folds a record list into per-job
+:class:`JobRecovery` snapshots the coordinator replays on boot.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JobJournal", "JobRecovery", "read_journal", "recover"]
+
+#: record types a well-formed journal may contain
+RECORD_TYPES = (
+    "job_admitted",
+    "shard_assigned",
+    "row_landed",
+    "job_state",
+    "job_resumed",
+)
+
+
+def _canonical(rec: dict[str, Any]) -> str:
+    return json.dumps(rec, sort_keys=True, separators=(",", ":"))
+
+
+class JobJournal:
+    """Append-only, CRC-checked NDJSON write-ahead log."""
+
+    def __init__(self, path: str | os.PathLike, fsync_every: int = 16) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.fsync_every = max(1, int(fsync_every))
+        self._f = open(self.path, "ab")
+        self._lock = threading.Lock()
+        self._since_sync = 0
+        self.appended = 0  # records written by this process
+        self.synced = 0    # explicit + batch fsyncs performed
+
+    def append(self, rtype: str, sync: bool = False, **fields: Any) -> None:
+        """Durably queue one record; ``sync=True`` forces the fsync."""
+        assert rtype in RECORD_TYPES, rtype
+        rec = {"type": rtype, **fields}
+        line = (
+            _canonical({"crc": zlib.crc32(_canonical(rec).encode()), "rec": rec})
+            + "\n"
+        ).encode("utf-8")
+        with self._lock:
+            if self._f.closed:
+                return  # racing a shutdown: drop, never raise mid-stream
+            self._f.write(line)
+            self._f.flush()
+            self.appended += 1
+            self._since_sync += 1
+            if sync or self._since_sync >= self.fsync_every:
+                os.fsync(self._f.fileno())
+                self._since_sync = 0
+                self.synced += 1
+
+    def sync(self) -> None:
+        """Force an fsync of everything appended so far."""
+        with self._lock:
+            if self._f.closed:
+                return
+            self._f.flush()
+            os.fsync(self._f.fileno())
+            self._since_sync = 0
+            self.synced += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._f.closed:
+                self._f.flush()
+                os.fsync(self._f.fileno())
+                self._f.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def read_journal(path: str | os.PathLike) -> tuple[list[dict[str, Any]], int]:
+    """Replay a journal file: ``(records, dropped_lines)``.
+
+    Validation stops at the first line that is not a CRC-clean record
+    — everything after a tear is untrusted (the tear marks where the
+    crash happened), so the remaining line count is reported as
+    dropped.  A missing file is an empty journal.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], 0
+    lines = path.read_bytes().splitlines()
+    records: list[dict[str, Any]] = []
+    for n, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line.decode("utf-8"))
+            rec = obj["rec"]
+            crc = obj["crc"]
+        except (UnicodeDecodeError, json.JSONDecodeError, KeyError, TypeError):
+            return records, len(lines) - n
+        if (
+            not isinstance(rec, dict)
+            or zlib.crc32(_canonical(rec).encode()) != crc
+        ):
+            return records, len(lines) - n
+        records.append(rec)
+    return records, 0
+
+
+@dataclass
+class JobRecovery:
+    """One journaled job's folded state, ready to replay on boot."""
+
+    job_id: str
+    spec: dict[str, Any]
+    tenant: str
+    priority: int = 0
+    trials: int = 0
+    #: global indices journaled as landed in the coordinator cache
+    landed: set[int] = field(default_factory=set)
+    #: terminal state from a ``job_state`` record, else None (in-flight)
+    state: str | None = None
+    error: str | None = None
+    lost: dict[int, str] = field(default_factory=dict)
+    #: shard_assigned records seen (observability only)
+    assignments: int = 0
+    #: times a previous --resume boot already re-adopted this job
+    resumes: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state is not None
+
+
+def recover(records: list[dict[str, Any]]) -> dict[str, JobRecovery]:
+    """Fold journal records into per-job recovery snapshots.
+
+    Returns jobs in admission order (dict order).  Records for unknown
+    job ids (admission lost to an unsynced batch) are ignored — their
+    client never got an ack the coordinator is obliged to honor.
+    """
+    jobs: dict[str, JobRecovery] = {}
+    for rec in records:
+        rtype = rec.get("type")
+        job_id = rec.get("job_id")
+        if rtype == "job_admitted":
+            if isinstance(job_id, str) and isinstance(rec.get("spec"), dict):
+                jobs[job_id] = JobRecovery(
+                    job_id=job_id,
+                    spec=rec["spec"],
+                    tenant=rec.get("tenant", "default"),
+                    priority=int(rec.get("priority", 0)),
+                    trials=int(rec.get("trials", 0)),
+                )
+            continue
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        if rtype == "row_landed":
+            idx = rec.get("index")
+            if isinstance(idx, int):
+                job.landed.add(idx)
+        elif rtype == "shard_assigned":
+            job.assignments += 1
+        elif rtype == "job_state":
+            job.state = rec.get("state")
+            job.error = rec.get("error")
+            lost = rec.get("lost")
+            if isinstance(lost, dict):
+                job.lost = {int(k): str(v) for k, v in lost.items()}
+        elif rtype == "job_resumed":
+            job.resumes += 1
+    return jobs

@@ -1,0 +1,14 @@
+"""Cluster-facing re-export of the unified retry/deadline policy.
+
+The policy lives in :mod:`repro.serve.policy` because
+:class:`~repro.serve.ServerClient` (a serve-layer citizen) consumes it
+and ``repro.serve`` must not import from ``repro.cluster``.  Cluster
+code imports it from here so the dependency direction stays
+cluster → serve.
+"""
+
+from __future__ import annotations
+
+from repro.serve.policy import DEFAULT_POLICY, Deadline, RetryPolicy
+
+__all__ = ["DEFAULT_POLICY", "Deadline", "RetryPolicy"]

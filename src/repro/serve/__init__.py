@@ -29,6 +29,11 @@ The moving parts:
 :class:`ServerClient`
     Typed client for all of the above, plus the
     submit → stream → results convenience loop :meth:`ServerClient.run`.
+:class:`RetryPolicy`
+    The one dataclass governing every client-side timeout, retry
+    budget, full-jitter backoff, and overall deadline — injected into
+    :class:`ServerClient`, the cluster coordinator, the HTTP client,
+    and the cache replicator instead of scattered constants.
 
 Start one from the shell with ``python -m repro serve --port 7123
 --workers 4 --cache-dir ~/.cache/repro`` (see ``docs/serving.md``), or
@@ -47,6 +52,7 @@ functions, same cache keys — by ``tests/serve/test_server_e2e.py``.
 """
 
 from repro.serve.client import RunOutcome, ServerClient
+from repro.serve.policy import DEFAULT_POLICY, Deadline, RetryPolicy
 from repro.serve.protocol import (
     ERROR_CODES,
     MAX_LINE_BYTES,
@@ -67,6 +73,8 @@ from repro.serve.scheduler import Scheduler
 from repro.serve.server import ProfilingServer, ServerBase
 
 __all__ = [
+    "DEFAULT_POLICY",
+    "Deadline",
     "ERROR_CODES",
     "JOB_STATES",
     "Job",
@@ -76,6 +84,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "ProfilingServer",
     "ProtocolError",
+    "RetryPolicy",
     "RunOutcome",
     "Scheduler",
     "ServerBase",

@@ -24,6 +24,7 @@ compose for anything finer-grained.
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from dataclasses import dataclass, field
@@ -32,6 +33,7 @@ from typing import Any, Iterator
 from repro.errors import ServeError
 from repro.scenarios.spec import ScenarioSpec
 from repro.serve import protocol
+from repro.serve.policy import RetryPolicy
 
 
 @dataclass
@@ -62,18 +64,37 @@ class ServerClient:
         connect_timeout: float = 5.0,
         connect_retries: int = 2,
         backoff_s: float = 0.1,
+        policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
     ) -> None:
         self.host = host
         self.port = port
-        self.timeout = timeout
+        if policy is None:
+            # legacy kwargs synthesize a policy; jitter stays off for
+            # them so existing callers keep deterministic schedules
+            policy = RetryPolicy(
+                max_attempts=1 + max(0, int(connect_retries)),
+                base_backoff_s=backoff_s,
+                jitter=False,
+                op_timeout_s=timeout,
+                connect_timeout_s=connect_timeout,
+            )
+        #: the :class:`~repro.serve.RetryPolicy` governing connect
+        #: attempts, backoff shape, socket timeouts, and the overall
+        #: connect deadline
+        self.policy = policy
+        self.timeout = policy.op_timeout_s
         #: per-attempt TCP connect ceiling — a dead or blackholed host
         #: fails the attempt in bounded time instead of blocking on the
         #: (much longer) request ``timeout``
-        self.connect_timeout = connect_timeout
+        self.connect_timeout = policy.connect_timeout_s
         #: extra attempts after the first failure (0 = fail fast)
-        self.connect_retries = connect_retries
-        #: sleep before retry ``k`` is ``backoff_s * 2**k`` (exponential)
-        self.backoff_s = backoff_s
+        self.connect_retries = policy.max_attempts - 1
+        #: upper bound of retry ``k``'s backoff:
+        #: ``min(backoff_cap_s, backoff_s * 2**k)`` (full jitter draws
+        #: uniformly below it when the policy enables jitter)
+        self.backoff_s = policy.base_backoff_s
+        self._rng = rng
         self._sock: socket.socket | None = None
         self._rfile = None
         self._wfile = None
@@ -83,38 +104,60 @@ class ServerClient:
     def connect(self) -> "ServerClient":
         """Open the socket (lazy: request methods call this on demand).
 
-        Each attempt is bounded by :attr:`connect_timeout` and failures
-        are retried up to :attr:`connect_retries` times with
-        exponential backoff; exhausting them raises a structured
+        Each attempt is bounded by the policy's ``connect_timeout_s``
+        and failures are retried with capped, full-jitter exponential
+        backoff.  Without a ``deadline_s`` the loop is attempts-bounded
+        (``max_attempts``); with one, it keeps retrying until the
+        wall-clock budget is spent instead — attempts become unbounded
+        and every sleep and dial is clipped to the remaining budget.
+        Exhausting either raises a structured
         :class:`~repro.errors.ServeError` with ``code="connect_failed"``
-        (carrying host/port/attempts) instead of blocking indefinitely
-        on a dead host.
+        carrying host/port/attempts/``elapsed_s`` instead of blocking
+        indefinitely on a dead host.
         """
         if self._sock is not None:
             return self
-        attempts = 1 + max(0, int(self.connect_retries))
+        policy = self.policy
+        deadline = policy.deadline()
         last: Exception | None = None
-        for attempt in range(attempts):
+        attempt = 0
+        while True:
             if attempt:
-                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+                pause = policy.backoff_s(attempt - 1, self._rng)
+                remaining = deadline.remaining_s()
+                if remaining is not None and pause >= remaining:
+                    break  # sleeping would outlive the budget
+                time.sleep(pause)
+            if deadline.expired:
+                break
+            attempt += 1
             try:
                 self._sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.connect_timeout
+                    (self.host, self.port),
+                    timeout=deadline.cap(policy.connect_timeout_s),
                 )
             except OSError as e:
                 last = e
+                if policy.deadline_s is None and attempt >= policy.max_attempts:
+                    break
                 continue
-            self._sock.settimeout(self.timeout)
+            self._sock.settimeout(policy.op_timeout_s)
             self._rfile = self._sock.makefile("rb")
             self._wfile = self._sock.makefile("wb")
             return self
+        details: dict[str, Any] = {
+            "host": self.host,
+            "port": self.port,
+            "attempts": attempt,
+            "elapsed_s": round(deadline.elapsed_s, 3),
+        }
+        if policy.deadline_s is not None:
+            details["deadline_s"] = policy.deadline_s
         raise ServeError(
             f"could not connect to {self.host}:{self.port} after "
-            f"{attempts} attempt(s): {last}",
+            f"{attempt} attempt(s) ({details['elapsed_s']}s): {last}",
             code="connect_failed",
-            host=self.host,
-            port=self.port,
-            attempts=attempts,
+            **details,
         )
 
     def close(self) -> None:

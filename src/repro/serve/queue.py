@@ -197,19 +197,33 @@ class JobQueue:
         keys: list[str],
         priority: int = 0,
         subset: bool = False,
+        job_id: str | None = None,
+        force: bool = False,
     ) -> Job:
-        """Admit a job or raise :class:`QueueFullError` with the facts."""
+        """Admit a job or raise :class:`QueueFullError` with the facts.
+
+        ``job_id`` pins the identity instead of minting one — the
+        coordinator's journal resume re-admits a crashed-through job
+        under its original id so clients polling it keep working.
+        ``force`` bypasses the admission bound (resume must re-adopt
+        every journaled job, even more than ``limit`` of them).
+        """
         with self._lock:
             active = self._active_locked()
-            if active >= self.limit:
+            if active >= self.limit and not force:
                 raise QueueFullError(
                     f"job queue is full ({active}/{self.limit} active jobs); "
                     "retry after a job finishes",
                     active=active,
                     limit=self.limit,
                 )
+            if job_id is not None and job_id in self._jobs:
+                raise ServeError(
+                    f"job id {job_id!r} already exists", job_id=job_id
+                )
             seq = next(self._seq)
-            job_id = f"job-{seq}-{spec.spec_hash()[:8]}"
+            if job_id is None:
+                job_id = f"job-{seq}-{spec.spec_hash()[:8]}"
             job = Job(
                 job_id, seq, spec, int(priority), trial_specs, keys,
                 subset=subset,

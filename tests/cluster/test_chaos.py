@@ -1,0 +1,200 @@
+"""Randomized membership chaos: join, leave, kill, revive — mid-job.
+
+Each case drives one cluster job while a seeded schedule of chaos ops
+mutates the membership underneath it: agents get stopped mid-shard,
+restarted on the same port (the prober re-admits them), fresh agents
+join through ``agents_join``, and registered ones deregister.  The
+resilience contract under *any* such schedule:
+
+* the job always reaches a terminal state — never a hang;
+* a ``done`` job's report is byte-identical to a single-host
+  :meth:`Session.run` of the same spec;
+* a ``partial`` job stays clean: its landed rows are retrievable and
+  the loss is recorded.
+
+The schedules are deterministic per seed, so a failing seed replays.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro.cluster import Coordinator, RetryPolicy, ShardAgent
+from repro.orchestrate import ResultCache
+from repro.scenarios import Session
+from repro.serve import ServerClient
+
+from tests.cluster.test_coordinator_e2e import cluster_spec
+
+FAST = RetryPolicy(
+    max_attempts=2, base_backoff_s=0.02, backoff_cap_s=0.1,
+    op_timeout_s=15.0, connect_timeout_s=1.0,
+)
+
+
+class ChaosCluster:
+    """A pool of in-process agents the chaos schedule mutates."""
+
+    def __init__(self, tmp_path, n_agents=3):
+        self.tmp_path = tmp_path
+        self.n_dirs = 0
+        self.running = {}   # (host, port) -> ShardAgent
+        self.stopped = []   # addresses available for revival
+        for _ in range(n_agents):
+            self.spawn()
+
+    def _cache(self):
+        self.n_dirs += 1
+        return ResultCache(self.tmp_path / f"agent-{self.n_dirs}")
+
+    def spawn(self, host="127.0.0.1", port=0):
+        agent = ShardAgent(host=host, port=port, workers=2, cache=self._cache())
+        agent.start()
+        self.running[agent.address] = agent
+        return agent
+
+    def kill(self, addr):
+        agent = self.running.pop(addr)
+        agent.stop()
+        self.stopped.append(addr)
+
+    def revive(self, addr):
+        self.stopped.remove(addr)
+        return self.spawn(host=addr[0], port=addr[1])
+
+    def stop_all(self):
+        for agent in list(self.running.values()):
+            agent.stop()
+        self.running.clear()
+
+
+def run_chaos_schedule(coord, cluster, protected, rng, steps=6):
+    """Apply ``steps`` random membership mutations with tiny pauses."""
+    for _ in range(steps):
+        time.sleep(rng.uniform(0.02, 0.15))
+        op = rng.choice(("kill", "revive", "join", "leave"))
+        victims = [a for a in cluster.running if a != protected]
+        if op == "kill" and victims:
+            cluster.kill(rng.choice(victims))
+        elif op == "revive" and cluster.stopped:
+            agent = cluster.revive(rng.choice(cluster.stopped))
+            # an operator may also re-announce it explicitly; the
+            # prober would find it anyway
+            if rng.random() < 0.5:
+                try:
+                    coord.register(*agent.address)
+                except Exception:
+                    pass  # racing its own startup: the prober catches up
+        elif op == "join":
+            agent = cluster.spawn()
+            coord.register(*agent.address)
+        elif op == "leave" and victims:
+            addr = rng.choice(victims)
+            if coord.membership.get(*addr) is not None:
+                coord.membership.leave(*addr)
+
+
+@pytest.mark.parametrize("seed", [3, 11, 42])
+def test_chaos_schedule_never_hangs_and_stays_correct(tmp_path, seed):
+    rng = random.Random(seed)
+    spec = cluster_spec(name=f"chaos-{seed}", trials=3, seed=200 + seed)
+    cluster = ChaosCluster(tmp_path, n_agents=3)
+    try:
+        protected = next(iter(cluster.running))  # never killed or left
+        with Coordinator(
+            port=0,
+            agents=list(cluster.running),
+            cache=ResultCache(tmp_path / "coord"),
+            max_retries=3,
+            policy=FAST,
+            probe_interval_s=0.05,
+            suspect_after=1,
+            dead_after=2,
+        ) as coord:
+            with ServerClient(*coord.address) as client:
+                ack = client.submit(spec)
+                job = coord.queue.get(ack["job_id"])
+                run_chaos_schedule(coord, cluster, protected, rng)
+                state = job.wait_terminal(timeout=120)
+                assert state in ("done", "partial"), state
+
+                if state == "done":
+                    outcome = client.results(ack["job_id"])
+                    session = Session(cache=ResultCache(tmp_path / "single"))
+                    want = session.run(spec).to_dict()
+                    assert outcome["report"]["results"] == want["results"]
+                    assert (
+                        outcome["report"]["provenance"] == want["provenance"]
+                    )
+                    assert outcome["report"]["spec"] == want["spec"]
+                    assert [r["index"] for r in outcome["rows"]] == list(
+                        range(job.total)
+                    )
+                else:
+                    # clean partial: the loss is recorded and every
+                    # landed row stays retrievable
+                    snap = client.status(ack["job_id"])
+                    assert snap["state"] == "partial"
+                    assert job.lost
+                    rows = client.results(ack["job_id"])["rows"]
+                    landed = {r["index"] for r in rows}
+                    assert landed.isdisjoint(job.lost.keys())
+                    assert len(landed) + len(job.lost) == job.total
+    finally:
+        cluster.stop_all()
+
+
+def test_chaos_with_journal_resumes_after_the_dust_settles(tmp_path):
+    """Chaos + crash: whatever landed before the kill is never redone."""
+    rng = random.Random(1234)
+    spec = cluster_spec(name="chaos-resume", trials=3, seed=300)
+    cluster = ChaosCluster(tmp_path, n_agents=3)
+    journal = tmp_path / "wal.ndjson"
+    try:
+        protected = next(iter(cluster.running))
+        with Coordinator(
+            port=0,
+            agents=list(cluster.running),
+            cache=ResultCache(tmp_path / "coord"),
+            max_retries=3,
+            policy=FAST,
+            probe_interval_s=0.05,
+            dead_after=2,
+            journal=journal,
+        ) as coord:
+            with ServerClient(*coord.address) as client:
+                ack = client.submit(spec)
+                job = coord.queue.get(ack["job_id"])
+                run_chaos_schedule(coord, cluster, protected, rng, steps=4)
+                job.wait_terminal(timeout=120)
+        # "crash": the first coordinator is gone; journal + cache stay.
+        # drop the terminal record so resume re-adopts the job
+        from tests.cluster.test_resume import drop_job_state_lines
+
+        drop_job_state_lines(journal)
+        from repro.cluster import read_journal, recover
+
+        landed_before = recover(read_journal(journal)[0])[ack["job_id"]].landed
+        with Coordinator(
+            port=0,
+            agents=list(cluster.running),
+            cache=ResultCache(tmp_path / "coord"),
+            max_retries=3,
+            policy=FAST,
+            journal=journal,
+            resume=True,
+        ) as coord2:
+            assert coord2.resumed_jobs == 1
+            job2 = coord2.queue.get(ack["job_id"])
+            assert job2.wait_terminal(timeout=120) == "done"
+            with ServerClient(*coord2.address) as client:
+                rows = client.results(ack["job_id"])["rows"]
+            assert [r["index"] for r in rows] == list(range(job2.total))
+        # zero recomputation of journaled landings: every index the
+        # journal had already landed came back as a cache replay, not
+        # a fresh dispatch
+        cached_indices = {r["index"] for r in rows if r["cached"]}
+        assert landed_before <= cached_indices
+    finally:
+        cluster.stop_all()

@@ -6,12 +6,13 @@ registration depends on it), and version-skewed peers must be
 rejected with ``protocol_mismatch`` in both directions.
 """
 
+import random
 import socket
 
 import pytest
 
 from repro.errors import ServeError
-from repro.serve import ProfilingServer, ServerClient, protocol
+from repro.serve import ProfilingServer, RetryPolicy, ServerClient, protocol
 
 
 @pytest.fixture(scope="module")
@@ -50,6 +51,8 @@ class TestConnectRetry:
         assert exc.value.details["attempts"] == 1
 
     def test_backoff_is_exponential(self, monkeypatch):
+        # legacy kwargs synthesize a jitter-free policy, so the sleeps
+        # are the exact exponential bounds
         sleeps = []
         monkeypatch.setattr(
             "repro.serve.client.time.sleep", sleeps.append
@@ -60,6 +63,71 @@ class TestConnectRetry:
         with pytest.raises(ServeError):
             client.connect()
         assert sleeps == pytest.approx([0.1, 0.2, 0.4])
+
+    def test_connect_failed_reports_elapsed_time(self):
+        client = ServerClient(
+            "127.0.0.1", closed_port(), connect_retries=0, backoff_s=0.0
+        )
+        with pytest.raises(ServeError) as exc:
+            client.connect()
+        assert exc.value.details["elapsed_s"] >= 0.0
+
+
+class TestPolicyConnect:
+    def test_full_jitter_draws_below_the_exponential_bounds(
+        self, monkeypatch
+    ):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        policy = RetryPolicy(
+            max_attempts=4, base_backoff_s=0.1, backoff_cap_s=10.0,
+            jitter=True,
+        )
+        client = ServerClient(
+            "127.0.0.1", closed_port(), policy=policy,
+            rng=random.Random(11),
+        )
+        with pytest.raises(ServeError):
+            client.connect()
+        assert len(sleeps) == 3
+        for pause, bound in zip(sleeps, [0.1, 0.2, 0.4]):
+            assert 0.0 <= pause <= bound
+
+    def test_backoff_cap_bounds_every_sleep(self, monkeypatch):
+        sleeps = []
+        monkeypatch.setattr("repro.serve.client.time.sleep", sleeps.append)
+        policy = RetryPolicy(
+            max_attempts=6, base_backoff_s=0.1, backoff_cap_s=0.15,
+            jitter=False,
+        )
+        client = ServerClient("127.0.0.1", closed_port(), policy=policy)
+        with pytest.raises(ServeError):
+            client.connect()
+        assert sleeps == pytest.approx([0.1, 0.15, 0.15, 0.15, 0.15])
+
+    def test_deadline_overrides_the_attempt_budget(self, monkeypatch):
+        # with a deadline, attempts are unbounded: a 1-attempt policy
+        # keeps dialing until the wall clock says stop
+        monkeypatch.setattr("repro.serve.client.time.sleep", lambda _s: None)
+        policy = RetryPolicy(
+            max_attempts=1, base_backoff_s=0.0, jitter=False,
+            deadline_s=0.3, connect_timeout_s=0.05,
+        )
+        client = ServerClient("127.0.0.1", closed_port(), policy=policy)
+        with pytest.raises(ServeError) as exc:
+            client.connect()
+        err = exc.value
+        assert err.code == "connect_failed"
+        assert err.details["attempts"] > 1
+        assert err.details["deadline_s"] == 0.3
+        assert err.details["elapsed_s"] >= 0.3
+
+    def test_policy_sets_socket_timeouts(self, server):
+        policy = RetryPolicy(op_timeout_s=12.5, connect_timeout_s=1.25)
+        with ServerClient(*server.address, policy=policy) as client:
+            assert client._sock.gettimeout() == 12.5
+        assert client.timeout == 12.5
+        assert client.connect_timeout == 1.25
 
     def test_transient_refusal_is_retried_to_success(
         self, server, monkeypatch

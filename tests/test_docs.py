@@ -439,6 +439,67 @@ class TestClusterDoc:
         assert "cache_hits_mmap" in text
 
 
+class TestResilienceDoc:
+    """The Resilience section documents exactly what the code exposes."""
+
+    def doc(self) -> str:
+        return (ROOT / "docs" / "serving.md").read_text()
+
+    def test_resilience_section_present(self):
+        assert "## Resilience" in self.doc()
+
+    def test_every_agent_state_documented(self):
+        from repro.cluster import AGENT_STATES
+
+        doc = self.doc()
+        for state in AGENT_STATES:
+            assert f"`{state}`" in doc, state
+
+    def test_membership_ops_documented(self):
+        from repro.cluster import Coordinator
+        from repro.serve import OPS
+
+        doc = self.doc()
+        for op in Coordinator.OPS:
+            if op not in OPS:  # the membership extensions
+                assert f"`{op}`" in doc, op
+
+    def test_agents_http_routes_documented(self):
+        doc = self.doc()
+        for route in ("/v1/agents", "/v1/agents/join", "/v1/agents/leave"):
+            assert route in doc, route
+
+    def test_journal_record_types_documented(self):
+        from repro.cluster.journal import RECORD_TYPES
+
+        doc = self.doc()
+        for rtype in RECORD_TYPES:
+            assert f"`{rtype}`" in doc, rtype
+
+    def test_retry_policy_knobs_documented(self):
+        import dataclasses
+
+        from repro.serve import RetryPolicy
+
+        doc = self.doc()
+        for f in dataclasses.fields(RetryPolicy):
+            assert f"`{f.name}" in doc, f.name
+
+    def test_resilience_flags_in_cli_doc(self):
+        cli = (ROOT / "docs" / "cli.md").read_text()
+        for flag in ("--journal", "--resume", "--probe-interval",
+                     "--coordinator", "--join", "--leave"):
+            assert flag in cli, flag
+        assert "cluster agents" in cli
+
+    def test_ci_workflow_has_chaos_smoke_job(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "chaos-smoke:" in text
+        assert "--journal" in text
+        assert "--resume" in text
+        assert "SIGKILL" in text
+
+
 class TestRunnableDocsCi:
     """CI executes every example and scenario file, so snippets can't rot."""
 
