@@ -1,0 +1,102 @@
+"""Sampling-strategy zoo benches: preset wall time and per-strategy cost.
+
+Two things the zoo adds that must not regress:
+
+* ``sampling_zoo_small`` — one full ``sampling_zoo`` preset run
+  (5 strategies x 2 periods over a tiny STREAM, each trial scored
+  against an exhaustive ground-truth pass), in seconds: the cost of
+  the CI smoke job and of anyone iterating on a strategy;
+* ``sampling_positions_<strategy>`` — raw position-selection
+  throughput of each registered strategy over a ~2M-op trace at
+  period 4096, in ops/s, so a slow new selection rule (or a perf
+  regression in an old one) is visible per strategy rather than
+  hidden inside an end-to-end number.
+
+Both feed ``BENCH_substrate.json`` via ``bench_substrate_json.py``;
+``check_regression.py`` holds them within 2x of the checked-in
+baseline.  Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_sampling.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+import numpy as np
+
+from repro.cpu.ops import OpKind
+from repro.machine.hierarchy import MemLevel
+from repro.scenarios import Session, sampling_zoo_spec
+from repro.spe.sampler import TraceOpSource
+from repro.spe.strategies import STRATEGIES
+
+N_OPS = 2_000_000
+PERIOD = 4096
+
+
+def _median_seconds(fn, rounds: int = 5) -> float:
+    fn()  # warm-up
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _trace() -> TraceOpSource:
+    rng = np.random.default_rng(0)
+    kinds = np.full(N_OPS, OpKind.LOAD, np.uint8)
+    addrs = rng.integers(1, 1 << 40, N_OPS, dtype=np.uint64)
+    levels = np.full(N_OPS, int(MemLevel.L1), np.uint8)
+    return TraceOpSource(kinds, addrs, levels, cpi=1.0)
+
+
+def bench_zoo_preset() -> dict:
+    sec = _median_seconds(
+        lambda: Session().run(sampling_zoo_spec()), rounds=3
+    )
+    report = Session().run(sampling_zoo_spec())
+    return {
+        "metric": "seconds",
+        "value": sec,
+        "trials": len(report.results),
+    }
+
+
+def bench_strategy_positions() -> dict[str, dict]:
+    src = _trace()
+    entries: dict[str, dict] = {}
+    for name, strat in STRATEGIES.items():
+        def run(strat=strat):
+            strat.sample(src, PERIOD, False, np.random.default_rng(0), None)
+        pos, _ = strat.sample(
+            src, PERIOD, False, np.random.default_rng(0), None
+        )
+        entries[f"sampling_positions_{name}"] = {
+            "metric": "ops_per_s",
+            "value": N_OPS / _median_seconds(run),
+            "n": N_OPS,
+            "period": PERIOD,
+            "samples": int(pos.size),
+        }
+    return entries
+
+
+def bench_sampling_entries() -> dict[str, dict]:
+    """The zoo entries for ``BENCH_substrate.json``."""
+    entries = {"sampling_zoo_small": bench_zoo_preset()}
+    entries.update(bench_strategy_positions())
+    return entries
+
+
+if __name__ == "__main__":
+    for name, entry in sorted(bench_sampling_entries().items()):
+        value = (
+            f"{entry['value']:,.0f} op/s"
+            if entry["metric"] == "ops_per_s"
+            else f"{entry['value']:.3f} s"
+        )
+        print(f"{name}: {value}")

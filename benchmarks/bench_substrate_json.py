@@ -34,6 +34,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from bench_cluster import bench_cluster_entries  # noqa: E402
 from bench_resilience import bench_resilience_entries  # noqa: E402
+from bench_sampling import bench_sampling_entries  # noqa: E402
 from bench_serve import bench_serve_entries  # noqa: E402
 
 from repro.cpu.clock import GenericTimer
@@ -310,6 +311,8 @@ def main(argv=None) -> int:
     entries.update(bench_cluster_entries())
     print("resilience costs (journal replay, membership probe round)...")
     entries.update(bench_resilience_entries())
+    print("sampling zoo (preset wall time, per-strategy position rates)...")
+    entries.update(bench_sampling_entries())
 
     report = {
         "schema": "repro-bench-substrate/1",

@@ -16,6 +16,15 @@ from repro.analysis.accuracy import (
     time_overhead,
 )
 from repro.analysis.plotting import line_plot, scatter_plot, table
+from repro.analysis.sampling import (
+    SamplingBias,
+    dead_zones,
+    exhaustive_page_hotness,
+    hotness_rank_error,
+    miss_ratio_error,
+    sample_rate_deviation,
+    score_sampling,
+)
 from repro.analysis.temporal import (
     bin_samples,
     phase_segments,
@@ -31,24 +40,31 @@ from repro.analysis.tiering import (
 
 __all__ = [
     "BiasReport",
+    "SamplingBias",
     "TierUsage",
     "TrialStats",
     "aggregate_trials",
     "analyse_bias",
     "bias_index",
     "coverage",
+    "dead_zones",
     "pc_histogram",
     "bin_samples",
     "estimated_total_accesses",
+    "exhaustive_page_hotness",
+    "hotness_rank_error",
     "line_plot",
     "linearity_check",
+    "miss_ratio_error",
     "phase_segments",
     "rate_of",
     "render_tier_usage",
     "resample",
+    "sample_rate_deviation",
     "sampling_accuracy",
     "saturation_point",
     "scatter_plot",
+    "score_sampling",
     "table",
     "tiering_breakdown",
     "time_overhead",

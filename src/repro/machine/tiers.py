@@ -377,16 +377,31 @@ def hotness_placement(
     return PagePlacement(pages[order], tiers[order], aspace.page_shift, n_tiers)
 
 
-def page_hotness(aspace, addrs: np.ndarray) -> np.ndarray:
+def page_hotness(
+    aspace, addrs: np.ndarray, strategy: str | None = None
+) -> np.ndarray:
     """SPE sample count per mapped page (allocation-ordered scores).
 
     ``addrs`` are sampled data virtual addresses (e.g.
     ``ProfileResult.batch.addr``); the result aligns with
     :func:`mapped_page_ids` and feeds :func:`hotness_placement`.
     Samples outside any mapping are ignored.
+
+    ``strategy`` names the sampling strategy that produced ``addrs``
+    (:mod:`repro.spe.strategies`): hash-biased strategies oversample
+    their accepted pages by a known factor, and naming the strategy
+    applies its inverse-probability weight so hotness *magnitudes* stay
+    comparable across strategies (the ranking within the sampled set is
+    unchanged — a page the strategy never samples still scores 0).
+    ``None`` keeps raw integer counts, bit-identical to the pre-zoo
+    behaviour; a weighted result is float64.
     """
     pages = mapped_page_ids(aspace)
     if pages.size == 0:
+        if strategy is not None:
+            from repro.spe.strategies import get_strategy
+
+            get_strategy(strategy)  # validate even on an empty map
         return np.zeros(0, dtype=np.int64)
     addrs = np.asarray(addrs, dtype=np.uint64)
     sample_pages = addrs >> np.uint64(aspace.page_shift)
@@ -399,6 +414,13 @@ def page_hotness(aspace, addrs: np.ndarray) -> np.ndarray:
     order = np.argsort(pages, kind="stable")
     counts = np.empty(pages.size, dtype=np.int64)
     counts[order] = counts_sorted
+    if strategy is not None:
+        from repro.spe.strategies import get_strategy
+
+        weight = get_strategy(strategy).page_sample_weight(
+            pages << np.uint64(aspace.page_shift)
+        )
+        return counts.astype(np.float64) * weight
     return counts
 
 

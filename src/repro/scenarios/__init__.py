@@ -48,6 +48,7 @@ from repro.scenarios.presets import (
     load_scenario,
     named_scenario,
     quickstart_spec,
+    sampling_zoo_spec,
     scenario_names,
     tiering_sweep_spec,
 )
@@ -57,6 +58,7 @@ from repro.scenarios.spec import (
     KINDS,
     MACHINE_PRESETS,
     ColocationSpec,
+    SamplingSpec,
     ScenarioSpec,
     SweepAxis,
     TieringSpec,
@@ -85,6 +87,7 @@ __all__ = [
     "RunReport",
     "SCENARIO_PRESETS",
     "SWEEP_SCALES",
+    "SamplingSpec",
     "ScenarioSpec",
     "Session",
     "SweepAxis",
@@ -101,6 +104,7 @@ __all__ = [
     "named_scenario",
     "quickstart_spec",
     "render_results",
+    "sampling_zoo_spec",
     "scenario_names",
     "tiering_sweep_spec",
 ]

@@ -16,11 +16,13 @@ from repro.errors import ScenarioError
 from repro.nmo.env import NmoMode, NmoSettings
 from repro.scenarios.spec import (
     ColocationSpec,
+    SamplingSpec,
     ScenarioSpec,
     SweepAxis,
     TieringSpec,
     WorkloadSpec,
 )
+from repro.spe.strategies import STRATEGY_NAMES
 
 FIG7_PERIODS = (512, 1024, 2048, 4096, 8192, 16384, 32768, 65536, 131072)
 FIG8_PERIODS = (1000, 2000, 4000, 8000, 16000, 32000, 64000, 128000)
@@ -160,6 +162,35 @@ def tiering_sweep_spec(
     )
 
 
+def sampling_zoo_spec(
+    workload: str = "stream",
+    n_threads: int = 2,
+    scale: float = 1 / 1024,
+    strategies: tuple[str, ...] = STRATEGY_NAMES,
+    periods: tuple[int, ...] = (512, 2048),
+    near_fraction: float = 0.5,
+    seed: int = 0,
+) -> ScenarioSpec:
+    """Sampling zoo: every strategy scored against exhaustive ground truth.
+
+    The workload is kept small on purpose: the ground-truth pass walks
+    every op in the stream once, so its cost scales with the op count,
+    not the sampling period.
+    """
+    return ScenarioSpec(
+        name="sampling_zoo",
+        kind="sampling_accuracy",
+        workloads=(WorkloadSpec(workload, n_threads=n_threads, scale=scale),),
+        settings=_sampling(periods[0]),
+        sampling=SamplingSpec(
+            strategies=tuple(strategies),
+            periods=tuple(periods),
+            near_fraction=near_fraction,
+        ),
+        seed=seed,
+    )
+
+
 def quickstart_spec(
     workload: str = "stream",
     n_threads: int = 8,
@@ -191,6 +222,10 @@ SCENARIO_PRESETS: dict[str, tuple[Callable[[], ScenarioSpec], str]] = {
         "Colo: co-located processes on the contended DRAM channel",
     ),
     "quickstart": (quickstart_spec, "Profile: STREAM sampling quickstart"),
+    "sampling_zoo": (
+        sampling_zoo_spec,
+        "Sampling: strategy zoo scored against exhaustive ground truth",
+    ),
     "tiering_sweep": (
         tiering_sweep_spec,
         "Tiering: page-placement policies vs far-memory ratio",

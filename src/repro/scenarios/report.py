@@ -248,6 +248,85 @@ def render_tiering(rows: list[dict]) -> str:
     return "\n\n".join(parts)
 
 
+def render_sampling(rows: list[dict]) -> str:
+    """Sampling zoo: per-(strategy, period) bias metrics plus a ranking.
+
+    One detail row per grid point, then a ranking table averaging each
+    strategy over its periods, sorted best-first by hotness rank error
+    (ties break by miss-ratio error, then dead-access fraction, then
+    name — fully deterministic per seed).
+    """
+    detail = table(
+        [
+            "strategy", "period", "samples", "rank err", "miss err",
+            "dead zones", "max width", "dead access", "rate dev", "overhead",
+        ],
+        [
+            [
+                r["strategy"],
+                r["period"],
+                r["samples"],
+                f"{r['rank_error']:.4f}",
+                f"{r['miss_ratio_error']:.4f}",
+                r["dead_zone_count"],
+                r["dead_zone_max_width"],
+                f"{r['dead_access_fraction'] * 100:.1f}%",
+                f"{r['rate_deviation'] * 100:.1f}%",
+                f"{r['overhead'] * 100:.2f}%",
+            ]
+            for r in rows
+        ],
+        title="Sampling zoo: strategy bias vs exhaustive ground truth",
+    )
+    by_strategy: dict[str, list[dict]] = {}
+    for r in rows:
+        by_strategy.setdefault(r["strategy"], []).append(r)
+    means = []
+    for name, pts in by_strategy.items():
+        means.append(
+            {
+                "strategy": name,
+                "rank_error": float(np.mean([p["rank_error"] for p in pts])),
+                "miss_ratio_error": float(
+                    np.mean([p["miss_ratio_error"] for p in pts])
+                ),
+                "dead_zone_count": float(
+                    np.mean([p["dead_zone_count"] for p in pts])
+                ),
+                "dead_access_fraction": float(
+                    np.mean([p["dead_access_fraction"] for p in pts])
+                ),
+                "overhead": float(np.mean([p["overhead"] for p in pts])),
+            }
+        )
+    means.sort(
+        key=lambda m: (
+            m["rank_error"], m["miss_ratio_error"],
+            m["dead_access_fraction"], m["strategy"],
+        )
+    )
+    ranking = table(
+        [
+            "rank", "strategy", "rank err", "miss err", "dead zones",
+            "dead access", "overhead",
+        ],
+        [
+            [
+                i + 1,
+                m["strategy"],
+                f"{m['rank_error']:.4f}",
+                f"{m['miss_ratio_error']:.4f}",
+                f"{m['dead_zone_count']:.1f}",
+                f"{m['dead_access_fraction'] * 100:.1f}%",
+                f"{m['overhead'] * 100:.2f}%",
+            ]
+            for i, m in enumerate(means)
+        ],
+        title="Sampling zoo: strategies ranked by hotness rank error",
+    )
+    return detail + "\n\n" + ranking
+
+
 def render_period_sweep(results: dict[str, list[SweepPoint]]) -> str:
     """Generic period-sweep rendering for custom-named scenarios."""
     return "\n\n".join(
@@ -287,6 +366,7 @@ NAMED_RENDERERS = {
     "fig9": ("aux_sweep", render_fig9),
     "fig10_fig11": ("thread_sweep", render_fig10_fig11),
     "colo_interference": ("colocation", render_colo),
+    "sampling_zoo": ("sampling_accuracy", render_sampling),
 }
 
 #: fallback renderer per scenario kind
@@ -297,6 +377,7 @@ KIND_RENDERERS = {
     "thread_sweep": render_fig10_fig11,
     "colocation": render_colo,
     "tiering": render_tiering,
+    "sampling_accuracy": render_sampling,
 }
 
 

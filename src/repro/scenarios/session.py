@@ -245,6 +245,27 @@ class Session:
             for ratio in t.far_ratios
         ]
 
+    def _plan_sampling_accuracy(self, spec, experiment, mc) -> list[TrialSpec]:
+        w = spec.workloads[0]
+        s = spec.sampling
+        return [
+            TrialSpec(
+                experiment=experiment,
+                config={
+                    "workload": w.name,
+                    "n_threads": w.n_threads,
+                    "scale": w.scale,
+                    "strategy": strategy,
+                    "period": period,
+                    "near_fraction": s.near_fraction,
+                    "machine": mc,
+                },
+                seed=spec.seed,
+            )
+            for strategy in s.strategies
+            for period in s.periods
+        ]
+
     def _plan_colocation(self, spec, experiment, mc) -> list[TrialSpec]:
         colo = spec.colocation
         return [
@@ -389,7 +410,7 @@ class Session:
                     }
                 )
             return out_rows
-        return rows  # aux/thread/colo rows are already the result shape
+        return rows  # aux/thread/colo/sampling rows are already the shape
 
 
 def _version() -> str:

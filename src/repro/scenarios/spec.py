@@ -36,12 +36,13 @@ from repro.machine.spec import (
 )
 from repro.machine.tiers import PLACEMENT_POLICIES
 from repro.nmo.env import NmoMode, NmoSettings
+from repro.spe.strategies import STRATEGY_NAMES
 from repro.workloads.registry import get_workload_class
 
 #: scenario kinds a Session knows how to plan
 KINDS = (
     "profile", "period_sweep", "aux_sweep", "thread_sweep", "colocation",
-    "tiering",
+    "tiering", "sampling_accuracy",
 )
 
 #: sweepable axis parameters, per kind
@@ -239,6 +240,68 @@ class TieringSpec:
         )
 
 
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Sampling block: score sampling strategies against ground truth.
+
+    A ``sampling_accuracy`` scenario profiles one workload under every
+    ``(strategy, period)`` grid point and compares each run's per-page
+    hotness with an exhaustive pass over the same op sources
+    (:mod:`repro.analysis.sampling`).  ``near_fraction`` sizes the
+    near-tier budget the ``miss_ratio_error`` placement-regret metric
+    evaluates against.
+    """
+
+    strategies: tuple[str, ...] = STRATEGY_NAMES
+    periods: tuple[int, ...] = (512, 2048)
+    near_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        strategies = tuple(str(s) for s in self.strategies)
+        _require(len(strategies) >= 1, "sampling needs at least one strategy")
+        unknown = [s for s in strategies if s not in STRATEGY_NAMES]
+        _require(
+            not unknown,
+            f"unknown sampling strategies {unknown}; "
+            f"known: {', '.join(STRATEGY_NAMES)}",
+        )
+        _require(
+            len(set(strategies)) == len(strategies),
+            "sampling strategies must be unique",
+        )
+        object.__setattr__(self, "strategies", strategies)
+        periods = tuple(int(p) for p in self.periods)
+        _require(len(periods) >= 1, "sampling needs at least one period")
+        _require(all(p > 0 for p in periods), "sampling periods must be positive")
+        _require(
+            len(set(periods)) == len(periods), "sampling periods must be unique"
+        )
+        object.__setattr__(self, "periods", periods)
+        _require(
+            0.0 < self.near_fraction < 1.0,
+            "near_fraction must be in (0, 1)",
+        )
+        object.__setattr__(self, "near_fraction", float(self.near_fraction))
+
+    def to_dict(self) -> dict:
+        return {
+            "strategies": list(self.strategies),
+            "periods": list(self.periods),
+            "near_fraction": self.near_fraction,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SamplingSpec":
+        _check_keys(
+            d, set(), {"strategies", "periods", "near_fraction"}, "sampling"
+        )
+        return cls(
+            strategies=tuple(d.get("strategies", STRATEGY_NAMES)),
+            periods=tuple(d.get("periods", (512, 2048))),
+            near_fraction=d.get("near_fraction", 0.5),
+        )
+
+
 def _check_keys(
     d: dict, required: set[str], optional: set[str], what: str
 ) -> None:
@@ -272,6 +335,7 @@ class ScenarioSpec:
     sweep: SweepAxis | None = None
     colocation: ColocationSpec | None = None
     tiering: TieringSpec | None = None
+    sampling: SamplingSpec | None = None
     trials: int = 1
     seed: int = 0
 
@@ -329,6 +393,7 @@ class ScenarioSpec:
             self.colocation is None, f"{self.kind} takes no colocation block"
         )
         _require(self.tiering is None, f"{self.kind} takes no tiering block")
+        _require(self.sampling is None, f"{self.kind} takes no sampling block")
         self._check_sampling_template()
 
     def _check_period_sweep(self) -> None:
@@ -375,6 +440,9 @@ class ScenarioSpec:
         _require(self.sweep is None, "colocation takes no sweep axis")
         _require(self.tiering is None, "colocation takes no tiering block")
         _require(
+            self.sampling is None, "colocation takes no sampling block"
+        )
+        _require(
             not self.workloads,
             "colocation line-ups are derived from the colocation block; "
             "leave workloads empty",
@@ -391,6 +459,7 @@ class ScenarioSpec:
         _require(
             self.colocation is None, "tiering takes no colocation block"
         )
+        _require(self.sampling is None, "tiering takes no sampling block")
         _require(
             len(self.workloads) == 1, "tiering profiles exactly one workload"
         )
@@ -411,7 +480,42 @@ class ScenarioSpec:
         _require(self.sweep is None, "profile takes no sweep axis")
         _require(self.colocation is None, "profile takes no colocation block")
         _require(self.tiering is None, "profile takes no tiering block")
+        _require(self.sampling is None, "profile takes no sampling block")
         _require(len(self.workloads) >= 1, "profile needs >= 1 workload")
+
+    def _check_sampling_accuracy(self) -> None:
+        _require(
+            self.sampling is not None,
+            "sampling_accuracy scenarios need a sampling block",
+        )
+        _require(self.sweep is None, "sampling_accuracy takes no sweep axis")
+        _require(
+            self.colocation is None,
+            "sampling_accuracy takes no colocation block",
+        )
+        _require(
+            self.tiering is None, "sampling_accuracy takes no tiering block"
+        )
+        _require(
+            len(self.workloads) == 1,
+            "sampling_accuracy profiles exactly one workload",
+        )
+        _require(
+            self.workloads[0].scale is not None,
+            "sampling_accuracy needs an explicit workload scale",
+        )
+        _require(
+            self.trials == 1, "sampling_accuracy supports a single trial"
+        )
+        # the block supplies every trial's period; pin the template to
+        # the first block value so the spec hash never covers a period
+        # that did not run
+        _require(
+            self.settings.period == self.sampling.periods[0],
+            "sampling_accuracy takes its periods from the sampling block; "
+            "set NMO_PERIOD to the first block period",
+        )
+        self._check_sampling_template()
 
     # -- resolution -------------------------------------------------------
 
@@ -439,6 +543,9 @@ class ScenarioSpec:
         # keep their exact canonical JSON, and therefore their spec hash
         if self.tiering is not None:
             out["tiering"] = self.tiering.to_dict()
+        # same rule for the sampling block: pre-zoo files hash unchanged
+        if self.sampling is not None:
+            out["sampling"] = self.sampling.to_dict()
         return out
 
     @classmethod
@@ -447,7 +554,7 @@ class ScenarioSpec:
             d,
             {"name", "kind"},
             {"machine", "workloads", "settings", "sweep", "colocation",
-             "tiering", "trials", "seed"},
+             "tiering", "sampling", "trials", "seed"},
             "scenario",
         )
         settings = d.get("settings")
@@ -485,6 +592,11 @@ class ScenarioSpec:
             tiering=(
                 TieringSpec.from_dict(d["tiering"])
                 if d.get("tiering") is not None
+                else None
+            ),
+            sampling=(
+                SamplingSpec.from_dict(d["sampling"])
+                if d.get("sampling") is not None
                 else None
             ),
             trials=int(d.get("trials", 1)),

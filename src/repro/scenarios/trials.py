@@ -57,6 +57,7 @@ EXPERIMENT_NAMES = {
     "thread_sweep": "fig10_fig11_threads",
     "colocation": "colo_interference",
     "tiering": "tiering",
+    "sampling_accuracy": "sampling_accuracy",
 }
 
 
@@ -287,6 +288,57 @@ def tiering_trial(machine: MachineSpec, spec: TrialSpec) -> dict:
 
 
 # --------------------------------------------------------------------------
+# Sampling accuracy
+# --------------------------------------------------------------------------
+
+def sampling_accuracy_trial(machine: MachineSpec, spec: TrialSpec) -> dict:
+    """One (strategy, period) point of a sampling_accuracy scenario.
+
+    Runs an exhaustive ground-truth pass over the workload's op sources,
+    profiles the same workload with the named sampling strategy (the
+    strategy rides on the backend's :class:`~repro.spe.config.SpeConfig`,
+    not on :class:`~repro.nmo.env.NmoSettings`, so settings-based cache
+    keys are untouched), and scores the sampled per-page hotness with
+    the :mod:`repro.analysis.sampling` bias metrics.
+    """
+    import dataclasses as _dc
+
+    from repro.analysis.sampling import exhaustive_page_hotness, score_sampling
+
+    cfg = spec.config
+    strategy = cfg["strategy"]
+    w = make_workload(
+        cfg["workload"], machine,
+        n_threads=cfg["n_threads"], scale=cfg["scale"],
+    )
+    truth = exhaustive_page_hotness(w, seed=spec.seed)
+    settings = NmoSettings(
+        enable=True, mode=NmoMode.SAMPLING, period=cfg["period"]
+    )
+    prof = NmoProfiler(w, settings, seed=spec.seed)
+    prof.backend.config = _dc.replace(prof.backend.config, strategy=strategy)
+    r = prof.run()
+    est = page_hotness(w.process.address_space, r.batch.addr)
+    bias = score_sampling(
+        truth,
+        est,
+        samples=r.samples_processed,
+        mem_counted=r.mem_counted,
+        period=cfg["period"],
+        near_fraction=float(cfg["near_fraction"]),
+    )
+    return {
+        "strategy": strategy,
+        "period": int(cfg["period"]),
+        "samples": int(r.samples_processed),
+        "accuracy": float(r.accuracy),
+        "overhead": float(r.time_overhead),
+        "collisions": int(r.collisions),
+        **bias.as_row(),
+    }
+
+
+# --------------------------------------------------------------------------
 # Co-location
 # --------------------------------------------------------------------------
 
@@ -425,4 +477,5 @@ TRIAL_FNS = {
     "thread_sweep": thread_trial,
     "colocation": colo_trial,
     "tiering": tiering_trial,
+    "sampling_accuracy": sampling_accuracy_trial,
 }

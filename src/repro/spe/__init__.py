@@ -38,6 +38,12 @@ from repro.spe.sampler import (
     collision_scan,
     sample_positions,
 )
+from repro.spe.strategies import (
+    STRATEGIES,
+    STRATEGY_NAMES,
+    SamplingStrategy,
+    get_strategy,
+)
 
 __all__ = [
     "CONFIG_LOADS_AND_STORES",
@@ -46,8 +52,11 @@ __all__ = [
     "FeedPlan",
     "OpSource",
     "RECORD_SIZE",
+    "STRATEGIES",
+    "STRATEGY_NAMES",
     "SampleBatch",
     "SamplerOutput",
+    "SamplingStrategy",
     "SpeConfig",
     "SpeCostModel",
     "SpeDriver",
@@ -55,6 +64,7 @@ __all__ = [
     "ThrottleModel",
     "TraceOpSource",
     "collision_scan",
+    "get_strategy",
     "corrupt_records",
     "decode_buffer",
     "decode_stream",

@@ -42,7 +42,15 @@ CONFIG_LOADS_AND_STORES = 0x6_0000_0001
 
 @dataclass(frozen=True)
 class SpeConfig:
-    """Decoded SPE sampling configuration."""
+    """Decoded SPE sampling configuration.
+
+    ``strategy`` selects the sampling rule by name
+    (:mod:`repro.spe.strategies`); ``None`` means ``periodic`` — the
+    hardware interval counter, the only rule real SPE implements — and
+    is excluded from canonical cache keys so pre-zoo keys survive.  The
+    field is a model-level knob: it has no perf ``attr.config`` bit, so
+    :meth:`encode`/:meth:`decode` ignore it.
+    """
 
     loads: bool = True
     stores: bool = True
@@ -51,6 +59,11 @@ class SpeConfig:
     timestamps: bool = True
     physical_addresses: bool = False
     min_latency: int = 0
+    strategy: str | None = None
+
+    #: ``strategy=None`` (periodic) stays out of canonical cache keys,
+    #: so every pre-zoo cached trial and spec hash is unchanged.
+    __cache_optional__ = frozenset({"strategy"})
 
     def __post_init__(self) -> None:
         if not (self.loads or self.stores or self.branches):
@@ -60,6 +73,10 @@ class SpeConfig:
                 f"min_latency must fit in {MIN_LATENCY_BITS} bits, "
                 f"got {self.min_latency}"
             )
+        if self.strategy is not None:
+            from repro.spe.strategies import get_strategy
+
+            get_strategy(self.strategy)
 
     # -- encoding ----------------------------------------------------------------
 

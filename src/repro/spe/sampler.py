@@ -36,6 +36,7 @@ from repro.errors import SpeError
 from repro.spe.config import SpeConfig
 from repro.spe.records import SampleBatch
 from repro.spe.refpath import reference_active
+from repro.spe.strategies import check_period, get_strategy
 
 
 class OpSource(Protocol):
@@ -116,8 +117,7 @@ def sample_positions(
     (the hardware counter runs continuously across program phases);
     the second return value is the residue to pass to the next stream.
     """
-    if period <= 0:
-        raise SpeError(f"sampling period must be positive, got {period}")
+    check_period(period)
     if n_ops < 0:
         raise SpeError("n_ops must be >= 0")
     window = max(2, period // 16) if jitter else max(2, period // 256)
@@ -310,14 +310,16 @@ class SpeSampler:
     ) -> None:
         """``track_collisions=False`` disables the in-flight tracking
         window (PEBS-style backends, which do not collide)."""
-        if period <= 0:
-            raise SpeError("sampling period must be positive")
+        check_period(period)
         self.period = period
         self.config = config
         self.pipeline = pipeline
         self.timer = timer
         self.rng = rng
         self.track_collisions = track_collisions
+        #: the selection rule (None on the config means ``periodic``,
+        #: which delegates straight back to :func:`sample_positions`)
+        self.strategy = get_strategy(config.strategy or "periodic")
         #: interval-counter residue carried across op streams (phases);
         #: the hardware counter never resets between code regions
         self._carry: int | None = None
@@ -339,8 +341,8 @@ class SpeSampler:
         self, source: OpSource, start_cycle: float = 0.0
     ) -> SamplerOutput:
         """Sample one op stream starting at ``start_cycle`` (core clock)."""
-        pos, self._carry = sample_positions(
-            source.n_ops, self.period, self.config.jitter, self.rng, self._carry
+        pos, self._carry = self.strategy.sample(
+            source, self.period, self.config.jitter, self.rng, self._carry
         )
         n_selected = int(pos.size)
         duration = source.n_ops * source.cpi

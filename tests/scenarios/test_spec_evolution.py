@@ -26,10 +26,12 @@ from repro.machine.spec import (
 )
 from repro.orchestrate.cache import cache_key, canonical_config
 from repro.scenarios import (
+    SamplingSpec,
     ScenarioSpec,
     Session,
     TieringSpec,
     load_scenario,
+    sampling_zoo_spec,
     tiering_sweep_spec,
 )
 
@@ -136,5 +138,83 @@ class TestTieringRoundTrip:
     def test_unknown_tiering_keys_rejected(self):
         d = self.spec().to_dict()
         d["tiering"]["promote_rate"] = 2
+        with pytest.raises(Exception, match="unknown keys"):
+            ScenarioSpec.from_dict(d)
+
+
+#: spec_hash of every checked-in example scenario, captured before the
+#: sampling block existed — the zoo must not move them either
+PRE_ZOO_SPEC_HASHES = {
+    **PRE_TIER_SPEC_HASHES,
+    "tiering_smoke.json":
+        "4f44f425d4cbf79c4cbb7dd9e30043741c6ad99eb836f1727cba4643015f67c5",
+}
+
+
+class TestPreZooSpecFiles:
+    """Adding SamplingSpec must not move pre-zoo keys (same contract as
+    the tiering rollout above, one field later)."""
+
+    def test_example_files_keep_their_spec_hash(self):
+        for name, expected in PRE_ZOO_SPEC_HASHES.items():
+            spec = ScenarioSpec.from_file(ROOT / "examples" / "scenarios" / name)
+            assert spec.spec_hash() == expected, name
+
+    def test_pre_zoo_files_serialise_without_sampling_key(self):
+        for name in PRE_ZOO_SPEC_HASHES:
+            spec = ScenarioSpec.from_file(ROOT / "examples" / "scenarios" / name)
+            assert spec.sampling is None
+            assert "sampling" not in spec.to_dict(), name
+            # NMO_MODE's value is the string "sampling"; the *key* is absent
+            assert '"sampling":' not in spec.to_json(), name
+
+    def test_explicit_null_sampling_loads_as_none(self):
+        spec = ScenarioSpec.from_file(
+            ROOT / "examples" / "scenarios" / "quickstart_profile.json"
+        )
+        d = spec.to_dict()
+        d["sampling"] = None  # tolerated on input, omitted on output
+        again = ScenarioSpec.from_dict(d)
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_pre_zoo_preset_trial_keys_unchanged(self):
+        # the cache keys pinned at the tiering rollout still hold
+        s = Session()
+        for name, expected in PRE_TIER_TRIAL_KEYS.items():
+            t = s.plan(load_scenario(name))[0]
+            assert cache_key(t.experiment, t.config, t.seed) == expected, name
+
+
+class TestSamplingRoundTrip:
+    def spec(self):
+        return sampling_zoo_spec()
+
+    def test_lossless_json_round_trip(self):
+        spec = self.spec()
+        again = ScenarioSpec.from_json(spec.to_json())
+        assert again == spec
+        assert again.spec_hash() == spec.spec_hash()
+
+    def test_sampling_block_survives_serialisation(self):
+        d = json.loads(self.spec().to_json())
+        assert d["sampling"]["strategies"] == [
+            "periodic", "poisson", "addr_hash", "page_hash", "hybrid",
+        ]
+        assert d["sampling"]["periods"] == [512, 2048]
+        assert d["sampling"]["near_fraction"] == 0.5
+
+    def test_sampling_changes_the_hash(self):
+        a = self.spec()
+        b = ScenarioSpec.from_dict(
+            {**a.to_dict(), "sampling": SamplingSpec(
+                strategies=("periodic", "poisson"), periods=(512,)
+            ).to_dict()}
+        )
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_unknown_sampling_keys_rejected(self):
+        d = self.spec().to_dict()
+        d["sampling"]["oversample"] = 16
         with pytest.raises(Exception, match="unknown keys"):
             ScenarioSpec.from_dict(d)

@@ -563,3 +563,61 @@ class TestScenariosDoc:
         text = (ROOT / "README.md").read_text()
         assert "repro.scenarios" in text or "docs/scenarios.md" in text
         assert "python -m repro run" in text
+
+
+class TestSamplingDoc:
+    """docs/sampling.md tracks the strategy registry, the bias metrics,
+    and the zoo tooling — adding a strategy or metric without
+    documenting it fails here."""
+
+    def doc(self) -> str:
+        return (ROOT / "docs" / "sampling.md").read_text()
+
+    def test_every_strategy_documented(self):
+        from repro.spe.strategies import STRATEGIES
+
+        doc = self.doc()
+        for name in STRATEGIES:
+            assert f"`{name}`" in doc, name
+
+    def test_every_bias_metric_documented(self):
+        import dataclasses
+
+        from repro.analysis.sampling import SamplingBias
+
+        doc = self.doc()
+        for field in dataclasses.fields(SamplingBias):
+            assert f"`{field.name}`" in doc, field.name
+
+    def test_worked_scenario_present(self):
+        doc = self.doc()
+        assert "python -m repro run sampling_zoo" in doc
+        assert "sampling_accuracy" in doc
+        assert "sampling_zoo_spec" in doc
+
+    def test_linked_from_index_readme_and_scenarios(self):
+        assert "(sampling.md)" in (ROOT / "docs" / "index.md").read_text()
+        assert "docs/sampling.md" in (ROOT / "README.md").read_text()
+        assert "sampling.md" in (ROOT / "docs" / "scenarios.md").read_text()
+
+    def test_placement_example_exists(self):
+        assert (ROOT / "examples" / "sampling_placement.py").exists()
+
+    def test_ci_workflow_has_sampling_smoke_job(self):
+        text = (ROOT / ".github" / "workflows" / "ci.yml").read_text()
+        assert "sampling-smoke:" in text
+        assert "python -m repro run sampling_zoo" in text
+
+    def test_baseline_carries_zoo_entries(self):
+        import json
+
+        from repro.spe.strategies import STRATEGIES
+
+        base = json.loads(
+            (ROOT / "benchmarks" / "baselines" / "BENCH_substrate.baseline.json")
+            .read_text()
+        )
+        entries = base["entries"]
+        assert entries["sampling_zoo_small"]["metric"] == "seconds"
+        for name in STRATEGIES:
+            assert f"sampling_positions_{name}" in entries, name
